@@ -1,0 +1,114 @@
+// Command kernels runs the pointer-chasing benchmark kernels of
+// internal/apps — real programs whose data structures live in simulated
+// memory — under one or all allocators, with locality instrumentation.
+//
+//	kernels -list
+//	kernels -kernel symtab -size 5000
+//	kernels -kernel all -alloc all -cache 16384
+//
+// Because the kernels compute in simulated memory, their checksums are
+// allocator-independent; the tool verifies this whenever more than one
+// allocator runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/apps"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/vm"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list kernels and exit")
+		kernel    = flag.String("kernel", "all", "kernel name or 'all' ("+strings.Join(apps.Names(), ", ")+")")
+		allocName = flag.String("alloc", "all", "allocator name, 'all' (paper's five) or 'extended'")
+		size      = flag.Int("size", 2000, "kernel working-set scale")
+		seed      = flag.Uint64("seed", 1, "kernel seed")
+		cacheSize = flag.Uint64("cache", 16<<10, "direct-mapped cache size in bytes (0 = off)")
+		pages     = flag.Bool("pages", false, "also simulate page faults")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range apps.Names() {
+			a, _ := apps.Get(n)
+			fmt.Printf("%-10s %s\n", n, a.Description())
+		}
+		return
+	}
+
+	kernels := apps.Names()
+	if *kernel != "all" {
+		if _, ok := apps.Get(*kernel); !ok {
+			log.Fatalf("kernels: unknown kernel %q", *kernel)
+		}
+		kernels = []string{*kernel}
+	}
+	var allocs []string
+	switch *allocName {
+	case "all":
+		allocs = all.Paper
+	case "extended":
+		allocs = all.Extended
+	default:
+		allocs = []string{*allocName}
+	}
+
+	for _, kn := range kernels {
+		app, _ := apps.Get(kn)
+		fmt.Printf("%s — %s (size %d, seed %d)\n", kn, app.Description(), *size, *seed)
+		fmt.Printf("  %-16s %12s %10s %10s %10s %10s %10s\n",
+			"allocator", "checksum", "instr", "alloc %", "heap KB", "miss %", "pages")
+		var want uint64
+		for i, an := range allocs {
+			meter := &cost.Meter{}
+			var sinks []trace.Sink
+			var c16 *cache.Cache
+			if *cacheSize > 0 {
+				c16 = cache.New(cache.Config{Size: *cacheSize})
+				sinks = append(sinks, c16)
+			}
+			var stack *vm.StackSim
+			if *pages {
+				stack = vm.NewStackSim()
+				sinks = append(sinks, stack)
+			}
+			m := mem.New(trace.NewTee(sinks...), meter)
+			a, err := alloc.New(an, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum, err := app.Run(apps.NewCtx(m, a, *seed), *size)
+			if err != nil {
+				log.Fatalf("kernels: %s via %s: %v", kn, an, err)
+			}
+			if i == 0 {
+				want = sum
+			} else if sum != want {
+				log.Fatalf("kernels: %s: CHECKSUM MISMATCH under %s: %#x vs %#x — allocator bug",
+					kn, an, sum, want)
+			}
+			miss, pg := "-", "-"
+			if c16 != nil {
+				miss = fmt.Sprintf("%.3f", c16.MissRate()*100)
+			}
+			if stack != nil {
+				pg = fmt.Sprintf("%d", stack.Curve().DistinctPages())
+			}
+			fmt.Printf("  %-16s %12x %10d %9.2f%% %10d %10s %10s\n",
+				an, sum, meter.Total(), meter.AllocFraction()*100,
+				m.Footprint()/1024, miss, pg)
+		}
+		fmt.Println()
+	}
+}

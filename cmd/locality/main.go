@@ -1,0 +1,76 @@
+// Command locality regenerates the tables and figures of "Improving
+// the Cache Locality of Memory Allocation" (PLDI 1993) from the
+// simulation framework in this repository.
+//
+// Usage:
+//
+//	locality -list
+//	locality -exp figure4
+//	locality -exp all -scale 16 -format markdown
+//
+// Each experiment drives synthetic models of the paper's five test
+// programs through real implementations of the paper's five allocators
+// on simulated memory, and reports the same rows/series the paper does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mallocsim/internal/paper"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6), comma-separated, or 'all'")
+		scale  = flag.Uint64("scale", paper.DefaultScale, "run 1/scale of each program's events (1 = full scale)")
+		seed   = flag.Uint64("seed", 1, "workload random seed")
+		format = flag.String("format", "text", "output format: text, csv, markdown or plot (ASCII chart for curve experiments)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	r := paper.NewRunner(*scale)
+	r.Seed = *seed
+
+	if *list {
+		for _, e := range r.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = r.Names()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		e, ok := r.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "locality: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		t, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locality: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(t.CSV())
+		case "markdown":
+			fmt.Println(t.Markdown())
+		case "plot":
+			// The paper draws its paging figures on a log axis.
+			logY := t.ID == "figure2" || t.ID == "figure3"
+			fmt.Println(t.Plot(logY))
+		default:
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command opreplay records and replays allocation operation traces
+// (malloc/free event streams with object identities, sizes and call
+// sites) — the bridge between this framework and real programs.
+//
+// Record a synthetic program's op stream:
+//
+//	opreplay -record -program gawk -scale 64 -o gawk.mop
+//
+// Replay an op trace against any allocator with full locality
+// instrumentation (the application's own references are not in an op
+// trace, so the measurements cover the allocator's behaviour: its
+// metadata references, placement footprint and paging):
+//
+//	opreplay -replay gawk.mop -alloc firstfit -cache 16384 -pages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/optrace"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/vm"
+	"mallocsim/internal/workload"
+)
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "record a synthetic workload op trace")
+		progName  = flag.String("program", "espresso", "with -record: workload ("+strings.Join(workload.Names(), ", ")+")")
+		scale     = flag.Uint64("scale", 64, "with -record: run 1/scale of the program's events")
+		seed      = flag.Uint64("seed", 1, "with -record: workload seed")
+		out       = flag.String("o", "", "with -record: output file")
+		replay    = flag.String("replay", "", "replay this op trace file")
+		allocName = flag.String("alloc", "quickfit", "with -replay: allocator ("+strings.Join(alloc.Names(), ", ")+")")
+		cacheSize = flag.Uint64("cache", 0, "with -replay: simulate a direct-mapped cache of this many bytes")
+		pages     = flag.Bool("pages", false, "with -replay: simulate page faults")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		if *out == "" {
+			log.Fatal("opreplay: -record requires -o FILE")
+		}
+		doRecord(*progName, *scale, *seed, *out)
+	case *replay != "":
+		doReplay(*replay, *allocName, *cacheSize, *pages)
+	default:
+		fmt.Fprintln(os.Stderr, "opreplay: need -record -o FILE or -replay FILE")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(progName string, scale, seed uint64, out string) {
+	prog, ok := workload.ByName(progName)
+	if !ok {
+		log.Fatalf("opreplay: unknown program %q", progName)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := optrace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mem.New(trace.Discard, &cost.Meter{})
+	inner, err := alloc.New("bsd", m) // any allocator works for recording
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := optrace.NewRecorder(inner, w)
+	stats, err := workload.Run(m, rec, workload.Config{Program: prog, Scale: scale, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d ops (%d mallocs, %d frees)\n",
+		out, w.Count(), stats.Allocs, stats.Frees)
+}
+
+func doReplay(path, allocName string, cacheSize uint64, pages bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := optrace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meter := &cost.Meter{}
+	var counter trace.Counter
+	sinks := []trace.Sink{&counter}
+	var c *cache.Cache
+	if cacheSize > 0 {
+		c = cache.New(cache.Config{Size: cacheSize})
+		sinks = append(sinks, c)
+	}
+	var stack *vm.StackSim
+	if pages {
+		stack = vm.NewStackSim()
+		sinks = append(sinks, stack)
+	}
+	m := mem.New(trace.NewTee(sinks...), meter)
+	a, err := alloc.New(allocName, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := optrace.Replay(r, a, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replayed %s through %s:\n", path, allocName)
+	fmt.Printf("  %d mallocs, %d frees, %d bytes requested, peak %d live objects\n",
+		stats.Mallocs, stats.Frees, stats.ReqBytes, stats.MaxLive)
+	fmt.Printf("  allocator instructions: %d (%.1f per op)\n",
+		meter.Total(), float64(meter.Total())/float64(stats.Mallocs+stats.Frees))
+	fmt.Printf("  heap footprint: %d bytes (%.3fx of total bytes requested)\n",
+		m.Footprint(), float64(m.Footprint())/float64(stats.ReqBytes+1))
+	fmt.Printf("  allocator memory references: %d\n", counter.Total())
+	if c != nil {
+		fmt.Printf("  %s miss rate: %.3f%%\n", c.Config().String(), c.MissRate()*100)
+	}
+	if stack != nil {
+		curve := stack.Curve()
+		fmt.Printf("  pages touched: %d (%d KB)\n", curve.DistinctPages(), curve.DistinctPages()*4)
+	}
+}

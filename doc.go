@@ -1,0 +1,40 @@
+// Package mallocsim is a trace-driven simulation framework reproducing
+// Grunwald, Zorn & Henderson, "Improving the Cache Locality of Memory
+// Allocation" (PLDI 1993).
+//
+// The repository contains faithful re-implementations of the five
+// dynamic storage allocators the paper compares — FIRSTFIT (Knuth/
+// Moraes), GNU G++ (Lea), BSD (Kingsley), GNU LOCAL (Haertel) and
+// QUICKFIT (Weinstock/Wulf) — all operating on a simulated 32-bit
+// address space in which their freelists, boundary tags and chunk
+// descriptors are real memory words. Synthetic models of the paper's
+// five allocation-intensive C programs (espresso, GhostScript, ptc,
+// gawk, make), calibrated to the paper's published statistics, drive
+// the allocators; direct-mapped cache simulation and LRU stack-distance
+// page simulation consume the resulting reference traces; and an
+// instruction-count cost model completes the paper's execution-time
+// estimate T = I + M·P·D.
+//
+// Layout:
+//
+//	internal/mem       simulated sparse address space (sbrk, regions)
+//	internal/trace     reference records, sinks, binary trace files
+//	internal/cost      instruction accounting by app/malloc/free domain
+//	internal/rng       deterministic PRNG and sampling distributions
+//	internal/alloc     allocator interface + the six implementations
+//	internal/cache     direct-mapped / set-associative cache simulators
+//	internal/vm        LRU stack-distance page-fault simulation
+//	internal/workload  synthetic program models and the run driver
+//	internal/sim       experiment binding and metrics
+//	internal/paper     one function per table and figure of the paper
+//	cmd/locality       CLI regenerating any experiment
+//	cmd/tracegen       trace file generation/inspection/replay
+//	cmd/allocstats     per-allocator micro statistics
+//	examples/          runnable walkthroughs of the public surface
+//
+// The benchmark suite in bench_test.go regenerates every table and
+// figure (go test -bench .); EXPERIMENTS.md records paper-versus-
+// measured values, and DESIGN.md documents the substitutions made for
+// the unavailable 1993 substrate (Pixie traces, Tycho, VMSIM, the
+// original binaries).
+package mallocsim

@@ -1,0 +1,68 @@
+// Compare: the paper's headline experiment in miniature. Runs one
+// program against all five allocators the paper studies (plus this
+// repository's §4.4 "custom" design) and prints a Figure 4/5-style
+// comparison: normalized execution time with and without cache miss
+// penalties, heap footprint, and allocator CPU share.
+//
+// Run with:
+//
+//	go run ./examples/compare [-program gs-small] [-scale 32] [-cache 65536]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/sim"
+	"mallocsim/internal/workload"
+)
+
+func main() {
+	progName := flag.String("program", "gs-small", "workload: "+strings.Join(workload.Names(), ", "))
+	scale := flag.Uint64("scale", 32, "run 1/scale of the program's events")
+	cacheSize := flag.Uint64("cache", 64<<10, "direct-mapped cache size in bytes")
+	penalty := flag.Uint64("penalty", 25, "cache miss penalty in cycles")
+	flag.Parse()
+
+	prog, ok := workload.ByName(*progName)
+	if !ok {
+		log.Fatalf("unknown program %q (have %v)", *progName, workload.Names())
+	}
+
+	allocators := append(append([]string{}, all.Paper...), "custom")
+	results := make([]*sim.Result, 0, len(allocators))
+	for _, name := range allocators {
+		res, err := sim.Run(sim.Config{
+			Program:   prog,
+			Allocator: name,
+			Scale:     *scale,
+			Caches:    []cache.Config{{Size: *cacheSize}},
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		results = append(results, res)
+	}
+
+	denom := float64(results[0].BaseCycles()) // FIRSTFIT base = 1.0
+	fmt.Printf("%s, %d KB direct-mapped cache, %d-cycle miss penalty (scale 1/%d)\n\n",
+		prog.Name, *cacheSize>>10, *penalty, *scale)
+	fmt.Printf("%-10s %10s %12s %10s %10s %10s\n",
+		"allocator", "norm base", "norm +cache", "miss rate", "heap KB", "malloc %")
+	for _, res := range results {
+		c := res.Caches[0]
+		fmt.Printf("%-10s %10.3f %12.3f %9.3f%% %10d %9.2f%%\n",
+			res.Allocator,
+			float64(res.BaseCycles())/denom,
+			float64(res.TotalCycles(*cacheSize, *penalty))/denom,
+			c.MissRate()*100,
+			res.Footprint/1024,
+			res.AllocFraction()*100)
+	}
+	fmt.Println("\nnorm base = instructions only, relative to firstfit;")
+	fmt.Println("norm +cache adds the paper's M·P·D miss delay term.")
+}

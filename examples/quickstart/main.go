@@ -1,0 +1,75 @@
+// Quickstart: drive one synthetic program (espresso) through one
+// allocator (QuickFit) on simulated memory, and report the metrics the
+// paper is built around — instructions split app/malloc/free, data
+// references, heap footprint, cache miss rates and the estimated
+// execution time T = I + M·P·D.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mallocsim/internal/cache"
+	"mallocsim/internal/sim"
+	"mallocsim/internal/workload"
+)
+
+func main() {
+	prog, ok := workload.ByName("espresso")
+	if !ok {
+		log.Fatal("espresso not in the program catalog")
+	}
+
+	res, err := sim.Run(sim.Config{
+		Program:   prog,
+		Allocator: "quickfit",
+		Scale:     64, // run 1/64 of the program's events
+		Caches: []cache.Config{
+			{Size: 16 << 10}, // the paper's small cache
+			{Size: 64 << 10}, // and its medium cache
+		},
+		PageSim: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program %s via %s (scale 1/%d)\n\n", res.Program, res.Allocator, res.Scale)
+	fmt.Printf("instructions   %12d  (app %d, malloc %d, free %d)\n",
+		res.Instr.Total(), res.Instr.App, res.Instr.Malloc, res.Instr.Free)
+	fmt.Printf("time in malloc/free  %6.2f%%   (the paper's Figure 1 metric)\n",
+		res.AllocFraction()*100)
+	fmt.Printf("data references %11d\n", res.Refs.Total())
+	fmt.Printf("heap footprint  %11d bytes (%d KB)\n", res.Footprint, res.Footprint/1024)
+
+	fmt.Println()
+	for _, c := range res.Caches {
+		fmt.Printf("%-24s miss rate %6.3f%%  (%d misses, %d cold lines)\n",
+			c.Config.String(), c.MissRate()*100, c.Misses, c.ColdLines)
+	}
+
+	fmt.Println()
+	const penalty = 25 // cycles, as in the paper
+	for _, size := range []uint64{16 << 10, 64 << 10} {
+		total := res.TotalCycles(size, penalty)
+		miss := res.MissCycles(size, penalty)
+		fmt.Printf("estimated time @ %2dK cache: %.2fs total, %.2fs waiting on misses\n",
+			size>>10, res.Seconds(total), res.Seconds(miss))
+	}
+
+	fmt.Println()
+	fmt.Println("page fault rates (4 KB pages, LRU):")
+	maxPages := res.Curve.MinResidentPages()
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		pages := uint64(float64(maxPages) * frac)
+		if pages == 0 {
+			pages = 1
+		}
+		fmt.Printf("  %4d KB memory: %8.1f faults per million refs\n",
+			pages*4, res.Curve.FaultRate(pages)*1e6)
+	}
+}

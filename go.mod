@@ -1,0 +1,3 @@
+module mallocsim
+
+go 1.22

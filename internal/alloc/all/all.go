@@ -1,0 +1,28 @@
+// Package all registers every allocator implementation with the
+// alloc registry. Import it for side effects wherever allocators are
+// constructed by name.
+package all
+
+import (
+	_ "mallocsim/internal/alloc/bestfit"
+	_ "mallocsim/internal/alloc/bsd"
+	_ "mallocsim/internal/alloc/buddy"
+	_ "mallocsim/internal/alloc/custom"
+	_ "mallocsim/internal/alloc/fibbuddy"
+	_ "mallocsim/internal/alloc/firstfit"
+	_ "mallocsim/internal/alloc/gnufit"
+	_ "mallocsim/internal/alloc/gnulocal"
+	_ "mallocsim/internal/alloc/lifetime"
+	_ "mallocsim/internal/alloc/quickfit"
+)
+
+// Paper lists the five allocators the paper compares, in its
+// presentation order.
+var Paper = []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit"}
+
+// Extended adds this repository's implementations of the paper's §4.4
+// recommended architecture, the best-fit member of the sequential-fit
+// family, and the §5.1 future-work lifetime-segregated design to the
+// paper's five.
+var Extended = append(append([]string{}, Paper...),
+	"bestfit", "buddy", "custom", "custom-reclaim", "fibbuddy", "lifetime")

@@ -1,0 +1,109 @@
+// Package alloc defines the dynamic storage allocation (DSA) interface
+// shared by the five allocator implementations the paper compares —
+// FIRSTFIT, GNU G++ (Lea), BSD (Kingsley), GNU LOCAL (Haertel) and
+// QUICKFIT (Weinstock/Wulf) — plus the paper's recommended §4.4
+// architecture (package custom).
+//
+// Allocators are real implementations operating on simulated memory
+// (package mem): their freelists, boundary tags and chunk descriptors
+// are words in that memory, so every pointer chase an allocator performs
+// shows up in the reference trace consumed by the cache and VM
+// simulators. That is the point of the reproduction: the paper's
+// central result is that the allocator's own reference behaviour (and
+// the placement decisions it makes) measurably changes program locality.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mallocsim/internal/mem"
+)
+
+// Errors returned by allocators.
+var (
+	// ErrBadFree reports a free of an address that is not currently
+	// allocated by this allocator.
+	ErrBadFree = errors.New("alloc: bad free")
+	// ErrTooLarge reports a request beyond the allocator's limits.
+	ErrTooLarge = errors.New("alloc: request too large")
+)
+
+// Allocator is the malloc/free interface.
+//
+// Malloc returns the address of n usable bytes. Free releases an
+// address previously returned by Malloc. Implementations charge their
+// ALU work to the memory's cost meter; the caller (the simulation
+// driver) is responsible for switching the meter into the Malloc/Free
+// domain around calls and for charging the fixed call overhead.
+type Allocator interface {
+	// Name returns the registry name, e.g. "firstfit".
+	Name() string
+	// Malloc allocates n bytes (n > 0) and returns its address.
+	Malloc(n uint32) (uint64, error)
+	// Free releases a previously allocated address.
+	Free(addr uint64) error
+}
+
+// SiteAllocator is implemented by allocators that can exploit
+// allocation-site information — the paper's §5.1 future work ("we also
+// hope to include other work in program behavior prediction based on
+// call site information [Barrett & Zorn] in the synthesized
+// allocators"). Site identifiers are opaque small integers; callers
+// that have no site information use plain Malloc, which such allocators
+// treat as site 0.
+type SiteAllocator interface {
+	Allocator
+	// MallocSite allocates n bytes on behalf of the given call site.
+	MallocSite(n uint32, site uint32) (uint64, error)
+}
+
+// CallOverhead is the instruction cost of the call/return linkage and
+// argument setup of a malloc or free call, charged by the simulation
+// driver per call (on top of the work the allocator itself performs).
+const CallOverhead = 8
+
+// Constructor builds an allocator instance on the given memory. Each
+// instance creates its own regions; one Memory can host one allocator
+// instance (plus workload regions).
+type Constructor func(m *mem.Memory) Allocator
+
+var registry = map[string]Constructor{}
+
+// Register adds a named constructor. It panics on duplicates and is
+// intended to be called from package init functions.
+func Register(name string, c Constructor) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("alloc: duplicate registration of %q", name))
+	}
+	registry[name] = c
+}
+
+// New builds the named allocator on m.
+func New(name string, m *mem.Memory) (Allocator, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("alloc: unknown allocator %q (have %v)", name, Names())
+	}
+	return c(m), nil
+}
+
+// Names returns the registered allocator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Charge adds n ALU instructions to m's meter, if any. Allocator
+// implementations use it for non-memory work (comparisons, arithmetic,
+// branches); memory accesses are charged by mem itself.
+func Charge(m *mem.Memory, n uint64) {
+	if meter := m.Meter(); meter != nil {
+		meter.Charge(n)
+	}
+}

@@ -1,0 +1,70 @@
+package alloctest
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// FuzzAllocatorOps drives fuzzer-chosen malloc/free sequences through
+// every registered allocator, checking the universal invariants: live
+// allocations never overlap, valid frees succeed, and nothing panics.
+// Byte stream encoding: each op byte b —
+//
+//	b % 3 == 0: free the (b/3 mod len(live))-th live block
+//	otherwise:  malloc of size (b*37 mod 997)+1
+func FuzzAllocatorOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 5, 6, 9, 200, 255, 0, 0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7})
+	f.Add([]byte{0})
+	names := []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit",
+		"custom", "buddy", "fibbuddy", "lifetime", "bestfit"}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		for _, name := range names {
+			m := mem.New(trace.Discard, &cost.Meter{})
+			a, err := alloc.New(name, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type blk struct {
+				addr uint64
+				size uint32
+			}
+			var live []blk
+			for _, b := range ops {
+				if b%3 == 0 && len(live) > 0 {
+					i := int(b/3) % len(live)
+					if err := a.Free(live[i].addr); err != nil {
+						t.Fatalf("%s: free of live block: %v", name, err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				n := uint32(b)*37%997 + 1
+				p, err := a.Malloc(n)
+				if err != nil {
+					t.Fatalf("%s: malloc(%d): %v", name, n, err)
+				}
+				for _, l := range live {
+					if p < l.addr+uint64(l.size) && l.addr < p+uint64(n) {
+						t.Fatalf("%s: overlap [%#x,+%d) vs [%#x,+%d)", name, p, n, l.addr, l.size)
+					}
+				}
+				live = append(live, blk{p, n})
+			}
+			for _, l := range live {
+				if err := a.Free(l.addr); err != nil {
+					t.Fatalf("%s: final free: %v", name, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package bestfit
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestPicksTightestFit(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Create free blocks of 3 sizes by allocating with live separators
+	// and freeing the middles.
+	var seps []uint64
+	mkFree := func(n uint32) uint64 {
+		p, err := a.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := a.Malloc(16) // separator prevents coalescing
+		if err != nil {
+			t.Fatal(err)
+		}
+		seps = append(seps, s)
+		return p
+	}
+	big := mkFree(400)
+	mid := mkFree(100)
+	small := mkFree(40)
+	for _, p := range []uint64{big, mid, small} {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 90-byte request fits all three; best fit takes the 100-byte one.
+	q, err := a.Malloc(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != mid {
+		t.Errorf("best fit chose %#x, want the 100-byte block %#x", q, mid)
+	}
+	// A 30-byte request takes the 40-byte block.
+	q2, err := a.Malloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != small {
+		t.Errorf("best fit chose %#x, want the 40-byte block %#x", q2, small)
+	}
+}
+
+func TestExhaustiveScan(t *testing.T) {
+	a, _ := newTestAlloc()
+	// With k free blocks and no exact fit, a malloc must examine all k.
+	var frees, seps []uint64
+	for i := 0; i < 10; i++ {
+		p, _ := a.Malloc(uint32(100 + 8*i))
+		s, _ := a.Malloc(16)
+		frees = append(frees, p)
+		seps = append(seps, s)
+	}
+	for _, p := range frees {
+		a.Free(p)
+	}
+	before := a.ScanSteps()
+	if _, err := a.Malloc(60); err != nil {
+		t.Fatal(err)
+	}
+	// The heap-top residue block also sits on the list; expect at least
+	// the ten freed blocks to be visited.
+	if steps := a.ScanSteps() - before; steps < 10 {
+		t.Errorf("scan visited %d blocks, want >= 10 (exhaustive)", steps)
+	}
+	_ = seps
+}
+
+func TestCoalesces(t *testing.T) {
+	a, m := newTestAlloc()
+	var ptrs []uint64
+	for i := 0; i < 50; i++ {
+		p, _ := a.Malloc(60)
+		ptrs = append(ptrs, p)
+	}
+	foot := m.Footprint()
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	if _, err := a.Malloc(2500); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() != foot {
+		t.Error("coalesced free space did not satisfy a large request")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(10)
+	a.Free(p)
+	allocs, frees, _ := a.Stats()
+	if allocs != 1 || frees != 1 || a.Name() != "bestfit" {
+		t.Errorf("stats/name wrong: %d %d %q", allocs, frees, a.Name())
+	}
+}
+
+// TestHeapIntegrityUnderStress audits the tag representation after
+// randomized churn.
+func TestHeapIntegrityUnderStress(t *testing.T) {
+	a, _ := newTestAlloc()
+	seed := uint64(12345)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	var live []uint64
+	for op := 0; op < 4000; op++ {
+		if len(live) > 120 || (len(live) > 0 && next()%2 == 0) {
+			i := int(next()) % len(live)
+			if err := a.Free(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		p, err := a.Malloc(uint32(1 + next()%300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	if _, err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range live {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, err := a.Check(); err != nil || st.LiveBytes != 0 {
+		t.Fatalf("after full free: %+v %v", st, err)
+	}
+}

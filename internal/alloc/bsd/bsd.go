@@ -1,0 +1,174 @@
+// Package bsd implements the paper's "BSD" allocator: Chris Kingsley's
+// fast segregated-storage malloc distributed with 4.2 BSD Unix.
+//
+// Object size requests are rounded up to a power of two (including a
+// one-word header), and a singly-linked freelist of objects is kept per
+// size class. When a class's freelist is empty, a page of storage is
+// obtained and carved into blocks of that class. No attempt is ever
+// made to coalesce objects: a block stays in its size class forever.
+//
+// Because the algorithm is so simple its implementation is very fast,
+// and — the paper's key observation — the rapid recycling of
+// same-sized objects gives it excellent reference locality for free.
+// The price is severe internal fragmentation: nearly half of each
+// allocation can be wasted, which inflates the page-fault rate when
+// memory is scarce (the paper's GhostScript measurements).
+package bsd
+
+import (
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/mem"
+)
+
+const (
+	// minBucket is the log2 of the smallest block (16 bytes: one header
+	// word plus at least 12 payload bytes).
+	minBucket = 4
+	// maxBucket is the log2 of the largest supported block (128 MB).
+	maxBucket = 27
+	// numBuckets is the size of the freelist head array.
+	numBuckets = maxBucket - minBucket + 1
+
+	headerSize = mem.WordSize
+
+	// allocMagic marks a header word as live; the low byte holds the
+	// bucket index (Kingsley's ov_magic/ov_index pair).
+	allocMagic = 0xa500
+
+	// PageAlloc is the carving granularity when a class is empty.
+	PageAlloc = 4096
+)
+
+// Allocator is a BSD (Kingsley) instance.
+type Allocator struct {
+	m *mem.Memory
+	r *mem.Region
+
+	headBase uint64 // freelist head array: one word per bucket
+	lowBlock uint64
+
+	allocs uint64
+	frees  uint64
+}
+
+// New creates a BSD allocator with its own heap region on m.
+func New(m *mem.Memory) *Allocator {
+	r := m.NewRegion("bsd-heap", 0)
+	a := &Allocator{m: m, r: r}
+	base, err := r.Sbrk(numBuckets * mem.WordSize)
+	if err != nil {
+		panic("bsd: head array sbrk failed: " + err.Error())
+	}
+	a.headBase = base
+	for i := 0; i < numBuckets; i++ {
+		m.WriteWord(base+uint64(i)*mem.WordSize, 0)
+	}
+	a.lowBlock = r.Brk()
+	return a
+}
+
+func init() {
+	alloc.Register("bsd", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "bsd" }
+
+// BlockSize returns the rounded block size (including header) used for
+// an n-byte request: the paper's internal-fragmentation culprit.
+func BlockSize(n uint32) uint64 {
+	need := uint64(n) + headerSize
+	size := uint64(1) << minBucket
+	for size < need {
+		size <<= 1
+	}
+	return size
+}
+
+func bucketFor(n uint32) int {
+	need := uint64(n) + headerSize
+	b := minBucket
+	for uint64(1)<<b < need {
+		b++
+	}
+	return b
+}
+
+func (a *Allocator) headSlot(bucket int) uint64 {
+	return a.headBase + uint64(bucket-minBucket)*mem.WordSize
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	a.allocs++
+	alloc.Charge(a.m, 10) // bucket computation: a few shifts and compares
+	bucket := bucketFor(n)
+	if bucket > maxBucket {
+		return 0, alloc.ErrTooLarge
+	}
+	slot := a.headSlot(bucket)
+	head := a.m.ReadWord(slot)
+	if head == 0 {
+		if err := a.morecore(bucket); err != nil {
+			return 0, err
+		}
+		head = a.m.ReadWord(slot)
+	}
+	b := a.r.DecodePtr(head)
+	next := a.m.ReadWord(b) // free block word 0 holds the next link
+	a.m.WriteWord(slot, next)
+	a.m.WriteWord(b, allocMagic|uint64(bucket))
+	return b + headerSize, nil
+}
+
+// morecore obtains a page (or one block, if larger) and carves it into
+// blocks of the given class, chaining them onto the freelist. The chain
+// writes touch the fresh page end to end — cold misses the cache
+// simulator duly observes.
+func (a *Allocator) morecore(bucket int) error {
+	size := uint64(1) << bucket
+	amt := size
+	if amt < PageAlloc {
+		amt = PageAlloc
+	}
+	addr, err := a.r.Sbrk(amt)
+	if err != nil {
+		return err
+	}
+	nblks := amt / size
+	slot := a.headSlot(bucket)
+	for i := uint64(0); i < nblks; i++ {
+		b := addr + i*size
+		var next uint64
+		if i+1 < nblks {
+			next = a.r.EncodePtr(b + size)
+		}
+		a.m.WriteWord(b, next)
+		alloc.Charge(a.m, 2)
+	}
+	a.m.WriteWord(slot, a.r.EncodePtr(addr))
+	return nil
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(p uint64) error {
+	a.frees++
+	alloc.Charge(a.m, 8)
+	if p%mem.WordSize != 0 || p < a.lowBlock+headerSize || p >= a.r.Brk() {
+		return alloc.ErrBadFree
+	}
+	b := p - headerSize
+	hdr := a.m.ReadWord(b)
+	bucket := int(hdr &^ allocMagic)
+	if hdr&^0xff != allocMagic || bucket < minBucket || bucket > maxBucket {
+		return alloc.ErrBadFree
+	}
+	slot := a.headSlot(bucket)
+	head := a.m.ReadWord(slot)
+	a.m.WriteWord(b, head)
+	a.m.WriteWord(slot, a.r.EncodePtr(b))
+	return nil
+}
+
+// Stats reports basic operation counts.
+func (a *Allocator) Stats() (allocs, frees uint64) { return a.allocs, a.frees }

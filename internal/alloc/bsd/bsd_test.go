@@ -1,0 +1,135 @@
+package bsd
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestBlockSizeRounding(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		want uint64
+	}{
+		{1, 16}, {11, 16}, {12, 16}, {13, 32}, {24, 32}, {28, 32},
+		{29, 64}, {60, 64}, {61, 128}, {1000, 1024}, {4093, 8192},
+	}
+	for _, c := range cases {
+		if got := BlockSize(c.n); got != c.want {
+			t.Errorf("BlockSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestInternalFragmentation(t *testing.T) {
+	// The paper's complaint: allocating N slightly above a class wastes
+	// almost half the block. 100 objects of 33+4=37 -> 64-byte blocks.
+	a, m := newTestAlloc()
+	before := m.Footprint()
+	for i := 0; i < 64; i++ {
+		if _, err := a.Malloc(33); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grew := m.Footprint() - before
+	if grew != 64*64 {
+		t.Errorf("64 x 33B grew heap by %d, want %d (64B blocks)", grew, 64*64)
+	}
+}
+
+func TestLIFOReuse(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(24)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := a.Malloc(20) // same 32-byte class
+	if q != p {
+		t.Errorf("freed block not immediately recycled: %#x vs %#x", q, p)
+	}
+}
+
+func TestNoCoalescingEver(t *testing.T) {
+	a, m := newTestAlloc()
+	// Free 128 16-byte blocks; a following 4096-byte request must grow
+	// the heap because classes never merge.
+	var ptrs []uint64
+	for i := 0; i < 128; i++ {
+		p, _ := a.Malloc(8)
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	before := m.Footprint()
+	if _, err := a.Malloc(4000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() == before {
+		t.Error("BSD must not coalesce small blocks into large ones")
+	}
+}
+
+func TestPageCarving(t *testing.T) {
+	a, m := newTestAlloc()
+	before := m.Footprint()
+	if _, err := a.Malloc(24); err != nil { // 32-byte class
+		t.Fatal(err)
+	}
+	if grew := m.Footprint() - before; grew != PageAlloc {
+		t.Errorf("first allocation grew heap by %d, want a full page %d", grew, PageAlloc)
+	}
+	// The other 127 blocks of the page satisfy subsequent allocations
+	// without growth.
+	for i := 0; i < 127; i++ {
+		if _, err := a.Malloc(24); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Footprint()-before != PageAlloc {
+		t.Error("page not fully carved before regrowth")
+	}
+	if _, err := a.Malloc(24); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint()-before != 2*PageAlloc {
+		t.Error("129th block should trigger a second page")
+	}
+}
+
+func TestHugeRequest(t *testing.T) {
+	a, _ := newTestAlloc()
+	if _, err := a.Malloc(1 << 28); err == nil {
+		t.Error("request above the largest bucket must fail")
+	}
+	p, err := a.Malloc(1 << 26)
+	if err != nil {
+		t.Fatalf("large-but-legal request: %v", err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(1)
+	a.Free(p)
+	allocs, frees := a.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Errorf("stats %d/%d", allocs, frees)
+	}
+}

@@ -1,0 +1,257 @@
+// Package buddy implements a binary buddy-system allocator, completing
+// the paper's §2.1 taxonomy: "Standish divides algorithms for dynamic
+// storage allocation into three broad categories: sequential-fit
+// algorithms (e.g., first-fit and best-fit), buddy-system methods
+// (e.g., binary-buddy and Fibonacci), and segregated-storage
+// algorithms". The paper evaluates the first and third; this package
+// supplies the second for the extended taxonomy experiments.
+//
+// The heap is carved from maximally aligned 64 KB arenas. Every block
+// is a power of two from 16 bytes to the arena size, with a one-word
+// header holding its order and allocation bit; the usable payload is
+// therefore 2^k − 4 bytes, giving buddy systems the same
+// just-over-a-class internal fragmentation pathology as BSD, plus
+// block-pair ("buddy") coalescing: when a block is freed and its buddy
+// — the block at the address obtained by XORing the block offset with
+// its size — is also free and of the same order, the two merge,
+// recursively. Free blocks of each order are kept on doubly-linked
+// lists threaded through block payloads, with heads in a small state
+// area of simulated memory.
+//
+// Expected behaviour under the paper's metrics: allocation and free are
+// fast-ish (no searching), coalescing costs locality (buddy header
+// probes touch neighbouring blocks), and internal fragmentation is
+// severe — a middle point between the sequential-fit and
+// segregated-storage families.
+package buddy
+
+import (
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/mem"
+)
+
+const (
+	// minOrder is the smallest block: 2^4 = 16 bytes (header + 12).
+	minOrder = 4
+	// maxOrder is the arena size: 2^16 = 64 KB, the largest request
+	// (minus header) this allocator serves directly.
+	maxOrder = 16
+
+	ArenaSize  = 1 << maxOrder
+	headerSize = mem.WordSize
+
+	// Header encoding: allocMagic | order for live blocks; free blocks
+	// store order only (plus their list links in the payload).
+	allocMagic = 0xb0dd1000
+	orderMask  = 0xff
+
+	// State-region word offsets: one freelist head per order.
+	numOrders = maxOrder - minOrder + 1
+)
+
+// Allocator is a binary buddy instance.
+type Allocator struct {
+	m     *mem.Memory
+	data  *mem.Region
+	state *mem.Region
+
+	stateBase uint64
+	arenaBase uint64 // first arena-aligned address
+	arenaTop  uint64 // end of carved arenas
+
+	allocs uint64
+	frees  uint64
+	merges uint64
+	splits uint64
+}
+
+// New creates a buddy allocator with its own regions on m.
+func New(m *mem.Memory) *Allocator {
+	a := &Allocator{
+		m:     m,
+		data:  m.NewRegion("buddy-heap", 0),
+		state: m.NewRegion("buddy-state", mem.PageSize),
+	}
+	base, err := a.state.Sbrk(numOrders * mem.WordSize)
+	if err != nil {
+		panic("buddy: state sbrk failed: " + err.Error())
+	}
+	a.stateBase = base
+	for i := 0; i < numOrders; i++ {
+		m.WriteWord(base+uint64(i)*mem.WordSize, 0)
+	}
+	// Arenas must be ArenaSize-aligned for the XOR buddy computation;
+	// pad the region's reserved prefix out to the first aligned offset.
+	pad := ArenaSize - (a.data.Brk()-a.data.Base())%ArenaSize
+	if pad != ArenaSize {
+		if _, err := a.data.Sbrk(pad); err != nil {
+			panic("buddy: alignment sbrk failed: " + err.Error())
+		}
+	}
+	a.arenaBase = a.data.Brk()
+	a.arenaTop = a.arenaBase
+	return a
+}
+
+func init() {
+	alloc.Register("buddy", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "buddy" }
+
+// BlockSize returns the block consumed by an n-byte request.
+func BlockSize(n uint32) uint64 {
+	need := uint64(n) + headerSize
+	size := uint64(1) << minOrder
+	for size < need {
+		size <<= 1
+	}
+	return size
+}
+
+func orderFor(n uint32) int {
+	need := uint64(n) + headerSize
+	k := minOrder
+	for uint64(1)<<k < need {
+		k++
+	}
+	return k
+}
+
+func (a *Allocator) headSlot(order int) uint64 {
+	return a.stateBase + uint64(order-minOrder)*mem.WordSize
+}
+
+// Free-list links live in the payload: next at block+4, prev at
+// block+8 (the 16-byte minimum block just fits header+next+prev).
+func (a *Allocator) next(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 4)) }
+func (a *Allocator) prev(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 8)) }
+func (a *Allocator) setNext(b, v uint64)  { a.m.WriteWord(b+4, a.data.EncodePtr(v)) }
+func (a *Allocator) setPrev(b, v uint64)  { a.m.WriteWord(b+8, a.data.EncodePtr(v)) }
+
+// pushFree adds block b of the given order to its freelist and writes
+// its free header.
+func (a *Allocator) pushFree(b uint64, order int) {
+	a.m.WriteWord(b, uint64(order))
+	slot := a.headSlot(order)
+	head := a.m.ReadWord(slot)
+	a.setNext(b, a.data.DecodePtr(head))
+	a.setPrev(b, 0)
+	if head != 0 {
+		a.setPrev(a.data.DecodePtr(head), b)
+	}
+	a.m.WriteWord(slot, a.data.EncodePtr(b))
+}
+
+// popFree removes the head of the order's freelist, or returns 0.
+func (a *Allocator) popFree(order int) uint64 {
+	slot := a.headSlot(order)
+	head := a.m.ReadWord(slot)
+	if head == 0 {
+		return 0
+	}
+	b := a.data.DecodePtr(head)
+	next := a.next(b)
+	a.m.WriteWord(slot, a.data.EncodePtr(next))
+	if next != 0 {
+		a.setPrev(next, 0)
+	}
+	return b
+}
+
+// unlink removes a specific block from its freelist (buddy merging).
+func (a *Allocator) unlink(b uint64, order int) {
+	next, prev := a.next(b), a.prev(b)
+	if prev == 0 {
+		a.m.WriteWord(a.headSlot(order), a.data.EncodePtr(next))
+	} else {
+		a.setNext(prev, next)
+	}
+	if next != 0 {
+		a.setPrev(next, prev)
+	}
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	a.allocs++
+	alloc.Charge(a.m, 8)
+	order := orderFor(n)
+	if order > maxOrder {
+		return 0, alloc.ErrTooLarge
+	}
+	// Find the smallest non-empty order >= the request's.
+	b := uint64(0)
+	k := order
+	for ; k <= maxOrder; k++ {
+		alloc.Charge(a.m, 2)
+		if b = a.popFree(k); b != 0 {
+			break
+		}
+	}
+	if b == 0 {
+		// Fresh arena.
+		addr, err := a.data.Sbrk(ArenaSize)
+		if err != nil {
+			return 0, err
+		}
+		a.arenaTop = a.data.Brk()
+		b, k = addr, maxOrder
+	}
+	// Split down to the requested order, pushing the upper halves.
+	for ; k > order; k-- {
+		a.splits++
+		alloc.Charge(a.m, 3)
+		half := uint64(1) << (k - 1)
+		a.pushFree(b+half, k-1)
+	}
+	a.m.WriteWord(b, allocMagic|uint64(order))
+	return b + headerSize, nil
+}
+
+// Free implements alloc.Allocator: push the block and merge buddies
+// upward as far as possible.
+func (a *Allocator) Free(p uint64) error {
+	a.frees++
+	alloc.Charge(a.m, 8)
+	if p%mem.WordSize != 0 || p < a.arenaBase+headerSize || p >= a.arenaTop {
+		return alloc.ErrBadFree
+	}
+	b := p - headerSize
+	hdr := a.m.ReadWord(b)
+	order := int(hdr & orderMask)
+	if hdr&^uint64(orderMask) != allocMagic || order < minOrder || order > maxOrder {
+		return alloc.ErrBadFree
+	}
+	if (b-a.arenaBase)%(uint64(1)<<order) != 0 {
+		return alloc.ErrBadFree
+	}
+
+	for order < maxOrder {
+		buddy := a.arenaBase + ((b - a.arenaBase) ^ (uint64(1) << order))
+		if buddy+headerSize > a.arenaTop {
+			break
+		}
+		alloc.Charge(a.m, 4)
+		bh := a.m.ReadWord(buddy)
+		// The buddy must be free and of the same order to merge; a free
+		// buddy of smaller order is still split.
+		if bh&^uint64(orderMask) == allocMagic || bh != uint64(order) {
+			break
+		}
+		a.unlink(buddy, order)
+		a.merges++
+		if buddy < b {
+			b = buddy
+		}
+		order++
+	}
+	a.pushFree(b, order)
+	return nil
+}
+
+// Stats reports operation and split/merge counts.
+func (a *Allocator) Stats() (allocs, frees, splits, merges uint64) {
+	return a.allocs, a.frees, a.splits, a.merges
+}

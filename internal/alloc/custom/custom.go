@@ -1,0 +1,423 @@
+// Package custom implements the allocator architecture the paper
+// recommends in §4.4 ("An Architecture for Efficient Memory
+// Allocation") and illustrates in Figure 9.
+//
+// The design combines the winning traits of the allocators studied:
+//
+//   - QUICKFIT/BSD-speed allocation: a size class is found with a single
+//     indexed load of a size-mapping array (Figure 9), and allocation
+//     pops the head of that class's freelist — no searching, ever.
+//   - Arbitrary size classes: the mapping array supports non-uniform
+//     class boundaries, so classes can be chosen to bound internal
+//     fragmentation (e.g. at most 25%) or synthesized from a measured
+//     program profile (the paper's CustoMalloc line of work).
+//   - GNU LOCAL-style tag elimination: objects carry no per-object
+//     header at all; the owning chunk's descriptor records the class,
+//     so free() recovers the size from the address. No boundary tags
+//     means no cache pollution (Table 6).
+//   - Optional whole-chunk reclamation (WithReclaim): per-chunk free
+//     counts let fully-free chunks return to a chunk pool for reuse by
+//     any class, at extra bookkeeping cost — an explicit
+//     speed-versus-space design knob the benchmarks ablate.
+//
+// Requests beyond the largest class are delegated to a general-purpose
+// GNU G++ allocator, which the paper notes is still needed "to allocate
+// infrequently allocated objects or objects that deviate from the
+// normal program behavior".
+package custom
+
+import (
+	"fmt"
+	"sort"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/gnufit"
+	"mallocsim/internal/mem"
+)
+
+// ChunkSize is the carving granularity for class storage.
+const ChunkSize = 4096
+
+const chunkLog = 12
+
+// Config selects the size classes and reclamation policy.
+type Config struct {
+	// Classes are the payload sizes served by the fast path, ascending,
+	// each a positive multiple of the word size. Requests above the
+	// last class go to the general allocator.
+	Classes []uint32
+	// Reclaim enables whole-chunk reclamation via per-chunk free
+	// counts.
+	Reclaim bool
+}
+
+// BoundedFragConfig returns classes sized so that internal
+// fragmentation never exceeds 1/(factor) of the object, following the
+// paper's citation of DeTreville: with 25% tolerated, "objects of size
+// 12–16 bytes are rounded to 16 bytes". factor 4 gives the 25% bound.
+// Classes run from 8 bytes up to maxSmall.
+func BoundedFragConfig(maxSmall uint32, factor uint32) Config {
+	if factor < 2 {
+		factor = 2
+	}
+	var classes []uint32
+	size := uint32(8)
+	for size < maxSmall {
+		classes = append(classes, size)
+		next := size + size/factor
+		next = uint32(mem.AlignUp(uint64(next), mem.WordSize))
+		if next <= size {
+			next = size + mem.WordSize
+		}
+		size = next
+	}
+	classes = append(classes, maxSmall)
+	return Config{Classes: classes}
+}
+
+// PowerOfTwoConfig returns BSD-style power-of-two classes from 8 up to
+// maxSmall (itself rounded up to a power of two) — the crude mapping
+// the paper says is used "because it is easy to compute", for ablating
+// against smarter class choices.
+func PowerOfTwoConfig(maxSmall uint32) Config {
+	var classes []uint32
+	for size := uint32(8); ; size <<= 1 {
+		classes = append(classes, size)
+		if size >= maxSmall {
+			break
+		}
+	}
+	return Config{Classes: classes}
+}
+
+// FromProfile synthesizes a configuration from a measured request-size
+// histogram, as the paper advocates: "we advocate basing the choice of
+// size classes on empirical measurements of a particular program's
+// behavior". The most frequent maxClasses word-rounded sizes become
+// exact classes; bounded-fragmentation classes fill the gaps so every
+// small request is covered.
+func FromProfile(sizes map[uint32]uint64, maxSmall uint32, maxClasses int) Config {
+	type sc struct {
+		size  uint32
+		count uint64
+	}
+	rounded := make(map[uint32]uint64)
+	for size, count := range sizes {
+		if size == 0 || size > maxSmall {
+			continue
+		}
+		r := uint32(mem.AlignUp(uint64(size), mem.WordSize))
+		rounded[r] += count
+	}
+	byCount := make([]sc, 0, len(rounded))
+	for size, count := range rounded {
+		byCount = append(byCount, sc{size, count})
+	}
+	sort.Slice(byCount, func(i, j int) bool {
+		if byCount[i].count != byCount[j].count {
+			return byCount[i].count > byCount[j].count
+		}
+		return byCount[i].size < byCount[j].size
+	})
+	chosen := map[uint32]bool{}
+	for i := 0; i < len(byCount) && len(chosen) < maxClasses; i++ {
+		chosen[byCount[i].size] = true
+	}
+	for _, c := range BoundedFragConfig(maxSmall, 4).Classes {
+		chosen[c] = true
+	}
+	classes := make([]uint32, 0, len(chosen))
+	for c := range chosen {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	return Config{Classes: classes}
+}
+
+// DefaultConfig is the bounded-fragmentation configuration (25% bound,
+// classes up to 1 KB).
+func DefaultConfig() Config { return BoundedFragConfig(1024, 4) }
+
+// Allocator is a §4.4 recommended-architecture instance.
+type Allocator struct {
+	m       *mem.Memory
+	general *gnufit.Allocator
+	data    *mem.Region // chunk storage
+	info    *mem.Region // chunk descriptors, 8 bytes each
+	state   *mem.Region // size-mapping array, class heads, chunk pool
+
+	cfg       Config
+	classes   []uint32
+	maxSmall  uint32
+	dataBase  uint64
+	infoBase  uint64
+	stateBase uint64
+
+	// State-region word offsets computed at construction.
+	offHeads     uint64 // class freelist heads
+	offChunkPool uint64 // head of the free-chunk stack (chunk index)
+
+	infoChunks uint64 // host-side descriptor capacity bookkeeping
+	nchunks    uint64 // chunks in the data region (incl. guard)
+
+	allocs uint64
+	frees  uint64
+}
+
+// Descriptor fields (8 bytes per chunk).
+const (
+	descSize = 8
+	dClass   = 0 // class index + 1; 0 = free or never used
+	dAux     = 4 // reclaim: free frag count; pooled chunk: next free idx
+)
+
+// New creates a custom allocator with the given configuration.
+func New(m *mem.Memory, cfg Config) *Allocator {
+	if len(cfg.Classes) == 0 {
+		cfg = DefaultConfig()
+	}
+	a := &Allocator{
+		m:       m,
+		general: gnufit.New(m),
+		data:    m.NewRegion("custom-heap", 0),
+		info:    m.NewRegion("custom-info", 0),
+		state:   m.NewRegion("custom-state", 0),
+		cfg:     cfg,
+	}
+	prev := uint32(0)
+	for _, c := range cfg.Classes {
+		if c == 0 || c%mem.WordSize != 0 || c <= prev {
+			panic(fmt.Sprintf("custom: bad class size %d (classes must be ascending word multiples)", c))
+		}
+		if c > ChunkSize {
+			panic(fmt.Sprintf("custom: class size %d exceeds chunk size", c))
+		}
+		a.classes = append(a.classes, c)
+		prev = c
+	}
+	a.maxSmall = a.classes[len(a.classes)-1]
+
+	mapWords := uint64(a.maxSmall / mem.WordSize) // entry i covers sizes 4i+1..4i+4
+	a.offHeads = mapWords * mem.WordSize
+	a.offChunkPool = a.offHeads + uint64(len(a.classes))*mem.WordSize
+	stateLen := a.offChunkPool + mem.WordSize
+
+	var err error
+	a.stateBase, err = a.state.Sbrk(stateLen)
+	if err == nil {
+		// Guard chunk: index 0 is null; it absorbs the region's
+		// reserved prefix so later chunks are page-aligned.
+		a.dataBase = a.data.Base()
+		_, err = a.data.Sbrk(ChunkSize - mem.RegionReserve)
+	}
+	if err == nil {
+		a.infoBase, err = a.info.Sbrk(descSize)
+	}
+	if err != nil {
+		panic("custom: init sbrk failed: " + err.Error())
+	}
+	a.nchunks = 1
+	a.infoChunks = 1
+
+	// Populate the Figure 9 size-mapping array: every request size maps
+	// to the smallest covering class.
+	ci := 0
+	for i := uint64(0); i < mapWords; i++ {
+		top := uint32(i+1) * mem.WordSize // largest size covered by entry i
+		for a.classes[ci] < top {
+			ci++
+		}
+		m.WriteWord(a.stateBase+i*mem.WordSize, uint64(ci+1))
+	}
+	for c := range a.classes {
+		m.WriteWord(a.headSlot(c), 0)
+	}
+	m.WriteWord(a.stateBase+a.offChunkPool, 0)
+	return a
+}
+
+func init() {
+	alloc.Register("custom", func(m *mem.Memory) alloc.Allocator {
+		return New(m, DefaultConfig())
+	})
+	alloc.Register("custom-reclaim", func(m *mem.Memory) alloc.Allocator {
+		cfg := DefaultConfig()
+		cfg.Reclaim = true
+		return New(m, cfg)
+	})
+	alloc.Register("custom-pow2", func(m *mem.Memory) alloc.Allocator {
+		return New(m, PowerOfTwoConfig(1024))
+	})
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string {
+	if a.cfg.Reclaim {
+		return "custom-reclaim"
+	}
+	return "custom"
+}
+
+// Classes returns the configured class sizes.
+func (a *Allocator) Classes() []uint32 { return a.classes }
+
+// Owns reports whether addr lies in this allocator's storage (chunk
+// space or the general allocator's heap). Composing allocators (the
+// lifetime-segregated design) use it to route frees.
+func (a *Allocator) Owns(addr uint64) bool {
+	return a.data.Contains(addr) || a.general.Region().Contains(addr)
+}
+
+func (a *Allocator) headSlot(class int) uint64 {
+	return a.stateBase + a.offHeads + uint64(class)*mem.WordSize
+}
+
+func (a *Allocator) chunkAddr(idx uint64) uint64 { return a.dataBase + idx*ChunkSize }
+func (a *Allocator) chunkIndex(addr uint64) uint64 {
+	return (addr - a.dataBase) >> chunkLog
+}
+func (a *Allocator) desc(idx uint64) uint64 { return a.infoBase + idx*descSize }
+
+// Fragment pointers are data-region offsets; the guard chunk keeps
+// offset 0 free to serve as null.
+func (a *Allocator) fragAddr(off uint64) uint64 { return a.data.Base() + off }
+func (a *Allocator) fragOff(addr uint64) uint64 { return addr - a.data.Base() }
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	a.allocs++
+	alloc.Charge(a.m, 8)
+	if n == 0 {
+		n = 1
+	}
+	if n > a.maxSmall {
+		return a.general.Malloc(n)
+	}
+	// Figure 9: one indexed load maps the request to its class.
+	entry := (uint64(n) - 1) / mem.WordSize
+	class := int(a.m.ReadWord(a.stateBase+entry*mem.WordSize)) - 1
+
+	slot := a.headSlot(class)
+	head := a.m.ReadWord(slot)
+	if head == 0 {
+		if err := a.newChunk(class); err != nil {
+			return 0, err
+		}
+		head = a.m.ReadWord(slot)
+	}
+	p := a.fragAddr(head)
+	next := a.m.ReadWord(p)
+	a.m.WriteWord(slot, next)
+	if a.cfg.Reclaim {
+		idx := a.chunkIndex(p)
+		a.m.WriteWord(a.desc(idx)+dAux, a.m.ReadWord(a.desc(idx)+dAux)-1)
+	}
+	return p, nil
+}
+
+// newChunk dedicates a chunk (pooled or fresh) to the class, chaining
+// its fragments onto the class freelist.
+func (a *Allocator) newChunk(class int) error {
+	var idx uint64
+	pool := a.m.ReadWord(a.stateBase + a.offChunkPool)
+	if pool != 0 {
+		idx = pool
+		a.m.WriteWord(a.stateBase+a.offChunkPool, a.m.ReadWord(a.desc(idx)+dAux))
+	} else {
+		if _, err := a.data.Sbrk(ChunkSize); err != nil {
+			return err
+		}
+		for a.infoChunks < a.nchunks+1 {
+			if _, err := a.info.Sbrk(descSize); err != nil {
+				return err
+			}
+			a.infoChunks++
+		}
+		idx = a.nchunks
+		a.nchunks++
+	}
+	size := uint64(a.classes[class])
+	nfrags := uint64(ChunkSize) / size
+	a.m.WriteWord(a.desc(idx)+dClass, uint64(class+1))
+	if a.cfg.Reclaim {
+		a.m.WriteWord(a.desc(idx)+dAux, nfrags)
+	}
+	base := a.chunkAddr(idx)
+	slot := a.headSlot(class)
+	old := a.m.ReadWord(slot)
+	// Chain fragments in address order; the last links to the previous
+	// head (normally null).
+	for i := nfrags; i > 0; i-- {
+		fa := base + (i-1)*size
+		a.m.WriteWord(fa, old)
+		old = a.fragOff(fa)
+		alloc.Charge(a.m, 2)
+	}
+	a.m.WriteWord(slot, old)
+	return nil
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(p uint64) error {
+	a.frees++
+	alloc.Charge(a.m, 6)
+	if !a.data.Contains(p) {
+		// Not chunk storage: the general allocator owns it (or it is
+		// garbage, which the general allocator will reject).
+		return a.general.Free(p)
+	}
+	if p%mem.WordSize != 0 || p < a.dataBase+ChunkSize {
+		return alloc.ErrBadFree
+	}
+	idx := a.chunkIndex(p)
+	class := int(a.m.ReadWord(a.desc(idx)+dClass)) - 1
+	if class < 0 || class >= len(a.classes) {
+		return alloc.ErrBadFree
+	}
+	size := uint64(a.classes[class])
+	if (p-a.chunkAddr(idx))%size != 0 {
+		return alloc.ErrBadFree
+	}
+	slot := a.headSlot(class)
+	head := a.m.ReadWord(slot)
+	a.m.WriteWord(p, head)
+	a.m.WriteWord(slot, a.fragOff(p))
+	if !a.cfg.Reclaim {
+		return nil
+	}
+	nfree := a.m.ReadWord(a.desc(idx)+dAux) + 1
+	a.m.WriteWord(a.desc(idx)+dAux, nfree)
+	if nfree == uint64(ChunkSize)/size {
+		a.reclaim(idx, class)
+	}
+	return nil
+}
+
+// reclaim unthreads every fragment of chunk idx from the class freelist
+// and pushes the chunk onto the pool for reuse by any class.
+func (a *Allocator) reclaim(idx uint64, class int) {
+	slot := a.headSlot(class)
+	var prevAddr uint64 // 0 = head slot
+	cur := a.m.ReadWord(slot)
+	for cur != 0 {
+		alloc.Charge(a.m, 3)
+		fa := a.fragAddr(cur)
+		next := a.m.ReadWord(fa)
+		if a.chunkIndex(fa) == idx {
+			if prevAddr == 0 {
+				a.m.WriteWord(slot, next)
+			} else {
+				a.m.WriteWord(prevAddr, next)
+			}
+		} else {
+			prevAddr = fa
+		}
+		cur = next
+	}
+	a.m.WriteWord(a.desc(idx)+dClass, 0)
+	a.m.WriteWord(a.desc(idx)+dAux, a.m.ReadWord(a.stateBase+a.offChunkPool))
+	a.m.WriteWord(a.stateBase+a.offChunkPool, idx)
+}
+
+// Stats reports basic operation counts.
+func (a *Allocator) Stats() (allocs, frees uint64) { return a.allocs, a.frees }

@@ -1,0 +1,238 @@
+package custom
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc(cfg Config) (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m, cfg), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, DefaultConfig()) })
+}
+
+func TestConformanceReclaim(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reclaim = true
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, cfg) })
+}
+
+func TestConformancePow2(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, PowerOfTwoConfig(512)) })
+}
+
+func TestBoundedFragConfig(t *testing.T) {
+	cfg := BoundedFragConfig(1024, 4)
+	prev := uint32(0)
+	for _, c := range cfg.Classes {
+		if c <= prev || c%4 != 0 {
+			t.Fatalf("classes not ascending word multiples: %v", cfg.Classes)
+		}
+		// The next class is at most 25% above the previous (plus word
+		// rounding), bounding internal fragmentation.
+		if prev >= 8 && float64(c) > float64(prev)*1.25+4 {
+			t.Errorf("gap %d -> %d exceeds 25%% + rounding", prev, c)
+		}
+		prev = c
+	}
+	if cfg.Classes[len(cfg.Classes)-1] != 1024 {
+		t.Error("classes must reach maxSmall")
+	}
+}
+
+func TestPowerOfTwoConfig(t *testing.T) {
+	cfg := PowerOfTwoConfig(1024)
+	want := []uint32{8, 16, 32, 64, 128, 256, 512, 1024}
+	if len(cfg.Classes) != len(want) {
+		t.Fatalf("classes %v", cfg.Classes)
+	}
+	for i, c := range cfg.Classes {
+		if c != want[i] {
+			t.Fatalf("classes %v, want %v", cfg.Classes, want)
+		}
+	}
+}
+
+func TestFromProfile(t *testing.T) {
+	profile := map[uint32]uint64{
+		24: 100000, 40: 50000, 17: 30000, 2000: 5, 0: 3,
+	}
+	cfg := FromProfile(profile, 1024, 4)
+	has := func(size uint32) bool {
+		for _, c := range cfg.Classes {
+			if c == size {
+				return true
+			}
+		}
+		return false
+	}
+	// Hot sizes become exact classes (17 word-rounds to 20).
+	for _, s := range []uint32{24, 40, 20} {
+		if !has(s) {
+			t.Errorf("profile class %d missing from %v", s, cfg.Classes)
+		}
+	}
+	if has(2000) || has(0) {
+		t.Error("oversize/zero profile entries must be ignored")
+	}
+	prev := uint32(0)
+	for _, c := range cfg.Classes {
+		if c <= prev {
+			t.Fatalf("classes not ascending: %v", cfg.Classes)
+		}
+		prev = c
+	}
+}
+
+func TestSizeMappingExact(t *testing.T) {
+	a, _ := newTestAlloc(Config{Classes: []uint32{8, 24, 100, 1024}})
+	if got := a.Classes(); len(got) != 4 {
+		t.Fatalf("classes %v", got)
+	}
+	// Requests map to the smallest covering class; verify via exact
+	// reuse across the class range.
+	p, _ := a.Malloc(9) // class 24
+	a.Free(p)
+	q, _ := a.Malloc(24)
+	if q != p {
+		t.Errorf("9B and 24B should share class 24: %#x vs %#x", p, q)
+	}
+	r, _ := a.Malloc(25) // class 100
+	a.Free(r)
+	s, _ := a.Malloc(100)
+	if s != r {
+		t.Errorf("25B and 100B should share class 100: %#x vs %#x", r, s)
+	}
+}
+
+func TestNoPerObjectHeader(t *testing.T) {
+	// 64 objects of class 64 fit in one 4096-byte chunk exactly: with
+	// any per-object header only 63 would fit.
+	a, _ := newTestAlloc(Config{Classes: []uint32{64}})
+	first, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := first &^ (ChunkSize - 1)
+	for i := 1; i < 64; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p&^(ChunkSize-1) != chunk {
+			t.Fatalf("object %d left the chunk: %#x", i, p)
+		}
+	}
+}
+
+func TestLargeDelegation(t *testing.T) {
+	a, _ := newTestAlloc(DefaultConfig())
+	p, err := a.Malloc(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkReclamationAndReuse(t *testing.T) {
+	cfg := Config{Classes: []uint32{32, 512}, Reclaim: true}
+	a, m := newTestAlloc(cfg)
+	// Fill a chunk with class-512 objects, free them: the chunk returns
+	// to the pool and must be reused by class 32 without heap growth.
+	var ptrs []uint64
+	for i := 0; i < ChunkSize/512; i++ {
+		p, err := a.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	foot := m.Footprint()
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := a.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() != foot {
+		t.Errorf("reclaimed chunk not reused: footprint %d -> %d", foot, m.Footprint())
+	}
+	if q&^(ChunkSize-1) != ptrs[0]&^(ChunkSize-1) {
+		t.Errorf("class 32 did not land on the reclaimed chunk")
+	}
+}
+
+func TestNoReclaimKeepsChunks(t *testing.T) {
+	cfg := Config{Classes: []uint32{32, 512}}
+	a, m := newTestAlloc(cfg)
+	var ptrs []uint64
+	for i := 0; i < ChunkSize/512; i++ {
+		p, _ := a.Malloc(512)
+		ptrs = append(ptrs, p)
+	}
+	foot := m.Footprint()
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	if _, err := a.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() == foot {
+		t.Error("without reclamation, class 32 must grow a new chunk")
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	for _, cfg := range []Config{
+		{Classes: []uint32{0}},
+		{Classes: []uint32{7}},
+		{Classes: []uint32{16, 16}},
+		{Classes: []uint32{32, 16}},
+		{Classes: []uint32{8192}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %v: expected panic", cfg.Classes)
+				}
+			}()
+			newTestAlloc(cfg)
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	a, _ := newTestAlloc(DefaultConfig())
+	if a.Name() != "custom" {
+		t.Errorf("name %q", a.Name())
+	}
+	cfg := DefaultConfig()
+	cfg.Reclaim = true
+	b, _ := newTestAlloc(cfg)
+	if b.Name() != "custom-reclaim" {
+		t.Errorf("name %q", b.Name())
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := newTestAlloc(DefaultConfig())
+	p, _ := a.Malloc(10)
+	a.Free(p)
+	allocs, frees := a.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Errorf("stats %d/%d", allocs, frees)
+	}
+}

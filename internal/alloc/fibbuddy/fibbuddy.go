@@ -1,0 +1,293 @@
+// Package fibbuddy implements a Fibonacci buddy-system allocator — the
+// second buddy method the paper's §2.1 taxonomy names ("buddy-system
+// methods (e.g., binary-buddy and Fibonacci)").
+//
+// Block sizes follow a Fibonacci sequence seeded at 16/24 bytes, so
+// consecutive sizes differ by the golden ratio (~1.62×) instead of
+// binary buddy's 2×, roughly halving worst-case internal fragmentation.
+// The price is bookkeeping: a block of order k splits into *unequal*
+// buddies of orders k-1 (left) and k-2 (right), and locating a block's
+// buddy requires knowing whether it is a left or right part. We use
+// Hinds' classic scheme: each header carries a left-buddy count (LBC).
+// Splitting gives the left part LBC+1 and the right part LBC 0; a
+// block with LBC > 0 is a left part whose buddy (order k-1) lies at
+// addr + F(k), and a block with LBC 0 is a right part whose buddy
+// (order k+1) lies at addr − F(k+1). Arena-sized root blocks carry a
+// root flag and never merge further.
+//
+// Header word layout: 0xFB magic byte | LBC | flags+order.
+// Free blocks keep doubly-linked freelist pointers in their payload.
+package fibbuddy
+
+import (
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/mem"
+)
+
+// sizes is the Fibonacci size sequence; sizes[k] = sizes[k-1]+sizes[k-2].
+var sizes = buildSizes()
+
+// MaxOrder is the arena order; requests above sizes[MaxOrder]-4 fail.
+const MaxOrder = 18
+
+func buildSizes() []uint64 {
+	s := make([]uint64, MaxOrder+1)
+	s[0], s[1] = 16, 24
+	for k := 2; k <= MaxOrder; k++ {
+		s[k] = s[k-1] + s[k-2]
+	}
+	return s
+}
+
+// ArenaSize is the root block size carved per sbrk (sizes[MaxOrder]).
+var ArenaSize = sizes[MaxOrder]
+
+// Header encoding.
+const (
+	headerSize = mem.WordSize
+
+	hdrMagic     = 0xFB000000
+	hdrMagicMask = 0xFF000000
+	hdrAlloc     = 1 << 0
+	hdrRoot      = 1 << 7
+	orderShift   = 1
+	orderMask    = 0x3E // 5 bits at bit 1
+	lbcShift     = 8
+	lbcMask      = 0x3F << lbcShift
+)
+
+func packHdr(order int, lbc uint64, allocated, root bool) uint64 {
+	h := uint64(hdrMagic) | uint64(order)<<orderShift | lbc<<lbcShift
+	if allocated {
+		h |= hdrAlloc
+	}
+	if root {
+		h |= hdrRoot
+	}
+	return h
+}
+
+// Allocator is a Fibonacci buddy instance.
+type Allocator struct {
+	m     *mem.Memory
+	data  *mem.Region
+	state *mem.Region
+
+	stateBase uint64
+	low       uint64 // first block address
+
+	allocs, frees  uint64
+	splits, merges uint64
+}
+
+// New creates a Fibonacci buddy allocator with its own regions on m.
+func New(m *mem.Memory) *Allocator {
+	a := &Allocator{
+		m:     m,
+		data:  m.NewRegion("fibbuddy-heap", 0),
+		state: m.NewRegion("fibbuddy-state", mem.PageSize),
+	}
+	base, err := a.state.Sbrk(uint64(MaxOrder+1) * mem.WordSize)
+	if err != nil {
+		panic("fibbuddy: state sbrk failed: " + err.Error())
+	}
+	a.stateBase = base
+	for k := 0; k <= MaxOrder; k++ {
+		m.WriteWord(a.headSlot(k), 0)
+	}
+	a.low = a.data.Brk()
+	return a
+}
+
+func init() {
+	alloc.Register("fibbuddy", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "fibbuddy" }
+
+// BlockSize returns the Fibonacci block consumed by an n-byte request.
+func BlockSize(n uint32) (uint64, error) {
+	need := uint64(n) + headerSize
+	for _, s := range sizes {
+		if s >= need {
+			return s, nil
+		}
+	}
+	return 0, alloc.ErrTooLarge
+}
+
+func orderFor(n uint32) (int, error) {
+	need := uint64(n) + headerSize
+	for k, s := range sizes {
+		if s >= need {
+			return k, nil
+		}
+	}
+	return 0, alloc.ErrTooLarge
+}
+
+func (a *Allocator) headSlot(order int) uint64 {
+	return a.stateBase + uint64(order)*mem.WordSize
+}
+
+// Freelist links live in free payloads: next at +4, prev at +8 (the
+// 16-byte minimum block holds header + both).
+func (a *Allocator) next(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 4)) }
+func (a *Allocator) prev(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 8)) }
+func (a *Allocator) setNext(b, v uint64)  { a.m.WriteWord(b+4, a.data.EncodePtr(v)) }
+func (a *Allocator) setPrev(b, v uint64)  { a.m.WriteWord(b+8, a.data.EncodePtr(v)) }
+
+func (a *Allocator) pushFree(b uint64, order int, lbc uint64, root bool) {
+	a.m.WriteWord(b, packHdr(order, lbc, false, root))
+	slot := a.headSlot(order)
+	head := a.m.ReadWord(slot)
+	a.setNext(b, a.data.DecodePtr(head))
+	a.setPrev(b, 0)
+	if head != 0 {
+		a.setPrev(a.data.DecodePtr(head), b)
+	}
+	a.m.WriteWord(slot, a.data.EncodePtr(b))
+}
+
+func (a *Allocator) popFree(order int) uint64 {
+	slot := a.headSlot(order)
+	head := a.m.ReadWord(slot)
+	if head == 0 {
+		return 0
+	}
+	b := a.data.DecodePtr(head)
+	next := a.next(b)
+	a.m.WriteWord(slot, a.data.EncodePtr(next))
+	if next != 0 {
+		a.setPrev(next, 0)
+	}
+	return b
+}
+
+func (a *Allocator) unlink(b uint64, order int) {
+	next, prev := a.next(b), a.prev(b)
+	if prev == 0 {
+		a.m.WriteWord(a.headSlot(order), a.data.EncodePtr(next))
+	} else {
+		a.setNext(prev, next)
+	}
+	if next != 0 {
+		a.setPrev(next, prev)
+	}
+}
+
+func hdrOrder(h uint64) int  { return int(h&orderMask) >> orderShift }
+func hdrLBC(h uint64) uint64 { return (h & lbcMask) >> lbcShift }
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	a.allocs++
+	alloc.Charge(a.m, 10)
+	order, err := orderFor(n)
+	if err != nil {
+		return 0, err
+	}
+	b, k, lbc, root := uint64(0), order, uint64(0), false
+	for ; k <= MaxOrder; k++ {
+		alloc.Charge(a.m, 2)
+		if b = a.popFree(k); b != 0 {
+			h := a.m.ReadWord(b)
+			lbc, root = hdrLBC(h), h&hdrRoot != 0
+			break
+		}
+	}
+	if b == 0 {
+		addr, err := a.data.Sbrk(ArenaSize)
+		if err != nil {
+			return 0, err
+		}
+		b, k, lbc, root = addr, MaxOrder, 0, true
+	}
+	// Split down: a block of order k yields a left part of order k-1
+	// (kept) and a right part of order k-2 (freed), until the left part
+	// would no longer satisfy the request.
+	for k > order && k >= 2 && sizes[k-1] >= uint64(n)+headerSize {
+		a.splits++
+		alloc.Charge(a.m, 4)
+		right := b + sizes[k-1]
+		a.pushFree(right, k-2, 0, false)
+		k--
+		lbc++
+		root = false
+	}
+	a.m.WriteWord(b, packHdr(k, lbc, true, root))
+	return b + headerSize, nil
+}
+
+// Free implements alloc.Allocator, merging buddies via Hinds' LBC
+// algorithm.
+func (a *Allocator) Free(p uint64) error {
+	a.frees++
+	alloc.Charge(a.m, 10)
+	if p%mem.WordSize != 0 || p < a.low+headerSize || p >= a.data.Brk() {
+		return alloc.ErrBadFree
+	}
+	b := p - headerSize
+	h := a.m.ReadWord(b)
+	if h&hdrMagicMask != hdrMagic || h&hdrAlloc == 0 {
+		return alloc.ErrBadFree
+	}
+	order := hdrOrder(h)
+	lbc := hdrLBC(h)
+	root := h&hdrRoot != 0
+	if order > MaxOrder {
+		return alloc.ErrBadFree
+	}
+
+	for !root {
+		alloc.Charge(a.m, 5)
+		if lbc > 0 {
+			// Left part: the right buddy (order-1) sits at b + F(order).
+			buddy := b + sizes[order]
+			if buddy >= a.data.Brk() {
+				break
+			}
+			bh := a.m.ReadWord(buddy)
+			if bh&hdrMagicMask != hdrMagic || bh&hdrAlloc != 0 ||
+				hdrOrder(bh) != order-1 || bh&hdrRoot != 0 {
+				break
+			}
+			a.merges++
+			a.unlink(buddy, order-1)
+			order++
+			lbc--
+			root = lbc == 0 && order == MaxOrder
+		} else {
+			// Right part: the left buddy (order+1) sits at b − F(order+1).
+			if order+1 > MaxOrder || b < a.low+sizes[order+1] {
+				break
+			}
+			buddy := b - sizes[order+1]
+			bh := a.m.ReadWord(buddy)
+			if bh&hdrMagicMask != hdrMagic || bh&hdrAlloc != 0 || hdrOrder(bh) != order+1 {
+				break
+			}
+			a.merges++
+			a.unlink(buddy, order+1)
+			b = buddy
+			order += 2
+			lbc = hdrLBC(bh) - 1
+			root = bh&hdrRoot != 0 || (lbc == 0 && order == MaxOrder)
+		}
+	}
+	a.pushFree(b, order, lbc, root)
+	return nil
+}
+
+// Stats reports operation and split/merge counts.
+func (a *Allocator) Stats() (allocs, frees, splits, merges uint64) {
+	return a.allocs, a.frees, a.splits, a.merges
+}
+
+// SizeClasses returns the Fibonacci block sizes, for tests and docs.
+func SizeClasses() []uint64 {
+	out := make([]uint64, len(sizes))
+	copy(out, sizes)
+	return out
+}

@@ -1,0 +1,180 @@
+package fibbuddy
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/rng"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.RunOpts(t, func(m *mem.Memory) alloc.Allocator { return New(m) },
+		alloctest.Options{MaxSize: uint32(ArenaSize) - 8})
+}
+
+func TestSizeSequence(t *testing.T) {
+	s := SizeClasses()
+	if s[0] != 16 || s[1] != 24 {
+		t.Fatalf("seed sizes: %v", s[:2])
+	}
+	for k := 2; k < len(s); k++ {
+		if s[k] != s[k-1]+s[k-2] {
+			t.Fatalf("not Fibonacci at %d: %v", k, s[:k+1])
+		}
+	}
+	// Golden-ratio growth bounds worst-case internal fragmentation well
+	// below binary buddy's 2x.
+	for k := 4; k < len(s); k++ {
+		ratio := float64(s[k]) / float64(s[k-1])
+		if ratio > 1.67 || ratio < 1.55 {
+			t.Errorf("ratio at order %d: %.3f", k, ratio)
+		}
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		want uint64
+	}{
+		{1, 16}, {12, 16}, {13, 24}, {20, 24}, {21, 40}, {36, 40},
+		{37, 64}, {60, 64}, {100, 104}, {101, 168},
+	}
+	for _, c := range cases {
+		got, err := BlockSize(c.n)
+		if err != nil || got != c.want {
+			t.Errorf("BlockSize(%d) = %d,%v want %d", c.n, got, err, c.want)
+		}
+	}
+	if _, err := BlockSize(uint32(ArenaSize)); err == nil {
+		t.Error("oversize request must fail")
+	}
+}
+
+func TestTighterThanBinary(t *testing.T) {
+	// The selling point: a 70-byte request costs a 104-byte Fibonacci
+	// block versus binary buddy's 128.
+	got, _ := BlockSize(70)
+	if got != 104 {
+		t.Errorf("BlockSize(70) = %d, want 104", got)
+	}
+}
+
+func TestFullMergeRestoresArena(t *testing.T) {
+	a, m := newTestAlloc()
+	// Fill one arena with minimum blocks, free them all (random order),
+	// then allocate an arena-sized block without heap growth.
+	var ptrs []uint64
+	for {
+		before := m.Footprint()
+		p, err := a.Malloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Footprint() != before && len(ptrs) > 0 {
+			// Second arena started: put the straw back and stop.
+			if err := a.Free(p); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	foot := m.Footprint()
+	r := rng.New(3)
+	for len(ptrs) > 0 {
+		i := r.Intn(len(ptrs))
+		if err := a.Free(ptrs[i]); err != nil {
+			t.Fatal(err)
+		}
+		ptrs[i] = ptrs[len(ptrs)-1]
+		ptrs = ptrs[:len(ptrs)-1]
+	}
+	if _, err := a.Malloc(uint32(ArenaSize) - 8); err != nil {
+		t.Fatalf("arena did not fully coalesce: %v", err)
+	}
+	if m.Footprint() != foot {
+		t.Errorf("footprint grew %d -> %d despite full merge", foot, m.Footprint())
+	}
+	_, _, splits, merges := a.Stats()
+	if splits == 0 || merges == 0 {
+		t.Errorf("splits=%d merges=%d", splits, merges)
+	}
+}
+
+func TestUnequalBuddies(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Allocating a near-arena block then a smaller one exercises the
+	// unequal split: sizes must be Fibonacci neighbours.
+	p1, err := a.Malloc(30000) // order with F >= 30004: 33448
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Malloc(15000) // the 20672 right part... or fresh split
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("overlap")
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	// After both frees the arena is whole again.
+	if _, err := a.Malloc(uint32(ArenaSize) - 8); err != nil {
+		t.Fatalf("merge across unequal buddies failed: %v", err)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(100)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestChurnStaysBounded(t *testing.T) {
+	a, m := newTestAlloc()
+	r := rng.New(11)
+	var live []uint64
+	peak := uint64(0)
+	for op := 0; op < 20000; op++ {
+		if len(live) > 64 || (len(live) > 0 && r.Bool(0.5)) {
+			i := r.Intn(len(live))
+			if err := a.Free(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		p, err := a.Malloc(uint32(8 + r.Intn(2000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+		if m.Footprint() > peak {
+			peak = m.Footprint()
+		}
+	}
+	// 64 live objects of <= 2 KB fit comfortably in a handful of arenas.
+	if peak > 12*ArenaSize {
+		t.Errorf("churn footprint peaked at %d (%d arenas)", peak, peak/ArenaSize)
+	}
+}

@@ -1,0 +1,40 @@
+package firstfit_test
+
+import (
+	"fmt"
+
+	"mallocsim/internal/alloc/firstfit"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// Allocate, free and re-allocate through FIRSTFIT on simulated memory,
+// observing the allocator's own memory references and instruction
+// charges — the quantities the paper measures.
+func Example() {
+	meter := &cost.Meter{}
+	var refs trace.Counter
+	m := mem.New(&refs, meter)
+	a := firstfit.New(m)
+
+	p, _ := a.Malloc(100)
+	q, _ := a.Malloc(24) // adjacent to p
+	foot := m.Footprint()
+
+	// Freeing both lets boundary-tag coalescing rebuild one large
+	// block, so a bigger allocation fits without growing the heap.
+	_ = a.Free(p)
+	_ = a.Free(q)
+	if _, err := a.Malloc(130); err != nil {
+		fmt.Println(err)
+	}
+
+	fmt.Printf("heap grew: %v\n", m.Footprint() != foot)
+	fmt.Printf("allocator touched memory: %v\n", refs.Total() > 0)
+	fmt.Printf("instructions charged: %v\n", meter.Total() > 0)
+	// Output:
+	// heap grew: false
+	// allocator touched memory: true
+	// instructions charged: true
+}

@@ -1,0 +1,308 @@
+package firstfit
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc(opts ...Option) (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m, opts...), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestConformanceNoCoalesce(t *testing.T) {
+	// The no-coalesce variant exists to demonstrate fragmentation, so
+	// the steady-state footprint check does not apply to it.
+	alloctest.RunOpts(t, func(m *mem.Memory) alloc.Allocator { return New(m, WithoutCoalescing()) },
+		alloctest.Options{SkipSteadyState: true})
+}
+
+func TestConformanceNoRover(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, WithoutRover()) })
+}
+
+func TestCoalescingRebuildsBigBlocks(t *testing.T) {
+	a, m := newTestAlloc()
+	// Allocate many small blocks, free them all, then allocate one block
+	// spanning nearly everything: coalescing must have merged the frees,
+	// so the heap should not grow.
+	var ptrs []uint64
+	for i := 0; i < 100; i++ {
+		p, err := a.Malloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	footBefore := m.Footprint()
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Malloc(4000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() != footBefore {
+		t.Errorf("heap grew from %d to %d despite coalesced free space", footBefore, m.Footprint())
+	}
+}
+
+func TestNoCoalesceFragments(t *testing.T) {
+	a, m := newTestAlloc(WithoutCoalescing())
+	var ptrs []uint64
+	for i := 0; i < 100; i++ {
+		p, err := a.Malloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	footBefore := m.Footprint()
+	// 100 48-byte free blocks cannot satisfy 4000 bytes without growth.
+	if _, err := a.Malloc(4000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() == footBefore {
+		t.Error("uncoalesced heap satisfied a big request without growing")
+	}
+}
+
+func TestSplitThreshold(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Free a 4096-byte area, then allocate a bit less: remainder > 24
+	// must be split off and satisfy another allocation without growth.
+	p, err := a.Malloc(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.Malloc(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("expected reuse of freed block: %#x vs %#x", q, p)
+	}
+	r, err := a.Malloc(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < q || r > q+4096 {
+		t.Errorf("remainder not reused: %#x", r)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(32)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free of tagged block should be detected")
+	}
+}
+
+func TestScanSteps(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Populate the freelist with blocks too small for the next request:
+	// the scan must visit them.
+	var small []uint64
+	for i := 0; i < 20; i++ {
+		p, _ := a.Malloc(16)
+		small = append(small, p)
+	}
+	big, _ := a.Malloc(512) // separates small blocks from heap top
+	for _, p := range small {
+		a.Free(p)
+	}
+	_ = big
+	before := a.ScanSteps()
+	if _, err := a.Malloc(400); err != nil {
+		t.Fatal(err)
+	}
+	if a.ScanSteps() == before {
+		t.Error("allocation did not scan the freelist")
+	}
+	allocs, frees, _ := a.Stats()
+	if allocs != 22 || frees != 20 {
+		t.Errorf("stats: %d allocs %d frees", allocs, frees)
+	}
+}
+
+func TestMallocZero(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(0)
+	if err != nil || p == 0 {
+		t.Errorf("Malloc(0): %#x %v", p, err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionExhaustion(t *testing.T) {
+	a, _ := newTestAlloc()
+	// The heap region is capped at 4 GiB: two 2 GiB requests cannot both
+	// fit, and the failure must surface as an error, not a panic.
+	if _, err := a.Malloc(1 << 31); err != nil {
+		t.Fatalf("first huge allocation: %v", err)
+	}
+	if _, err := a.Malloc(1 << 31); err == nil {
+		t.Error("expected out-of-memory on second huge allocation")
+	}
+}
+
+func TestConformanceAddrOrder(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, WithAddressOrder()) })
+}
+
+func TestAddressOrderMaintained(t *testing.T) {
+	a, _ := newTestAlloc(WithAddressOrder())
+	// Allocate with separators, free in a scrambled order, then verify
+	// the freelist is sorted by address.
+	var frees []uint64
+	for i := 0; i < 12; i++ {
+		p, err := a.Malloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Malloc(16); err != nil { // separator stays live
+			t.Fatal(err)
+		}
+		frees = append(frees, p)
+	}
+	order := []int{7, 2, 11, 0, 5, 9, 1, 10, 3, 8, 6, 4}
+	for _, i := range order {
+		if err := a.Free(frees[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := uint64(0)
+	for b := a.h.Next(a.head); b != a.head; b = a.h.Next(b) {
+		if b <= prev {
+			t.Fatalf("freelist out of address order: %#x after %#x", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestAddrOrderLowFragmentation(t *testing.T) {
+	// Address-ordered first fit classically fragments less than the
+	// roving variant under mixed-size churn.
+	run := func(opts ...Option) uint64 {
+		a, m := newTestAlloc(opts...)
+		r := newSeq()
+		var live []uint64
+		for op := 0; op < 6000; op++ {
+			if len(live) > 100 || (len(live) > 0 && r.next()%2 == 0) {
+				i := int(r.next()) % len(live)
+				if err := a.Free(live[i]); err != nil {
+					panic(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			n := uint32(8 + r.next()%250)
+			p, err := a.Malloc(n)
+			if err != nil {
+				panic(err)
+			}
+			live = append(live, p)
+		}
+		return m.Footprint()
+	}
+	rover := run()
+	sorted := run(WithAddressOrder())
+	if sorted > rover*3/2 {
+		t.Errorf("address-ordered footprint %d far above roving %d", sorted, rover)
+	}
+}
+
+// newSeq is a tiny deterministic sequence for the fragmentation test.
+type seq struct{ s uint64 }
+
+func newSeq() *seq { return &seq{s: 0x9e3779b97f4a7c15} }
+
+func (q *seq) next() uint64 {
+	q.s = q.s*6364136223846793005 + 1442695040888963407
+	return q.s >> 33
+}
+
+// TestHeapIntegrityUnderStress audits the full tag representation after
+// randomized churn, for each policy variant.
+func TestHeapIntegrityUnderStress(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"default", nil},
+		{"norover", []Option{WithoutRover()}},
+		{"addrorder", []Option{WithAddressOrder()}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			a, _ := newTestAlloc(v.opts...)
+			r := newSeq()
+			var live []uint64
+			for op := 0; op < 5000; op++ {
+				if len(live) > 150 || (len(live) > 0 && r.next()%2 == 0) {
+					i := int(r.next()) % len(live)
+					if err := a.Free(live[i]); err != nil {
+						t.Fatal(err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				p, err := a.Malloc(uint32(1 + r.next()%400))
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, p)
+			}
+			st, err := a.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Blocks == 0 || st.FreeBlocks == 0 {
+				t.Errorf("implausible heap stats %+v", st)
+			}
+			for _, p := range live {
+				if err := a.Free(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err = a.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Everything freed and coalesced: a near-empty heap is one
+			// (or very few) free blocks.
+			if st.LiveBytes != 0 {
+				t.Errorf("live bytes %d after freeing everything", st.LiveBytes)
+			}
+			if st.FreeBlocks > 2 {
+				t.Errorf("%d free blocks after full free; coalescing incomplete", st.FreeBlocks)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package gnufit
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestBinIndex(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{16, 4}, {17, 4}, {31, 4}, {32, 5}, {63, 5}, {64, 6},
+		{1 << 20, 20}, {1 << 30, NumBins - 1}, {1 << 40, NumBins - 1},
+		{1, 4}, // clamped to the minimum bin
+	}
+	for _, c := range cases {
+		if got := binIndex(c.size); got != c.want {
+			t.Errorf("binIndex(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSegregationShortensScans(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Fill the freelists with many small blocks, then allocate a large
+	// one: the bin structure must avoid scanning the small blocks (only
+	// bin-head probes happen).
+	var small []uint64
+	for i := 0; i < 200; i++ {
+		p, err := a.Malloc(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small = append(small, p)
+	}
+	// A big live block prevents total coalescing into one run.
+	for i, p := range small {
+		if i%2 == 0 {
+			if err := a.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := a.ScanSteps()
+	if _, err := a.Malloc(8000); err != nil {
+		t.Fatal(err)
+	}
+	steps := a.ScanSteps() - before
+	if steps > 5 {
+		t.Errorf("large allocation scanned %d blocks despite segregation", steps)
+	}
+}
+
+func TestCoalescingAcrossBins(t *testing.T) {
+	a, m := newTestAlloc()
+	// Adjacent frees of different sizes must merge even though they
+	// lived in different bins.
+	p1, _ := a.Malloc(24)
+	p2, _ := a.Malloc(200)
+	p3, _ := a.Malloc(24)
+	_ = p3
+	foot := m.Footprint()
+	a.Free(p1)
+	a.Free(p2) // merges with p1's block
+	q, err := a.Malloc(220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p1 {
+		t.Errorf("merged block not reused: got %#x want %#x", q, p1)
+	}
+	if m.Footprint() != foot {
+		t.Error("heap grew despite coalesced space")
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free should be detected")
+	}
+}
+
+func TestStatsAndRegion(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(10)
+	a.Free(p)
+	allocs, frees, _ := a.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Errorf("stats %d/%d", allocs, frees)
+	}
+	if a.Region() == nil || !a.Region().Contains(p) {
+		t.Error("Region() must expose the heap region")
+	}
+}
+
+// TestHeapIntegrityUnderStress audits tags, tiling and bin membership
+// after randomized churn.
+func TestHeapIntegrityUnderStress(t *testing.T) {
+	a, _ := newTestAlloc()
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	var live []uint64
+	for op := 0; op < 5000; op++ {
+		if len(live) > 150 || (len(live) > 0 && next()%2 == 0) {
+			i := int(next()) % len(live)
+			if err := a.Free(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		p, err := a.Malloc(uint32(1 + next()%400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	if _, err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range live {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := a.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveBytes != 0 || st.FreeBlocks > 2 {
+		t.Errorf("after full free: %+v", st)
+	}
+}

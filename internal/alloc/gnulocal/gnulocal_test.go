@@ -1,0 +1,209 @@
+package gnulocal
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc(opts ...Option) (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m, opts...), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestConformancePadTags(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m, WithPadTags()) })
+}
+
+func TestFragLog(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		want int
+	}{
+		{1, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5}, {100, 7}, {2048, 11},
+	}
+	for _, c := range cases {
+		if got := fragLog(c.n); got != c.want {
+			t.Errorf("fragLog(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFragmentPacking(t *testing.T) {
+	a, m := newTestAlloc()
+	// 64-byte fragments: one block holds 64 of them; all must come from
+	// the same page without heap growth.
+	p0, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foot := m.Footprint()
+	addrs := map[uint64]bool{p0: true}
+	for i := 1; i < 64; i++ {
+		p, err := a.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addrs[p] {
+			t.Fatalf("duplicate fragment %#x", p)
+		}
+		addrs[p] = true
+		if (p-p0)/BlockSize != 0 {
+			t.Fatalf("fragment %#x outside the first block", p)
+		}
+	}
+	if m.Footprint() != foot {
+		t.Error("heap grew while fragments remained")
+	}
+}
+
+func TestWholeBlockReclamation(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Fill one block with 512-byte fragments (8 of them), free them all,
+	// then allocate a large object: the reclaimed block must be reused.
+	var ptrs []uint64
+	for i := 0; i < 8; i++ {
+		p, err := a.Malloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	blockBase := ptrs[0] &^ (BlockSize - 1)
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big, err := a.Malloc(3000) // one whole block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != blockBase {
+		t.Errorf("reclaimed block %#x not reused for large object (got %#x)", blockBase, big)
+	}
+}
+
+func TestLargeObjectsBlockGranular(t *testing.T) {
+	a, m := newTestAlloc()
+	foot := m.Footprint()
+	p, err := a.Malloc(2049) // just above MaxFragSize: one whole block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%BlockSize != 0 {
+		t.Errorf("large object %#x not block aligned", p)
+	}
+	// Growth is one data block plus one 16-byte descriptor.
+	if grew := m.Footprint() - foot; grew < BlockSize || grew > BlockSize+128 {
+		t.Errorf("2049-byte object grew heap by %d, want ~one block", grew)
+	}
+	q, err := a.Malloc(3 * BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCoalescing(t *testing.T) {
+	a, m := newTestAlloc()
+	// Three adjacent large objects freed out of order must coalesce into
+	// one run serving a triple-size allocation without growth.
+	p1, _ := a.Malloc(4096)
+	p2, _ := a.Malloc(4096)
+	p3, _ := a.Malloc(4096)
+	foot := m.Footprint()
+	a.Free(p1)
+	a.Free(p3)
+	a.Free(p2)
+	q, err := a.Malloc(3 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p1 {
+		t.Errorf("coalesced run should start at %#x, got %#x", p1, q)
+	}
+	if m.Footprint() != foot {
+		t.Error("heap grew despite coalesced runs")
+	}
+}
+
+func TestInteriorFreeRejected(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(3 * 4096)
+	if err := a.Free(p + 4096); err == nil {
+		t.Error("free of interior block pointer must fail")
+	}
+	if err := a.Free(p); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMisalignedFragFreeRejected(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(64)
+	if err := a.Free(p + 4); err == nil {
+		t.Error("free of misaligned fragment pointer must fail")
+	}
+}
+
+func TestPadTagsOverhead(t *testing.T) {
+	plain, mp := newTestAlloc()
+	tagged, mt := newTestAlloc(WithPadTags())
+	if plain.Name() != "gnulocal" || tagged.Name() != "gnulocal-tags" {
+		t.Fatalf("names: %q %q", plain.Name(), tagged.Name())
+	}
+	// 8 extra bytes per object: 64-byte requests become 128-byte
+	// fragments under padding (72 -> 128), doubling footprint growth.
+	for i := 0; i < 256; i++ {
+		if _, err := plain.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tagged.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mt.Footprint() <= mp.Footprint() {
+		t.Errorf("tag padding did not increase footprint: %d vs %d", mt.Footprint(), mp.Footprint())
+	}
+}
+
+func TestPadTagsRoundTrip(t *testing.T) {
+	a, _ := newTestAlloc(WithPadTags())
+	var ptrs []uint64
+	for i := 0; i < 100; i++ {
+		p, err := a.Malloc(uint32(8 + i*7%200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatalf("Free(%#x): %v", p, err)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(10)
+	a.Free(p)
+	allocs, frees := a.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Errorf("stats %d/%d", allocs, frees)
+	}
+}

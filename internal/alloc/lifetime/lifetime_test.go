@@ -1,0 +1,114 @@
+package lifetime
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestPredictorLearnsSites(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Site 1: objects always die. Site 2: objects never die.
+	for i := 0; i < 200; i++ {
+		p, err := a.MallocSite(24, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.MallocSite(24, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, longRouted := a.Stats()
+	// After the 16-observation warmup, every site-2 allocation should be
+	// routed long; site 1 never should.
+	if longRouted < 150 || longRouted > 200 {
+		t.Errorf("long-routed %d of 200 immortal allocations", longRouted)
+	}
+	short, long := a.Arenas()
+	_, sf := short.Stats()
+	la, _ := long.Stats()
+	if sf == 0 {
+		t.Error("short arena saw no frees")
+	}
+	if la < 150 {
+		t.Errorf("long arena received %d allocations", la)
+	}
+}
+
+// TestSegregationSeparatesAddressSpace: immortal and churn objects land
+// in disjoint regions once the predictor converges.
+func TestSegregationSeparatesAddressSpace(t *testing.T) {
+	a, _ := newTestAlloc()
+	var immortalAddrs, churnAddrs []uint64
+	for i := 0; i < 300; i++ {
+		p, err := a.MallocSite(32, 7) // churn site
+		if err != nil {
+			t.Fatal(err)
+		}
+		churnAddrs = append(churnAddrs, p)
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := a.MallocSite(32, 9) // immortal site
+		if err != nil {
+			t.Fatal(err)
+		}
+		immortalAddrs = append(immortalAddrs, q)
+	}
+	short, long := a.Arenas()
+	_ = short
+	inLong := 0
+	for _, q := range immortalAddrs[50:] { // after warmup
+		if long.Owns(q) {
+			inLong++
+		}
+	}
+	if inLong != len(immortalAddrs[50:]) {
+		t.Errorf("only %d/%d post-warmup immortal objects in the long arena",
+			inLong, len(immortalAddrs[50:]))
+	}
+	for _, p := range churnAddrs {
+		if long.Owns(p) {
+			t.Fatalf("churn object %#x in the long arena", p)
+		}
+	}
+}
+
+func TestMallocWithoutSite(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "lifetime" {
+		t.Errorf("name %q", a.Name())
+	}
+}
+
+func TestFreeUnknownAddress(t *testing.T) {
+	a, _ := newTestAlloc()
+	if err := a.Free(12345); err == nil {
+		t.Error("free of foreign address must fail")
+	}
+}
+
+var _ alloc.SiteAllocator = (*Allocator)(nil)

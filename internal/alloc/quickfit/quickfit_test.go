@@ -1,0 +1,177 @@
+package quickfit
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func TestExactReuse(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Small objects recycle through their exact list: free then
+	// same-size malloc returns the identical address (LIFO).
+	for _, n := range []uint32{1, 4, 8, 12, 16, 24, 32} {
+		p, err := a.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := a.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != p {
+			t.Errorf("size %d: freed block %#x not recycled (got %#x)", n, p, q)
+		}
+	}
+}
+
+func TestWordRounding(t *testing.T) {
+	a, _ := newTestAlloc()
+	// 21..24 bytes share the 24-byte class: frees of any cross-feed
+	// allocations of the others.
+	p, _ := a.Malloc(21)
+	a.Free(p)
+	q, _ := a.Malloc(24)
+	if q != p {
+		t.Errorf("21B and 24B must share a class: %#x vs %#x", p, q)
+	}
+	// ...but 20 and 24 are distinct classes.
+	r, _ := a.Malloc(20)
+	a.Free(r)
+	s, _ := a.Malloc(24)
+	if s == r {
+		t.Error("20B and 24B classes must be distinct")
+	}
+}
+
+func TestLargeDelegation(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(MaxSmall + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("free of delegated block: %v", err)
+	}
+	// The general allocator coalesces: a following large request reuses
+	// the space.
+	q, err := a.Malloc(MaxSmall + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("general allocator did not recycle: %#x vs %#x", p, q)
+	}
+}
+
+func TestTailCarving(t *testing.T) {
+	a, m := newTestAlloc()
+	// A tail chunk serves many small blocks with a single general
+	// allocation: footprint grows once per TailChunk, not per malloc.
+	foot0 := m.Footprint()
+	n := 0
+	for m.Footprint() == foot0 || n == 0 {
+		if _, err := a.Malloc(16); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("heap never grew")
+		}
+	}
+	// First growth accounts for a whole chunk (plus general-allocator
+	// bookkeeping): many more allocations fit before the next growth.
+	foot1 := m.Footprint()
+	count := 0
+	for m.Footprint() == foot1 {
+		if _, err := a.Malloc(16); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count < 50 {
+		t.Errorf("only %d 16-byte blocks per chunk, want dozens", count)
+	}
+}
+
+func TestMixedSmallLargeFreeDispatch(t *testing.T) {
+	a, _ := newTestAlloc()
+	small, _ := a.Malloc(8)
+	large, _ := a.Malloc(500)
+	small2, _ := a.Malloc(32)
+	if err := a.Free(large); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(small2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallNeverCoalesce(t *testing.T) {
+	a, _ := newTestAlloc()
+	// Freeing many 8-byte blocks then allocating 24 bytes must NOT carve
+	// the 8-byte blocks: they stay in their class forever.
+	var ptrs []uint64
+	for i := 0; i < 50; i++ {
+		p, _ := a.Malloc(8)
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	q, _ := a.Malloc(24)
+	for _, p := range ptrs {
+		if q == p {
+			t.Fatalf("24-byte object landed on an 8-byte block %#x", p)
+		}
+	}
+	// And the 8-byte blocks are all still recyclable.
+	for range ptrs {
+		r, err := a.Malloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range ptrs {
+			if r == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("8-byte allocation %#x did not reuse the freed pool", r)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, _ := a.Malloc(1)
+	a.Free(p)
+	allocs, frees := a.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Errorf("stats %d/%d", allocs, frees)
+	}
+	if a.Name() != "quickfit" {
+		t.Errorf("name %q", a.Name())
+	}
+}

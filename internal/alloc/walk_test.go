@@ -1,0 +1,119 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// buildHeap hand-assembles a small tagged heap for the walker.
+func buildHeap(t *testing.T) (*BlockHeap, uint64, uint64) {
+	t.Helper()
+	m := mem.New(trace.Discard, &cost.Meter{})
+	r := m.NewRegion("walk-test", 0)
+	h := &BlockHeap{M: m, R: r}
+	head, err := h.NewListHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := r.Brk()
+	if _, err := r.Sbrk(256); err != nil {
+		t.Fatal(err)
+	}
+	return h, head, lo
+}
+
+func TestHeapCheckCleanHeap(t *testing.T) {
+	h, head, lo := buildHeap(t)
+	// [alloc 64][free 96][alloc 96]
+	h.SetTags(lo, 64, true)
+	h.SetTags(lo+64, 96, false)
+	h.InsertAfter(head, lo+64)
+	h.SetTags(lo+160, 96, true)
+
+	hc := HeapCheck{H: h, Lo: lo, Hi: lo + 256, Heads: []uint64{head}, ExpectCoalesced: true}
+	st, err := hc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != 3 || st.FreeBlocks != 1 || st.FreeBytes != 96 || st.LiveBytes != 160 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.LargestFree != 96 {
+		t.Errorf("largest free %d", st.LargestFree)
+	}
+}
+
+func TestHeapCheckDetectsViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(h *BlockHeap, head, lo uint64)
+		want  string
+	}{
+		{
+			"header/footer mismatch",
+			func(h *BlockHeap, head, lo uint64) {
+				h.SetTags(lo, 256, true)
+				h.SetHeader(lo, 128, true) // footer still says 256
+			},
+			"disagrees",
+		},
+		{
+			"overrun",
+			func(h *BlockHeap, head, lo uint64) {
+				h.SetTags(lo, 64, true)
+				h.M.WriteWord(lo+64, PackTag(512, true)) // runs past heap end
+			},
+			"overruns",
+		},
+		{
+			"bad size",
+			func(h *BlockHeap, head, lo uint64) {
+				h.M.WriteWord(lo, PackTag(8, true)) // below MinBlock
+			},
+			"bad size",
+		},
+		{
+			"free block missing from freelist",
+			func(h *BlockHeap, head, lo uint64) {
+				h.SetTags(lo, 256, false) // free but never inserted
+			},
+			"on freelists",
+		},
+		{
+			"freelist node marked allocated",
+			func(h *BlockHeap, head, lo uint64) {
+				h.SetTags(lo, 256, true)
+				h.InsertAfter(head, lo) // allocated block on the list
+			},
+			"not a free block",
+		},
+		{
+			"uncoalesced neighbours",
+			func(h *BlockHeap, head, lo uint64) {
+				h.SetTags(lo, 128, false)
+				h.InsertAfter(head, lo)
+				h.SetTags(lo+128, 128, false)
+				h.InsertAfter(head, lo+128)
+			},
+			"adjacent free",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h, head, lo := buildHeap(t)
+			c.build(h, head, lo)
+			hc := HeapCheck{H: h, Lo: lo, Hi: lo + 256, Heads: []uint64{head}, ExpectCoalesced: true}
+			_, err := hc.Run()
+			if err == nil {
+				t.Fatal("violation not detected")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+// Package apps contains allocation-intensive benchmark kernels written
+// against the simulated heap: linked structures whose every pointer and
+// datum is a word of simulated memory, read and written through the
+// allocator under test.
+//
+// The paper's workloads were real C programs; the workload package
+// models them statistically. This package complements it with the
+// strongest-fidelity alternative this framework can offer: small
+// *programs* — a hash table, a mergesort over cons cells, an expression
+// translator, a logic-cube optimizer, a dependency graph — that
+// actually compute in simulated memory. Their reference streams are
+// therefore genuine pointer chases over allocator-placed data, and
+// their results (checksums) must be identical under every allocator:
+// any placement bug, overlap or metadata intrusion changes the
+// computation, which makes the apps an end-to-end correctness oracle
+// for the allocator implementations as well as a locality benchmark.
+//
+// Each kernel mirrors one of the paper's application domains:
+//
+//	symtab   — interpreter symbol-table churn (GAWK)
+//	listsort — cons-cell list building and merging (GhostScript-ish)
+//	xlat     — build-and-walk expression trees, never freeing (PTC)
+//	cubes    — iterative merge/discard over bit-vector cubes (ESPRESSO)
+//	depgraph — dependency-graph construction and traversal (MAKE)
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/rng"
+)
+
+// Ctx is the C-program's-eye view of the machine: malloc/free plus
+// word loads and stores in simulated memory. Loads and stores charge
+// instructions and emit trace references through the underlying
+// Memory; malloc and free are charged to their cost domains.
+type Ctx struct {
+	M *mem.Memory
+	A alloc.Allocator
+	R *rng.Rand
+
+	meter *cost.Meter
+}
+
+// NewCtx builds a context. The allocator must be constructed on m.
+func NewCtx(m *mem.Memory, a alloc.Allocator, seed uint64) *Ctx {
+	meter := m.Meter()
+	if meter == nil {
+		meter = &cost.Meter{}
+	}
+	return &Ctx{M: m, A: a, R: rng.New(seed), meter: meter}
+}
+
+// Malloc allocates words 4-byte words and returns the address.
+func (c *Ctx) Malloc(words int) (uint64, error) {
+	prev := c.meter.Enter(cost.Malloc)
+	c.meter.Charge(alloc.CallOverhead)
+	p, err := c.A.Malloc(uint32(words) * mem.WordSize)
+	c.meter.Enter(prev)
+	return p, err
+}
+
+// Free releases an allocation.
+func (c *Ctx) Free(p uint64) error {
+	prev := c.meter.Enter(cost.Free)
+	c.meter.Charge(alloc.CallOverhead)
+	err := c.A.Free(p)
+	c.meter.Enter(prev)
+	return err
+}
+
+// Load reads word index i of the object at p.
+func (c *Ctx) Load(p uint64, i int) uint64 {
+	return c.M.ReadWord(p + uint64(i)*mem.WordSize)
+}
+
+// Store writes word index i of the object at p. Values must fit 32
+// bits (the simulated machine's word).
+func (c *Ctx) Store(p uint64, i int, v uint64) {
+	c.M.WriteWord(p+uint64(i)*mem.WordSize, v&0xffffffff)
+}
+
+// Compute charges n pure-ALU instructions (no memory traffic).
+func (c *Ctx) Compute(n uint64) { c.meter.ChargeTo(cost.App, n) }
+
+// Simulated words are 32 bits but virtual addresses exceed 32 bits
+// (regions sit at multiples of 4 GiB), so application pointer fields
+// hold *packed* pointers: (regionIndex+1)<<28 | wordOffset, supporting
+// offsets up to 1 GiB in each of up to 15 regions — ample for every
+// allocator here. 0 is nil. Applications treat packed pointers as
+// opaque handles via LoadPtr/StorePtr and stay allocator-agnostic.
+
+// PackPtr converts a simulated address into a storable 32-bit word.
+func (c *Ctx) PackPtr(addr uint64) uint64 {
+	if addr == 0 {
+		return 0
+	}
+	for i, r := range c.M.Regions() {
+		if r.Contains(addr) {
+			off := addr - r.Base()
+			if off>>2 >= 1<<28 {
+				panic("apps: address offset too large to pack")
+			}
+			if i >= 15 {
+				panic("apps: too many regions to pack")
+			}
+			return uint64(i+1)<<28 | off>>2
+		}
+	}
+	panic(fmt.Sprintf("apps: address %#x outside all regions", addr))
+}
+
+// UnpackPtr reverses PackPtr.
+func (c *Ctx) UnpackPtr(w uint64) uint64 {
+	if w == 0 {
+		return 0
+	}
+	idx := int(w>>28) - 1
+	regions := c.M.Regions()
+	if idx < 0 || idx >= len(regions) {
+		panic(fmt.Sprintf("apps: bad packed pointer %#x", w))
+	}
+	return regions[idx].Base() + (w&(1<<28-1))<<2
+}
+
+// LoadPtr reads a packed pointer field.
+func (c *Ctx) LoadPtr(p uint64, i int) uint64 {
+	return c.UnpackPtr(c.Load(p, i))
+}
+
+// StorePtr writes a packed pointer field.
+func (c *Ctx) StorePtr(p uint64, i int, addr uint64) {
+	c.Store(p, i, c.PackPtr(addr))
+}
+
+// App is one benchmark kernel. Size scales the working set; the
+// returned checksum must be identical for a given (app, size, seed)
+// across all correct allocators.
+type App interface {
+	Name() string
+	Description() string
+	Run(c *Ctx, size int) (checksum uint64, err error)
+}
+
+var registry = map[string]App{}
+
+// register adds an app (called from init functions in this package).
+func register(a App) {
+	if _, dup := registry[a.Name()]; dup {
+		panic("apps: duplicate " + a.Name())
+	}
+	registry[a.Name()] = a
+}
+
+// Get returns a registered app.
+func Get(name string) (App, bool) {
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names lists the registered apps, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mix is a tiny deterministic hash used by checksums.
+func mix(h, v uint64) uint64 {
+	h ^= v & 0xffffffff
+	h *= 0x100000001b3
+	return h & 0xffffffff
+}

@@ -1,0 +1,154 @@
+package apps
+
+// cubes is the ESPRESSO-analogue kernel: two-level logic minimization
+// in miniature. A cover is a set of cubes — bit-vectors over 3-valued
+// inputs, two bits per variable, stored as word arrays in the heap.
+// Iterative passes compute pairwise distances (word-wise XOR popcount
+// over heap reads), merge distance-1 pairs (allocate the consensus
+// cube, free both parents) and discard covered cubes (free). The
+// surviving cover's contents are the checksum. Allocation behaviour:
+// many same-sized small objects with bursty deaths — the profile the
+// paper measures for espresso.
+//
+// Cube layout (words): [w0][w1]...[w_{nw-1}]
+
+type cubes struct{}
+
+func init() { register(cubes{}) }
+
+func (cubes) Name() string { return "cubes" }
+
+func (cubes) Description() string {
+	return "logic-cube cover minimization: merge/discard over bit-vector heap objects (ESPRESSO)"
+}
+
+const cubeWords = 4 // 64 variables at 2 bits each
+
+func popcount32(c *Ctx, v uint64) uint64 {
+	c.Compute(4)
+	v = v - ((v >> 1) & 0x55555555)
+	v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+	return (((v + (v >> 4)) & 0x0f0f0f0f) * 0x01010101 >> 24) & 0x3f
+}
+
+// distance counts differing bit-pairs between two cubes.
+func distance(c *Ctx, a, b uint64) uint64 {
+	var d uint64
+	for w := 0; w < cubeWords; w++ {
+		x := c.Load(a, w) ^ c.Load(b, w)
+		// Collapse each 2-bit variable field to one bit.
+		x = (x | x>>1) & 0x55555555
+		d += popcount32(c, x)
+	}
+	return d
+}
+
+// consensus allocates the merge of two distance-1 cubes (the differing
+// variable becomes don't-care: both bits set).
+func consensus(c *Ctx, a, b uint64) (uint64, error) {
+	m, err := c.Malloc(cubeWords)
+	if err != nil {
+		return 0, err
+	}
+	for w := 0; w < cubeWords; w++ {
+		av, bv := c.Load(a, w), c.Load(b, w)
+		c.Store(m, w, av|bv)
+	}
+	return m, nil
+}
+
+// covers reports whether cube a covers cube b (a's care-set is a
+// superset: every bit set in b is set in a).
+func covers(c *Ctx, a, b uint64) bool {
+	for w := 0; w < cubeWords; w++ {
+		bv := c.Load(b, w)
+		if c.Load(a, w)&bv != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func (cubes) Run(c *Ctx, size int) (uint64, error) {
+	// Initial cover: random minterm-ish cubes.
+	var cover []uint64
+	for i := 0; i < size; i++ {
+		cu, err := c.Malloc(cubeWords)
+		if err != nil {
+			return 0, err
+		}
+		for w := 0; w < cubeWords; w++ {
+			// Each variable gets 01, 10 or (rarely) 11.
+			var bits uint64
+			for v := 0; v < 16; v++ {
+				var f uint64
+				switch c.R.Intn(8) {
+				case 0:
+					f = 3
+				case 1, 2, 3:
+					f = 1
+				default:
+					f = 2
+				}
+				bits |= f << (2 * v)
+			}
+			c.Store(cu, w, bits)
+		}
+		cover = append(cover, cu)
+	}
+
+	// Iterative reduce: merge close pairs, drop covered cubes.
+	for pass := 0; pass < 4; pass++ {
+		var next []uint64
+		merged := make([]bool, len(cover))
+		for i := 0; i < len(cover); i++ {
+			if merged[i] {
+				continue
+			}
+			found := false
+			for j := i + 1; j < len(cover) && !found; j++ {
+				if merged[j] {
+					continue
+				}
+				switch {
+				case distance(c, cover[i], cover[j]) == 1:
+					m, err := consensus(c, cover[i], cover[j])
+					if err != nil {
+						return 0, err
+					}
+					if err := c.Free(cover[i]); err != nil {
+						return 0, err
+					}
+					if err := c.Free(cover[j]); err != nil {
+						return 0, err
+					}
+					merged[i], merged[j] = true, true
+					next = append(next, m)
+					found = true
+				case covers(c, cover[i], cover[j]):
+					if err := c.Free(cover[j]); err != nil {
+						return 0, err
+					}
+					merged[j] = true
+				}
+			}
+			if !found && !merged[i] {
+				next = append(next, cover[i])
+			}
+		}
+		cover = next
+	}
+
+	// Checksum the surviving cover, then release it.
+	var sum uint64 = 0x9747b28c
+	sum = mix(sum, uint64(len(cover)))
+	for _, cu := range cover {
+		for w := 0; w < cubeWords; w++ {
+			sum = mix(sum, c.Load(cu, w))
+		}
+		if err := c.Free(cu); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}

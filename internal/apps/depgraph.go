@@ -1,0 +1,149 @@
+package apps
+
+// depgraph is the MAKE-analogue kernel: a dependency graph of targets
+// with edge lists, built incrementally, traversed depth-first to
+// compute rebuild order, and partially torn down and rebuilt as
+// "makefiles change". Nodes persist (make's graph mostly does — Table
+// 2 shows make freeing only half its objects); edge cells churn.
+//
+// Node layout (words): [stamp][mark][edges]   (edges = packed list head)
+// Edge layout (words): [target][next]         (packed pointers)
+
+type depgraph struct{}
+
+func init() { register(depgraph{}) }
+
+func (depgraph) Name() string { return "depgraph" }
+
+func (depgraph) Description() string {
+	return "dependency graph build / topological traversal / incremental rebuild (MAKE)"
+}
+
+const (
+	ndStamp = 0
+	ndMark  = 1
+	ndEdges = 2
+	ndSize  = 3
+
+	edTarget = 0
+	edNext   = 1
+	edSize   = 2
+)
+
+type graph struct {
+	c     *Ctx
+	nodes []uint64 // host-side index of node addresses (the "symbol table")
+	clock uint64
+}
+
+func (g *graph) addNode() (uint64, error) {
+	n, err := g.c.Malloc(ndSize)
+	if err != nil {
+		return 0, err
+	}
+	g.clock++
+	g.c.Store(n, ndStamp, g.clock)
+	g.c.Store(n, ndMark, 0)
+	g.c.Store(n, ndEdges, 0)
+	g.nodes = append(g.nodes, n)
+	return n, nil
+}
+
+// addEdge links dependency dep under node n.
+func (g *graph) addEdge(n, dep uint64) error {
+	e, err := g.c.Malloc(edSize)
+	if err != nil {
+		return err
+	}
+	g.c.StorePtr(e, edTarget, dep)
+	g.c.StorePtr(e, edNext, g.c.LoadPtr(n, ndEdges))
+	g.c.StorePtr(n, ndEdges, e)
+	return nil
+}
+
+// dropEdges frees a node's whole edge list (a makefile rewrite).
+func (g *graph) dropEdges(n uint64) error {
+	e := g.c.LoadPtr(n, ndEdges)
+	for e != 0 {
+		next := g.c.LoadPtr(e, edNext)
+		if err := g.c.Free(e); err != nil {
+			return err
+		}
+		e = next
+	}
+	g.c.StorePtr(n, ndEdges, 0)
+	return nil
+}
+
+// visit performs the post-order rebuild walk, returning the newest
+// stamp in the subtree and folding the visit order into h.
+func (g *graph) visit(n uint64, epoch uint64, h *uint64) uint64 {
+	if g.c.Load(n, ndMark) == epoch {
+		return g.c.Load(n, ndStamp)
+	}
+	g.c.Store(n, ndMark, epoch)
+	newest := g.c.Load(n, ndStamp)
+	for e := g.c.LoadPtr(n, ndEdges); e != 0; e = g.c.LoadPtr(e, edNext) {
+		if s := g.visit(g.c.LoadPtr(e, edTarget), epoch, h); s > newest {
+			newest = s
+		}
+	}
+	// "Rebuild" when a dependency is newer.
+	if newest > g.c.Load(n, ndStamp) {
+		g.clock++
+		g.c.Store(n, ndStamp, g.clock)
+		*h = mix(*h, g.clock)
+	}
+	*h = mix(*h, newest)
+	return g.c.Load(n, ndStamp)
+}
+
+func (depgraph) Run(c *Ctx, size int) (uint64, error) {
+	g := &graph{c: c}
+	var sum uint64 = 0x85ebca6b
+
+	// Build: each node depends on a few earlier nodes (a DAG).
+	for i := 0; i < size; i++ {
+		n, err := g.addNode()
+		if err != nil {
+			return 0, err
+		}
+		deps := c.R.Intn(4)
+		for d := 0; d < deps && i > 0; d++ {
+			dep := g.nodes[c.R.Intn(i)]
+			if err := g.addEdge(n, dep); err != nil {
+				return 0, err
+			}
+		}
+		_ = n
+	}
+
+	epoch := uint64(0)
+	for round := 0; round < 5; round++ {
+		// Touch some sources (files changed).
+		for i := 0; i < size/10+1; i++ {
+			n := g.nodes[c.R.Intn(len(g.nodes))]
+			g.clock++
+			c.Store(n, ndStamp, g.clock)
+		}
+		// Full top-level walk.
+		epoch++
+		for i := len(g.nodes) - 1; i >= 0; i -= 7 {
+			g.visit(g.nodes[i], epoch, &sum)
+		}
+		// Incremental rewrite: a tenth of the nodes get fresh edges.
+		for i := 0; i < size/10+1; i++ {
+			n := g.nodes[c.R.Intn(len(g.nodes))]
+			if err := g.dropEdges(n); err != nil {
+				return 0, err
+			}
+			for d := 0; d < 1+c.R.Intn(3); d++ {
+				if err := g.addEdge(n, g.nodes[c.R.Intn(len(g.nodes))]); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	sum = mix(sum, g.clock)
+	return sum, nil
+}

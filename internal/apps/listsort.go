@@ -1,0 +1,168 @@
+package apps
+
+// listsort is the cons-cell kernel: build linked lists of random keys,
+// mergesort them by pointer surgery (no data is ever copied — exactly
+// the pattern that makes list locality allocator-dependent), verify
+// the order, and release the cells. Several rounds with surviving
+// "result" lists interleave allocation generations, so cells from
+// different rounds mingle in the heap the way interpreter workloads
+// mingle theirs.
+//
+// Cell layout (words): [value][next]
+
+type listsort struct{}
+
+func init() { register(listsort{}) }
+
+func (listsort) Name() string { return "listsort" }
+
+func (listsort) Description() string {
+	return "mergesort over heap cons cells with interleaved generations"
+}
+
+const (
+	cellVal  = 0
+	cellNext = 1
+	cellSize = 2
+)
+
+// buildList allocates n cells of random values, returning the head.
+func buildList(c *Ctx, n int) (uint64, error) {
+	var head uint64
+	for i := 0; i < n; i++ {
+		cell, err := c.Malloc(cellSize)
+		if err != nil {
+			return 0, err
+		}
+		c.Store(cell, cellVal, c.R.Uint64n(1<<30))
+		c.StorePtr(cell, cellNext, head)
+		head = cell
+	}
+	return head, nil
+}
+
+// split divides a list into two halves by the runner technique.
+func split(c *Ctx, head uint64) (uint64, uint64) {
+	if head == 0 {
+		return 0, 0
+	}
+	slow, fast := head, c.LoadPtr(head, cellNext)
+	for fast != 0 {
+		fast = c.LoadPtr(fast, cellNext)
+		if fast != 0 {
+			slow = c.LoadPtr(slow, cellNext)
+			fast = c.LoadPtr(fast, cellNext)
+		}
+	}
+	second := c.LoadPtr(slow, cellNext)
+	c.StorePtr(slow, cellNext, 0)
+	return head, second
+}
+
+// merge combines two sorted lists, stably, by pointer relinking.
+func merge(c *Ctx, a, b uint64) uint64 {
+	var head, tail uint64
+	appendCell := func(cell uint64) {
+		if tail == 0 {
+			head = cell
+		} else {
+			c.StorePtr(tail, cellNext, cell)
+		}
+		tail = cell
+	}
+	for a != 0 && b != 0 {
+		c.Compute(3)
+		if c.Load(a, cellVal) <= c.Load(b, cellVal) {
+			next := c.LoadPtr(a, cellNext)
+			appendCell(a)
+			a = next
+		} else {
+			next := c.LoadPtr(b, cellNext)
+			appendCell(b)
+			b = next
+		}
+	}
+	rest := a
+	if rest == 0 {
+		rest = b
+	}
+	if tail == 0 {
+		return rest
+	}
+	c.StorePtr(tail, cellNext, rest)
+	return head
+}
+
+// mergeSort sorts a list iteratively (bottom-up would allocate a work
+// array; the recursive form matches the classic cons-cell idiom).
+func mergeSort(c *Ctx, head uint64) uint64 {
+	if head == 0 || c.LoadPtr(head, cellNext) == 0 {
+		return head
+	}
+	a, b := split(c, head)
+	return merge(c, mergeSort(c, a), mergeSort(c, b))
+}
+
+// freeList releases every cell.
+func freeList(c *Ctx, head uint64) error {
+	for head != 0 {
+		next := c.LoadPtr(head, cellNext)
+		if err := c.Free(head); err != nil {
+			return err
+		}
+		head = next
+	}
+	return nil
+}
+
+func (listsort) Run(c *Ctx, size int) (uint64, error) {
+	var sum uint64 = 0x811c9dc5
+	var survivor uint64 // a sorted list kept across rounds
+	rounds := 6
+	for round := 0; round < rounds; round++ {
+		head, err := buildList(c, size)
+		if err != nil {
+			return 0, err
+		}
+		head = mergeSort(c, head)
+		// Verify order and fold values into the checksum.
+		prev := uint64(0)
+		count := 0
+		for cell := head; cell != 0; cell = c.LoadPtr(cell, cellNext) {
+			v := c.Load(cell, cellVal)
+			if v < prev {
+				return 0, errOutOfOrder
+			}
+			prev = v
+			sum = mix(sum, v)
+			count++
+		}
+		if count != size {
+			return 0, errLostCells
+		}
+		// Merge into the survivor list; every other round, release the
+		// survivor entirely (generational churn).
+		survivor = merge(c, survivor, head)
+		if round%2 == 1 {
+			if err := freeList(c, survivor); err != nil {
+				return 0, err
+			}
+			survivor = 0
+		}
+	}
+	if survivor != 0 {
+		if err := freeList(c, survivor); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+type appError string
+
+func (e appError) Error() string { return string(e) }
+
+const (
+	errOutOfOrder appError = "listsort: list out of order (allocator corruption?)"
+	errLostCells  appError = "listsort: cells lost during sort"
+)

@@ -1,0 +1,174 @@
+package apps
+
+// symtab is the GAWK-analogue kernel: an interpreter symbol table under
+// heavy churn. A chained hash table lives entirely in simulated memory
+// — the bucket array is one heap object, every entry another — and a
+// mixed stream of inserts, lookups, updates and deletes drives it,
+// with the table rehashing into a freshly allocated bucket array
+// whenever the load factor passes 2. The checksum folds in every
+// lookup result, so a single misplaced byte of allocator metadata
+// changes the answer.
+//
+// Entry layout (words): [key][value][next]
+
+type symtab struct{}
+
+func init() { register(symtab{}) }
+
+func (symtab) Name() string { return "symtab" }
+
+func (symtab) Description() string {
+	return "chained hash table under insert/lookup/delete churn with rehashing (GAWK)"
+}
+
+const (
+	entKey  = 0
+	entVal  = 1
+	entNext = 2
+	entSize = 3
+)
+
+type table struct {
+	c       *Ctx
+	buckets uint64 // heap object: [nbuckets words of entry pointers]
+	n       int    // bucket count
+	used    int    // live entries
+}
+
+func newTable(c *Ctx, n int) (*table, error) {
+	b, err := c.Malloc(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		c.Store(b, i, 0)
+	}
+	return &table{c: c, buckets: b, n: n}, nil
+}
+
+func (t *table) bucketOf(key uint64) int {
+	t.c.Compute(3)
+	return int((key * 2654435761) % uint64(t.n))
+}
+
+// lookup returns the entry address for key, or 0.
+func (t *table) lookup(key uint64) uint64 {
+	e := t.c.LoadPtr(t.buckets, t.bucketOf(key))
+	for e != 0 {
+		t.c.Compute(2)
+		if t.c.Load(e, entKey) == key {
+			return e
+		}
+		e = t.c.LoadPtr(e, entNext)
+	}
+	return 0
+}
+
+// insert adds or updates key.
+func (t *table) insert(key, val uint64) error {
+	if e := t.lookup(key); e != 0 {
+		t.c.Store(e, entVal, val)
+		return nil
+	}
+	e, err := t.c.Malloc(entSize)
+	if err != nil {
+		return err
+	}
+	b := t.bucketOf(key)
+	t.c.Store(e, entKey, key)
+	t.c.Store(e, entVal, val)
+	t.c.StorePtr(e, entNext, t.c.LoadPtr(t.buckets, b))
+	t.c.StorePtr(t.buckets, b, e)
+	t.used++
+	if t.used > 2*t.n {
+		return t.rehash()
+	}
+	return nil
+}
+
+// remove deletes key if present, returning whether it was.
+func (t *table) remove(key uint64) (bool, error) {
+	b := t.bucketOf(key)
+	var prev uint64
+	e := t.c.LoadPtr(t.buckets, b)
+	for e != 0 {
+		t.c.Compute(2)
+		if t.c.Load(e, entKey) == key {
+			next := t.c.LoadPtr(e, entNext)
+			if prev == 0 {
+				t.c.StorePtr(t.buckets, b, next)
+			} else {
+				t.c.StorePtr(prev, entNext, next)
+			}
+			if err := t.c.Free(e); err != nil {
+				return false, err
+			}
+			t.used--
+			return true, nil
+		}
+		prev = e
+		e = t.c.LoadPtr(e, entNext)
+	}
+	return false, nil
+}
+
+// rehash doubles the bucket array, relinking every entry (an intense
+// burst of pointer writes across the whole table).
+func (t *table) rehash() error {
+	oldBuckets, oldN := t.buckets, t.n
+	nb, err := t.c.Malloc(oldN * 2)
+	if err != nil {
+		return err
+	}
+	t.buckets = nb
+	t.n = oldN * 2
+	for i := 0; i < t.n; i++ {
+		t.c.Store(nb, i, 0)
+	}
+	for i := 0; i < oldN; i++ {
+		e := t.c.LoadPtr(oldBuckets, i)
+		for e != 0 {
+			next := t.c.LoadPtr(e, entNext)
+			b := t.bucketOf(t.c.Load(e, entKey))
+			t.c.StorePtr(e, entNext, t.c.LoadPtr(t.buckets, b))
+			t.c.StorePtr(t.buckets, b, e)
+			e = next
+		}
+	}
+	return t.c.Free(oldBuckets)
+}
+
+func (symtab) Run(c *Ctx, size int) (uint64, error) {
+	t, err := newTable(c, 16)
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64 = 14695981039346656037 & 0xffffffff
+	keyspace := uint64(size)*2 + 16
+	for op := 0; op < size*8; op++ {
+		key := c.R.Uint64n(keyspace) + 1
+		switch c.R.Intn(10) {
+		case 0, 1, 2, 3: // insert/update
+			if err := t.insert(key, uint64(op)&0xffffffff); err != nil {
+				return 0, err
+			}
+		case 4, 5: // delete
+			ok, err := t.remove(key)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				sum = mix(sum, key)
+			}
+		default: // lookup
+			if e := t.lookup(key); e != 0 {
+				sum = mix(sum, t.c.Load(e, entVal))
+			} else {
+				sum = mix(sum, 0xdead)
+			}
+		}
+	}
+	sum = mix(sum, uint64(t.used))
+	sum = mix(sum, uint64(t.n))
+	return sum, nil
+}

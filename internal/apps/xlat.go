@@ -1,0 +1,122 @@
+package apps
+
+// xlat is the PTC-analogue kernel: a translator that builds abstract
+// syntax trees and walks them repeatedly, freeing nothing (the paper's
+// Table 2 shows ptc frees zero of its 103k objects). Random arithmetic
+// expressions are parsed into heap nodes; each tree is then evaluated
+// several times (pure pointer-chasing reads over allocator-placed
+// nodes) and "emitted" via a second traversal that computes a structure
+// hash. The heap grows monotonically, exactly like ptc's.
+//
+// Node layout (words): [kind][a][b]
+//   kind 0: literal    — a = value
+//   kind 1: add        — a, b = packed child pointers
+//   kind 2: mul        — a, b = packed child pointers
+//   kind 3: neg        — a = packed child pointer
+
+type xlat struct{}
+
+func init() { register(xlat{}) }
+
+func (xlat) Name() string { return "xlat" }
+
+func (xlat) Description() string {
+	return "expression trees built once, walked repeatedly, never freed (PTC)"
+}
+
+const (
+	nodeKind = 0
+	nodeA    = 1
+	nodeB    = 2
+	nodeSize = 3
+
+	kindLit = 0
+	kindAdd = 1
+	kindMul = 2
+	kindNeg = 3
+)
+
+// genTree builds a random expression tree of the given depth budget.
+func genTree(c *Ctx, depth int) (uint64, error) {
+	n, err := c.Malloc(nodeSize)
+	if err != nil {
+		return 0, err
+	}
+	if depth == 0 || c.R.Bool(0.3) {
+		c.Store(n, nodeKind, kindLit)
+		c.Store(n, nodeA, c.R.Uint64n(1000))
+		c.Store(n, nodeB, 0)
+		return n, nil
+	}
+	kind := uint64(1 + c.R.Intn(3))
+	c.Store(n, nodeKind, kind)
+	a, err := genTree(c, depth-1)
+	if err != nil {
+		return 0, err
+	}
+	c.StorePtr(n, nodeA, a)
+	if kind == kindNeg {
+		c.Store(n, nodeB, 0)
+	} else {
+		b, err := genTree(c, depth-1)
+		if err != nil {
+			return 0, err
+		}
+		c.StorePtr(n, nodeB, b)
+	}
+	return n, nil
+}
+
+// eval walks the tree computing its value modulo 2^32.
+func eval(c *Ctx, n uint64) uint64 {
+	c.Compute(2)
+	switch c.Load(n, nodeKind) {
+	case kindLit:
+		return c.Load(n, nodeA)
+	case kindAdd:
+		return (eval(c, c.LoadPtr(n, nodeA)) + eval(c, c.LoadPtr(n, nodeB))) & 0xffffffff
+	case kindMul:
+		return (eval(c, c.LoadPtr(n, nodeA)) * eval(c, c.LoadPtr(n, nodeB))) & 0xffffffff
+	default: // kindNeg
+		return (-eval(c, c.LoadPtr(n, nodeA))) & 0xffffffff
+	}
+}
+
+// emit performs the "code generation" traversal: a structural hash
+// that visits children in order.
+func emit(c *Ctx, n uint64, h uint64) uint64 {
+	kind := c.Load(n, nodeKind)
+	h = mix(h, kind)
+	if kind == kindLit {
+		return mix(h, c.Load(n, nodeA))
+	}
+	h = emit(c, c.LoadPtr(n, nodeA), h)
+	if kind != kindNeg {
+		h = emit(c, c.LoadPtr(n, nodeB), h)
+	}
+	return h
+}
+
+func (xlat) Run(c *Ctx, size int) (uint64, error) {
+	var sum uint64 = 0x01000193
+	var trees []uint64
+	nTrees := size/12 + 2
+	for i := 0; i < nTrees; i++ {
+		t, err := genTree(c, 3+c.R.Intn(5))
+		if err != nil {
+			return 0, err
+		}
+		trees = append(trees, t)
+		// Translate-time passes over the newest tree.
+		sum = mix(sum, eval(c, t))
+		sum = emit(c, t, sum)
+	}
+	// "Optimization" passes revisit all trees (old pages stay hot-ish,
+	// as ptc's do).
+	for pass := 0; pass < 3; pass++ {
+		for _, t := range trees {
+			sum = mix(sum, eval(c, t))
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,341 @@
+// Package cache implements the data-cache simulators used to reproduce
+// the paper's cache-locality experiments.
+//
+// The paper simulates direct-mapped caches with 32-byte blocks at sizes
+// from 16 KB to 256 KB (a modified Tycho simulator consuming Pixie
+// traces). This package provides the same model — a direct-mapped
+// simulator — plus an N-way set-associative LRU simulator as an
+// extension (the paper cites Wilson's associativity studies as related
+// work), and a Group that feeds one reference stream to many
+// configurations in a single pass.
+//
+// Only data references are simulated; the paper assumes a 0% instruction
+// cache miss rate, making its (and our) execution-time predictions
+// conservative.
+package cache
+
+import (
+	"fmt"
+
+	"mallocsim/internal/trace"
+)
+
+// DefaultLineSize is the paper's cache block size (32 bytes).
+const DefaultLineSize = 32
+
+// Config describes one cache to simulate.
+type Config struct {
+	// Size is the total capacity in bytes. Must be a power of two and a
+	// multiple of LineSize*Assoc.
+	Size uint64
+	// LineSize is the block size in bytes (power of two). Defaults to 32.
+	LineSize uint64
+	// Assoc is the set associativity; 1 (direct-mapped) if zero.
+	Assoc int
+	// NoWriteAllocate makes write misses bypass the cache (counted as
+	// misses but not filling a line). The default is write-allocate,
+	// matching the paper's Tycho configuration.
+	NoWriteAllocate bool
+	// FlushInterval, when non-zero, invalidates the whole cache every
+	// that many line accesses, modelling context-switch interference —
+	// the effect the paper's §3.2 deliberately excludes ("we
+	// intentionally avoid introducing the effects of intermittent cache
+	// flushes") and that Mogul & Borg quantify.
+	FlushInterval uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineSize == 0 {
+		c.LineSize = DefaultLineSize
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 1
+	}
+	return c
+}
+
+// String renders e.g. "64K/32B direct-mapped" or "16K/32B 4-way".
+func (c Config) String() string {
+	c = c.withDefaults()
+	assoc := "direct-mapped"
+	if c.Assoc > 1 {
+		assoc = fmt.Sprintf("%d-way", c.Assoc)
+	}
+	return fmt.Sprintf("%s/%dB %s", sizeStr(c.Size), c.LineSize, assoc)
+}
+
+func sizeStr(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Cache simulates a single cache configuration. It implements
+// trace.Sink. The zero value is not usable; call New.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	// tags holds, per set, assoc line tags maintained in LRU order
+	// (index 0 = most recently used). invalidTag marks empty ways; the
+	// top bit of a valid tag is its write-back dirty flag.
+	tags []uint64
+
+	accesses   uint64
+	misses     uint64
+	writebacks uint64
+}
+
+const (
+	invalidTag = ^uint64(0)
+	dirtyFlag  = uint64(1) << 63
+	lineMask   = dirtyFlag - 1
+)
+
+// New builds a cache simulator for cfg. It panics on invalid geometry
+// (these are programmer errors in experiment setup).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	if cfg.LineSize == 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineSize))
+	}
+	if cfg.Assoc < 1 {
+		panic("cache: associativity must be >= 1")
+	}
+	lines := cfg.Size / cfg.LineSize
+	if lines == 0 || cfg.Size%cfg.LineSize != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of line size %d", cfg.Size, cfg.LineSize))
+	}
+	sets := lines / uint64(cfg.Assoc)
+	if sets == 0 || lines%uint64(cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by associativity %d", lines, cfg.Assoc))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	shift := uint(0)
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   sets - 1,
+		assoc:     cfg.Assoc,
+		tags:      make([]uint64, lines),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// Config returns the cache's configuration (with defaults applied).
+func (c *Cache) Config() Config { return c.cfg }
+
+// Ref implements trace.Sink. A reference spanning multiple lines counts
+// as one access per line touched.
+func (c *Cache) Ref(r trace.Ref) {
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	write := r.Kind == trace.Write
+	first := r.Addr >> c.lineShift
+	last := (r.Addr + size - 1) >> c.lineShift
+	for line := first; ; line++ {
+		c.accessLine(line, write)
+		if line == last {
+			break
+		}
+	}
+}
+
+func (c *Cache) accessLine(line uint64, write bool) {
+	c.accesses++
+	if c.cfg.FlushInterval != 0 && c.accesses%c.cfg.FlushInterval == 0 {
+		c.invalidate()
+	}
+	noFill := write && c.cfg.NoWriteAllocate
+	fillTag := line
+	if write {
+		fillTag |= dirtyFlag
+	}
+	set := line & c.setMask
+	if c.assoc == 1 {
+		// Direct-mapped fast path.
+		t := c.tags[set]
+		if t != invalidTag && t&lineMask == line {
+			if write {
+				c.tags[set] = t | dirtyFlag
+			}
+			return
+		}
+		c.misses++
+		if !noFill {
+			if t != invalidTag && t&dirtyFlag != 0 {
+				c.writebacks++
+			}
+			c.tags[set] = fillTag
+		}
+		return
+	}
+	ways := c.tags[set*uint64(c.assoc) : (set+1)*uint64(c.assoc)]
+	for i, t := range ways {
+		if t != invalidTag && t&lineMask == line {
+			// Hit: move to front (LRU order maintenance).
+			if write {
+				t |= dirtyFlag
+			}
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = t
+			return
+		}
+	}
+	// Miss: evict LRU (last way), insert at front.
+	c.misses++
+	if !noFill {
+		if lru := ways[len(ways)-1]; lru != invalidTag && lru&dirtyFlag != 0 {
+			c.writebacks++
+		}
+		copy(ways[1:], ways[:len(ways)-1])
+		ways[0] = fillTag
+	}
+}
+
+func (c *Cache) invalidate() {
+	for i := range c.tags {
+		if t := c.tags[i]; t != invalidTag && t&dirtyFlag != 0 {
+			c.writebacks++
+		}
+		c.tags[i] = invalidTag
+	}
+}
+
+// Accesses returns the number of line accesses simulated.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Writebacks returns the number of dirty lines evicted (write-back bus
+// traffic beyond line fills). Invalidations (Reset, FlushInterval) also
+// write dirty lines back.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// MissRate returns misses/accesses, or 0 when empty.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.invalidate()
+	c.accesses = 0
+	c.misses = 0
+	c.writebacks = 0
+}
+
+// Result summarizes one simulated cache after a run.
+type Result struct {
+	Config   Config
+	Accesses uint64
+	Misses   uint64
+	// ColdLines is the number of distinct lines referenced during the
+	// run; the first access to each necessarily misses in any cache, so
+	// this is the cold-miss count (identical across configurations).
+	ColdLines uint64
+}
+
+// MissRate returns the overall miss ratio.
+func (r Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// ConflictMisses returns misses beyond the cold (compulsory) misses.
+func (r Result) ConflictMisses() uint64 {
+	if r.Misses < r.ColdLines {
+		return 0
+	}
+	return r.Misses - r.ColdLines
+}
+
+// Group feeds one reference stream to several cache configurations and
+// tracks the distinct-line (cold miss) count once for all of them. It
+// implements trace.Sink.
+type Group struct {
+	caches []*Cache
+	// seen tracks distinct line numbers. Footprints are bounded by the
+	// simulated heap (a few MB), so a map is fine even for long traces.
+	seen      map[uint64]struct{}
+	lineShift uint
+}
+
+// NewGroup builds a group over the given configurations. All configs
+// must share one line size (the paper's experiments all use 32 bytes).
+func NewGroup(cfgs ...Config) *Group {
+	if len(cfgs) == 0 {
+		panic("cache: empty group")
+	}
+	g := &Group{seen: make(map[uint64]struct{})}
+	var lineSize uint64
+	for _, cfg := range cfgs {
+		c := New(cfg)
+		if lineSize == 0 {
+			lineSize = c.cfg.LineSize
+			g.lineShift = c.lineShift
+		} else if c.cfg.LineSize != lineSize {
+			panic("cache: group configs must share a line size")
+		}
+		g.caches = append(g.caches, c)
+	}
+	return g
+}
+
+// Ref implements trace.Sink.
+func (g *Group) Ref(r trace.Ref) {
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	write := r.Kind == trace.Write
+	first := r.Addr >> g.lineShift
+	last := (r.Addr + size - 1) >> g.lineShift
+	for line := first; ; line++ {
+		g.seen[line] = struct{}{}
+		for _, c := range g.caches {
+			c.accessLine(line, write)
+		}
+		if line == last {
+			break
+		}
+	}
+}
+
+// Caches returns the member simulators in construction order.
+func (g *Group) Caches() []*Cache { return g.caches }
+
+// DistinctLines returns the number of distinct cache lines referenced.
+func (g *Group) DistinctLines() uint64 { return uint64(len(g.seen)) }
+
+// Results summarizes every member cache.
+func (g *Group) Results() []Result {
+	out := make([]Result, len(g.caches))
+	cold := g.DistinctLines()
+	for i, c := range g.caches {
+		out[i] = Result{Config: c.cfg, Accesses: c.accesses, Misses: c.misses, ColdLines: cold}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mallocsim/internal/trace"
+)
+
+func ref(addr uint64) trace.Ref { return trace.Ref{Addr: addr, Size: 4, Kind: trace.Read} }
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{Size: 16 << 10})
+	if c.Config().LineSize != DefaultLineSize || c.Config().Assoc != 1 {
+		t.Errorf("defaults: %+v", c.Config())
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Size: 16 << 10}, "16K/32B direct-mapped"},
+		{Config{Size: 1 << 20, Assoc: 4}, "1M/32B 4-way"},
+		{Config{Size: 512, LineSize: 16, Assoc: 2}, "512/16B 2-way"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 1000},                         // not multiple of line
+		{Size: 96, LineSize: 32},             // 3 sets: not a power of two
+		{Size: 64, LineSize: 48},             // line not power of two
+		{Size: 32, LineSize: 32, Assoc: 3},   // lines not divisible
+		{Size: 128, LineSize: 32, Assoc: -1}, // bad assoc
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v: expected panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 128-byte cache, 32-byte lines: 4 sets. Addresses 0 and 128 map to
+	// set 0 and evict each other; address 32 maps to set 1.
+	c := New(Config{Size: 128})
+	c.Ref(ref(0))   // miss
+	c.Ref(ref(0))   // hit
+	c.Ref(ref(128)) // miss, evicts 0
+	c.Ref(ref(0))   // miss again
+	c.Ref(ref(32))  // miss, different set
+	c.Ref(ref(32))  // hit
+	if c.Misses() != 4 || c.Accesses() != 6 {
+		t.Errorf("misses=%d accesses=%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestAssocLRU(t *testing.T) {
+	// One set of 2 ways (64-byte cache): lines 0, 2, 4 all map to set 0.
+	c := New(Config{Size: 64, Assoc: 2})
+	c.Ref(ref(0))   // miss {0}
+	c.Ref(ref(64))  // miss {64,0}
+	c.Ref(ref(0))   // hit  {0,64}
+	c.Ref(ref(128)) // miss, evicts 64 -> {128,0}
+	c.Ref(ref(0))   // hit
+	c.Ref(ref(64))  // miss (was evicted)
+	if c.Misses() != 4 {
+		t.Errorf("misses=%d, want 4", c.Misses())
+	}
+}
+
+func TestAssocOneEqualsDirectMapped(t *testing.T) {
+	a := New(Config{Size: 4096, Assoc: 1})
+	b := New(Config{Size: 4096, Assoc: 1})
+	_ = b
+	dm := New(Config{Size: 4096})
+	seed := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addr := (seed >> 16) % (64 << 10)
+		a.Ref(ref(addr))
+		dm.Ref(ref(addr))
+	}
+	if a.Misses() != dm.Misses() {
+		t.Errorf("assoc=1 misses %d != direct-mapped %d", a.Misses(), dm.Misses())
+	}
+}
+
+func TestLineSpanningRef(t *testing.T) {
+	c := New(Config{Size: 1024})
+	c.Ref(trace.Ref{Addr: 30, Size: 8}) // spans lines 0 and 1
+	if c.Accesses() != 2 || c.Misses() != 2 {
+		t.Errorf("accesses=%d misses=%d, want 2/2", c.Accesses(), c.Misses())
+	}
+	c.Ref(trace.Ref{Addr: 0, Size: 0}) // zero size counts as 1 byte
+	if c.Accesses() != 3 {
+		t.Errorf("zero-size ref not counted")
+	}
+}
+
+func TestFullyAssocOnlyColdMisses(t *testing.T) {
+	// Working set of 16 lines in a 16-line fully-associative cache:
+	// after the cold pass, everything hits forever.
+	c := New(Config{Size: 512, Assoc: 16})
+	for pass := 0; pass < 10; pass++ {
+		for i := uint64(0); i < 16; i++ {
+			c.Ref(ref(i * 32))
+		}
+	}
+	if c.Misses() != 16 {
+		t.Errorf("misses=%d, want 16 cold only", c.Misses())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{Size: 128})
+	c.Ref(ref(0))
+	c.Reset()
+	if c.Misses() != 0 || c.Accesses() != 0 || c.MissRate() != 0 {
+		t.Error("reset incomplete")
+	}
+	c.Ref(ref(0))
+	if c.Misses() != 1 {
+		t.Error("reset must clear contents (cold again)")
+	}
+}
+
+func TestGroupColdAndResults(t *testing.T) {
+	// Lines 0, 4 and 64: distinct sets in the 4 KB cache (128 sets), but
+	// lines 0 and 64 collide in the 128-byte cache (4 sets... 64 % 4 == 0).
+	g := NewGroup(Config{Size: 128}, Config{Size: 4096})
+	for i := 0; i < 3; i++ {
+		g.Ref(ref(0))
+		g.Ref(ref(128))
+		g.Ref(ref(2048))
+	}
+	if g.DistinctLines() != 3 {
+		t.Errorf("distinct lines = %d", g.DistinctLines())
+	}
+	rs := g.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	small, big := rs[0], rs[1]
+	if small.ColdLines != 3 || big.ColdLines != 3 {
+		t.Error("cold lines wrong")
+	}
+	// 4 KB cache holds all three lines: cold misses only.
+	if big.Misses != 3 || big.ConflictMisses() != 0 {
+		t.Errorf("big cache misses=%d conflict=%d", big.Misses, big.ConflictMisses())
+	}
+	if small.Misses <= big.Misses {
+		t.Error("small cache should conflict-miss more")
+	}
+	if small.MissRate() <= big.MissRate() {
+		t.Error("miss rates out of order")
+	}
+}
+
+func TestGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty group must panic")
+		}
+	}()
+	NewGroup()
+}
+
+func TestGroupMixedLineSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed line sizes must panic")
+		}
+	}()
+	NewGroup(Config{Size: 128, LineSize: 32}, Config{Size: 128, LineSize: 16})
+}
+
+// Property: for any reference stream, a larger cache of equal geometry
+// never misses more than a smaller one... (not true in general for
+// direct-mapped caches! Belady anomalies exist for conflict misses).
+// The properties that DO hold and are checked here:
+//   - misses never exceed accesses,
+//   - misses are at least the distinct-line count (cold) for any cache,
+//   - a fully-associative LRU cache exhibits the inclusion property:
+//     bigger is never worse.
+func TestQuickCacheInvariants(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		small := New(Config{Size: 256, Assoc: 8}) // fully assoc: 8 lines
+		big := New(Config{Size: 1024, Assoc: 32}) // fully assoc: 32 lines
+		dm := New(Config{Size: 512})              // direct-mapped
+		seen := map[uint64]bool{}
+		for _, v := range raw {
+			addr := uint64(v) * 8
+			small.Ref(ref(addr))
+			big.Ref(ref(addr))
+			dm.Ref(ref(addr))
+			seen[addr/32] = true
+		}
+		cold := uint64(len(seen))
+		if dm.Misses() > dm.Accesses() || dm.Misses() < cold {
+			return false
+		}
+		if big.Misses() > small.Misses() {
+			return false // LRU inclusion property violated
+		}
+		return big.Misses() >= cold
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"mallocsim/internal/cache"
+	"mallocsim/internal/trace"
+)
+
+// A direct-mapped cache with two conflicting lines ping-pongs; a victim
+// buffer absorbs the conflict.
+func ExampleNew() {
+	c := cache.New(cache.Config{Size: 128}) // 4 sets of 32-byte lines
+	for i := 0; i < 10; i++ {
+		c.Ref(trace.Ref{Addr: 0, Size: 4})
+		c.Ref(trace.Ref{Addr: 128, Size: 4}) // same set as address 0
+	}
+	fmt.Printf("accesses=%d misses=%d\n", c.Accesses(), c.Misses())
+	// Output: accesses=20 misses=20
+}
+
+func ExampleNewVictim() {
+	v := cache.NewVictim(cache.Config{Size: 128}, 4)
+	for i := 0; i < 10; i++ {
+		v.Ref(trace.Ref{Addr: 0, Size: 4})
+		v.Ref(trace.Ref{Addr: 128, Size: 4})
+	}
+	fmt.Printf("misses=%d rescued=%d\n", v.Misses(), v.VictimHits())
+	// Output: misses=2 rescued=18
+}
+
+// A Group simulates several cache sizes in one pass over the trace and
+// reports the shared cold-miss count.
+func ExampleNewGroup() {
+	g := cache.NewGroup(cache.Config{Size: 128}, cache.Config{Size: 4096})
+	for i := 0; i < 5; i++ {
+		g.Ref(trace.Ref{Addr: 0, Size: 4})
+		g.Ref(trace.Ref{Addr: 2048, Size: 4})
+	}
+	for _, res := range g.Results() {
+		fmt.Printf("%s: misses=%d cold=%d\n", res.Config, res.Misses, res.ColdLines)
+	}
+	// Output:
+	// 128/32B direct-mapped: misses=10 cold=2
+	// 4K/32B direct-mapped: misses=2 cold=2
+}
+
+// A two-level hierarchy turns most L1 misses into cheap L2 hits.
+func ExampleNewHierarchy() {
+	h := cache.NewHierarchy(cache.Config{Size: 128}, cache.Config{Size: 4096})
+	for i := 0; i < 10; i++ {
+		h.Ref(trace.Ref{Addr: 0, Size: 4})
+		h.Ref(trace.Ref{Addr: 128, Size: 4})
+	}
+	fmt.Printf("L1 misses=%d, memory misses=%d\n", h.L1Misses(), h.L2Misses())
+	// Output: L1 misses=20, memory misses=2
+}

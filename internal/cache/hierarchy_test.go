@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"testing"
+
+	"mallocsim/internal/rng"
+	"mallocsim/internal/trace"
+)
+
+func TestHierarchyBasics(t *testing.T) {
+	h := NewHierarchy(Config{Size: 128}, Config{Size: 4096})
+	// Lines 0 and 4 (addr 0, 128) conflict in L1 (4 sets) but coexist
+	// in L2 (128 sets).
+	for i := 0; i < 100; i++ {
+		h.Ref(trace.Ref{Addr: 0, Size: 4})
+		h.Ref(trace.Ref{Addr: 128, Size: 4})
+	}
+	if h.Accesses() != 200 {
+		t.Fatalf("accesses %d", h.Accesses())
+	}
+	if h.L1Misses() != 200 {
+		t.Errorf("L1 misses %d, want 200 (ping-pong)", h.L1Misses())
+	}
+	if h.L2Misses() != 2 {
+		t.Errorf("L2 misses %d, want 2 cold", h.L2Misses())
+	}
+	// Stalls: 198 L2 hits at (12-1) + 2 memory at (200-1).
+	if want := uint64(198*11 + 2*199); h.StallCycles() != want {
+		t.Errorf("stalls %d, want %d", h.StallCycles(), want)
+	}
+	if h.L1MissRate() != 1.0 {
+		t.Errorf("L1 miss rate %v", h.L1MissRate())
+	}
+	if got := h.GlobalMissRate(); got != 0.01 {
+		t.Errorf("global miss rate %v", got)
+	}
+}
+
+func TestHierarchyInclusionOfCounts(t *testing.T) {
+	// L2 misses can never exceed L1 misses, and both are bounded by
+	// accesses, on arbitrary traffic.
+	h := NewHierarchy(Config{Size: 1 << 10}, Config{Size: 16 << 10, Assoc: 4})
+	r := rng.New(9)
+	for i := 0; i < 100000; i++ {
+		h.Ref(trace.Ref{Addr: r.Uint64n(128 << 10), Size: 4, Kind: trace.Kind(r.Intn(2))})
+	}
+	if h.L2Misses() > h.L1Misses() || h.L1Misses() > h.Accesses() {
+		t.Errorf("count ordering violated: %d/%d/%d", h.L2Misses(), h.L1Misses(), h.Accesses())
+	}
+	if h.L2Misses() == 0 || h.L1Misses() == h.L2Misses() {
+		t.Error("expected both L2 hits and misses under random traffic")
+	}
+}
+
+func TestHierarchyLineSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on line-size mismatch")
+		}
+	}()
+	NewHierarchy(Config{Size: 128, LineSize: 32}, Config{Size: 4096, LineSize: 64})
+}
+
+func TestWritebacks(t *testing.T) {
+	c := New(Config{Size: 128}) // 4 sets
+	// Read-only conflict traffic: no writebacks ever.
+	for i := 0; i < 50; i++ {
+		c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+		c.Ref(trace.Ref{Addr: 128, Size: 4, Kind: trace.Read})
+	}
+	if c.Writebacks() != 0 {
+		t.Fatalf("read-only traffic produced %d writebacks", c.Writebacks())
+	}
+	c.Reset()
+	// Write ping-pong: every eviction writes a dirty line back.
+	for i := 0; i < 50; i++ {
+		c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})
+		c.Ref(trace.Ref{Addr: 128, Size: 4, Kind: trace.Write})
+	}
+	if wb := c.Writebacks(); wb != 99 {
+		t.Errorf("write ping-pong writebacks = %d, want 99", wb)
+	}
+}
+
+func TestWritebacksDirtyOnlyOnce(t *testing.T) {
+	c := New(Config{Size: 128})
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})  // dirty line 0
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})   // hit, stays dirty
+	c.Ref(trace.Ref{Addr: 128, Size: 4, Kind: trace.Read}) // evicts dirty 0
+	if c.Writebacks() != 1 {
+		t.Errorf("writebacks %d, want 1", c.Writebacks())
+	}
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read}) // evicts clean 4
+	if c.Writebacks() != 1 {
+		t.Errorf("clean eviction wrote back: %d", c.Writebacks())
+	}
+}
+
+func TestWritebacksAssoc(t *testing.T) {
+	c := New(Config{Size: 64, Assoc: 2}) // one set, two ways
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})
+	c.Ref(trace.Ref{Addr: 64, Size: 4, Kind: trace.Read})
+	c.Ref(trace.Ref{Addr: 128, Size: 4, Kind: trace.Read}) // evicts dirty 0
+	if c.Writebacks() != 1 {
+		t.Errorf("assoc writebacks %d, want 1", c.Writebacks())
+	}
+	c.Ref(trace.Ref{Addr: 192, Size: 4, Kind: trace.Read}) // evicts clean 64... wait LRU
+	if c.Writebacks() != 1 {
+		t.Errorf("clean assoc eviction wrote back: %d", c.Writebacks())
+	}
+}
+
+func TestFlushCountsDirtyWritebacks(t *testing.T) {
+	c := New(Config{Size: 4096, FlushInterval: 10})
+	for i := 0; i < 9; i++ {
+		c.Ref(trace.Ref{Addr: uint64(i) * 32, Size: 4, Kind: trace.Write})
+	}
+	if c.Writebacks() != 0 {
+		t.Fatal("premature writebacks")
+	}
+	c.Ref(trace.Ref{Addr: 9 * 32, Size: 4, Kind: trace.Write}) // 10th access flushes first
+	if c.Writebacks() != 9 {
+		t.Errorf("flush wrote back %d dirty lines, want 9", c.Writebacks())
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"testing"
+
+	"mallocsim/internal/rng"
+	"mallocsim/internal/trace"
+)
+
+func TestVictimRescuesConflicts(t *testing.T) {
+	// Two lines ping-ponging on one set of a direct-mapped cache: the
+	// plain cache misses every access after the first two; a 4-entry
+	// victim buffer turns all of those into victim hits.
+	plain := New(Config{Size: 128})
+	victim := NewVictim(Config{Size: 128}, 4)
+	for i := 0; i < 100; i++ {
+		for _, addr := range []uint64{0, 128} {
+			r := trace.Ref{Addr: addr, Size: 4}
+			plain.Ref(r)
+			victim.Ref(r)
+		}
+	}
+	if plain.Misses() != 200 {
+		t.Errorf("plain cache misses = %d, want 200 (ping-pong)", plain.Misses())
+	}
+	if victim.Misses() != 2 {
+		t.Errorf("victim cache full misses = %d, want 2 cold", victim.Misses())
+	}
+	if victim.VictimHits() != 198 {
+		t.Errorf("victim hits = %d, want 198", victim.VictimHits())
+	}
+	if victim.Accesses() != 200 {
+		t.Errorf("accesses = %d", victim.Accesses())
+	}
+}
+
+func TestVictimLRUEviction(t *testing.T) {
+	// 1-entry victim buffer: three-way ping-pong cannot be rescued.
+	v := NewVictim(Config{Size: 128}, 1)
+	for i := 0; i < 50; i++ {
+		for _, addr := range []uint64{0, 128, 256} {
+			v.Ref(trace.Ref{Addr: addr, Size: 4})
+		}
+	}
+	if v.VictimHits() != 0 {
+		t.Errorf("1-entry buffer rescued %d of a 3-way ping-pong", v.VictimHits())
+	}
+	// But a 2-entry buffer rescues everything after warmup.
+	v2 := NewVictim(Config{Size: 128}, 2)
+	for i := 0; i < 50; i++ {
+		for _, addr := range []uint64{0, 128, 256} {
+			v2.Ref(trace.Ref{Addr: addr, Size: 4})
+		}
+	}
+	if v2.Misses() != 3 {
+		t.Errorf("2-entry buffer misses = %d, want 3 cold", v2.Misses())
+	}
+}
+
+func TestVictimNeverWorseThanPlain(t *testing.T) {
+	plain := New(Config{Size: 1024})
+	victim := NewVictim(Config{Size: 1024}, 4)
+	r := rng.New(31)
+	for i := 0; i < 50000; i++ {
+		ref := trace.Ref{Addr: r.Uint64n(16 << 10), Size: 4}
+		plain.Ref(ref)
+		victim.Ref(ref)
+	}
+	if victim.Misses() > plain.Misses() {
+		t.Errorf("victim cache missed more (%d) than plain (%d)", victim.Misses(), plain.Misses())
+	}
+	if victim.MissRate() > plain.MissRate() {
+		t.Error("miss rate ordering violated")
+	}
+	if victim.Config().Size != 1024 || victim.Entries() != 4 {
+		t.Error("config accessors wrong")
+	}
+}
+
+func TestVictimPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewVictim(Config{Size: 128, Assoc: 2}, 4) },
+		func() { NewVictim(Config{Size: 128}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFlushInterval(t *testing.T) {
+	// Without flushes, a resident working set hits forever; with a
+	// flush every 100 accesses, misses recur.
+	plain := New(Config{Size: 4096})
+	flushy := New(Config{Size: 4096, FlushInterval: 100})
+	for i := 0; i < 10000; i++ {
+		addr := uint64(i%8) * 32
+		r := trace.Ref{Addr: addr, Size: 4}
+		plain.Ref(r)
+		flushy.Ref(r)
+	}
+	if plain.Misses() != 8 {
+		t.Errorf("plain misses = %d, want 8 cold", plain.Misses())
+	}
+	if flushy.Misses() < 8*90 {
+		t.Errorf("flushing cache misses = %d, want ~%d (8 per flush)", flushy.Misses(), 8*100)
+	}
+}
+
+func TestNoWriteAllocate(t *testing.T) {
+	c := New(Config{Size: 4096, NoWriteAllocate: true})
+	// Write miss: counted, not filled.
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})
+	if c.Misses() != 1 {
+		t.Fatalf("write miss not counted")
+	}
+	// A following read to the same line still misses (line not filled).
+	c.Ref(trace.Ref{Addr: 8, Size: 4, Kind: trace.Read})
+	if c.Misses() != 2 {
+		t.Errorf("line was filled on a write miss")
+	}
+	// Now the read filled it: writes and reads hit.
+	c.Ref(trace.Ref{Addr: 4, Size: 4, Kind: trace.Write})
+	c.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+	if c.Misses() != 2 {
+		t.Errorf("hits after fill miscounted: %d", c.Misses())
+	}
+	// Set-associative variant behaves the same way.
+	sa := New(Config{Size: 4096, Assoc: 4, NoWriteAllocate: true})
+	sa.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})
+	sa.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+	if sa.Misses() != 2 {
+		t.Errorf("assoc no-write-allocate: %d misses, want 2", sa.Misses())
+	}
+}

@@ -1,0 +1,120 @@
+// Package cost implements the instruction-count execution model used
+// throughout the reproduction.
+//
+// The paper measures execution time in machine instructions (via the QPT
+// tool) and splits it into time spent in the application proper versus
+// time spent inside malloc and free (Figure 1). It then estimates total
+// execution time on a machine with a cache as
+//
+//	T = I + M·P·D
+//
+// where I is the instruction count, M the data-cache miss rate, P the
+// miss penalty in cycles and D the number of data references (Section
+// 4.2, Figures 4/5, Tables 4/5). Package cost provides the "I" side of
+// that model: a Meter that accumulates instruction charges attributed to
+// one of several domains (application, malloc, free).
+package cost
+
+import "fmt"
+
+// Domain identifies who is being charged for instructions.
+type Domain uint8
+
+const (
+	// App is application compute, including the application's own loads
+	// and stores.
+	App Domain = iota
+	// Malloc is time inside an allocation call.
+	Malloc
+	// Free is time inside a deallocation call.
+	Free
+
+	numDomains
+)
+
+// String returns a short human-readable domain name.
+func (d Domain) String() string {
+	switch d {
+	case App:
+		return "app"
+	case Malloc:
+		return "malloc"
+	case Free:
+		return "free"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
+// Meter accumulates instruction counts per domain. The zero value is a
+// ready-to-use meter charging the App domain.
+type Meter struct {
+	instr [numDomains]uint64
+	cur   Domain
+}
+
+// Charge adds n instructions to the current domain.
+func (m *Meter) Charge(n uint64) { m.instr[m.cur] += n }
+
+// ChargeTo adds n instructions to a specific domain without switching.
+func (m *Meter) ChargeTo(d Domain, n uint64) { m.instr[d] += n }
+
+// Enter switches the current domain and returns the previous one, so
+// callers can restore it with a deferred Enter(prev).
+func (m *Meter) Enter(d Domain) (prev Domain) {
+	prev = m.cur
+	m.cur = d
+	return prev
+}
+
+// Current returns the domain currently being charged.
+func (m *Meter) Current() Domain { return m.cur }
+
+// Instr returns the instructions charged to domain d.
+func (m *Meter) Instr(d Domain) uint64 { return m.instr[d] }
+
+// AllocInstr returns the instructions charged to malloc plus free.
+func (m *Meter) AllocInstr() uint64 { return m.instr[Malloc] + m.instr[Free] }
+
+// Total returns the instructions charged across all domains.
+func (m *Meter) Total() uint64 {
+	var t uint64
+	for _, v := range m.instr {
+		t += v
+	}
+	return t
+}
+
+// AllocFraction returns the fraction of all instructions spent in malloc
+// and free: the quantity plotted in the paper's Figure 1. It returns 0
+// for an empty meter.
+func (m *Meter) AllocFraction() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.AllocInstr()) / float64(t)
+}
+
+// Reset zeroes all counters and returns to the App domain.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// Snapshot is a copyable summary of a meter.
+type Snapshot struct {
+	App    uint64
+	Malloc uint64
+	Free   uint64
+}
+
+// Snapshot returns the current per-domain totals.
+func (m *Meter) Snapshot() Snapshot {
+	return Snapshot{App: m.instr[App], Malloc: m.instr[Malloc], Free: m.instr[Free]}
+}
+
+// Total returns the instruction total of the snapshot.
+func (s Snapshot) Total() uint64 { return s.App + s.Malloc + s.Free }
+
+// Sub returns the difference s - o, field by field.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{App: s.App - o.App, Malloc: s.Malloc - o.Malloc, Free: s.Free - o.Free}
+}

@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterDomains(t *testing.T) {
+	var m Meter
+	m.Charge(10) // App by default
+	prev := m.Enter(Malloc)
+	if prev != App {
+		t.Errorf("prev domain = %v, want App", prev)
+	}
+	m.Charge(5)
+	m.Enter(Free)
+	m.Charge(3)
+	m.Enter(prev)
+	m.Charge(2)
+	if m.Instr(App) != 12 || m.Instr(Malloc) != 5 || m.Instr(Free) != 3 {
+		t.Errorf("instr: app=%d malloc=%d free=%d", m.Instr(App), m.Instr(Malloc), m.Instr(Free))
+	}
+	if m.Total() != 20 || m.AllocInstr() != 8 {
+		t.Errorf("total=%d alloc=%d", m.Total(), m.AllocInstr())
+	}
+	if got, want := m.AllocFraction(), 8.0/20.0; got != want {
+		t.Errorf("alloc fraction = %v, want %v", got, want)
+	}
+}
+
+func TestMeterChargeTo(t *testing.T) {
+	var m Meter
+	m.ChargeTo(Free, 7)
+	if m.Current() != App {
+		t.Error("ChargeTo must not switch domains")
+	}
+	if m.Instr(Free) != 7 {
+		t.Errorf("free=%d", m.Instr(Free))
+	}
+}
+
+func TestMeterResetAndEmpty(t *testing.T) {
+	var m Meter
+	if m.AllocFraction() != 0 {
+		t.Error("empty meter fraction should be 0")
+	}
+	m.Charge(4)
+	m.Enter(Malloc)
+	m.Reset()
+	if m.Total() != 0 || m.Current() != App {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var m Meter
+	m.Charge(1)
+	m.Enter(Malloc)
+	m.Charge(2)
+	s1 := m.Snapshot()
+	m.Charge(5)
+	s2 := m.Snapshot()
+	d := s2.Sub(s1)
+	if d.Malloc != 5 || d.App != 0 || d.Free != 0 {
+		t.Errorf("diff = %+v", d)
+	}
+	if s2.Total() != 8 {
+		t.Errorf("total = %d", s2.Total())
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if App.String() != "app" || Malloc.String() != "malloc" || Free.String() != "free" {
+		t.Error("domain names wrong")
+	}
+	if Domain(7).String() == "" {
+		t.Error("unknown domain must still render")
+	}
+}
+
+// Property: total is always the sum of per-domain charges, in any
+// charge/switch interleaving.
+func TestQuickMeterConservation(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		var m Meter
+		var sum uint64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				m.Enter(App)
+			case 1:
+				m.Enter(Malloc)
+			case 2:
+				m.Enter(Free)
+			case 3:
+				m.Charge(uint64(op))
+				sum += uint64(op)
+			}
+		}
+		return m.Total() == sum
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

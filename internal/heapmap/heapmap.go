@@ -1,0 +1,182 @@
+// Package heapmap renders the occupancy of a simulated heap as an
+// ASCII map: for every cell of address space, how much holds live
+// application data versus allocator overhead and holes. The maps make
+// the paper's fragmentation arguments visible — FIRSTFIT's scattered
+// holes, BSD's half-empty power-of-two blocks, the chunked allocators'
+// dense same-size pages.
+package heapmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mallocsim/internal/mem"
+)
+
+// Block is one live allocation.
+type Block struct {
+	Addr uint64
+	Size uint32
+}
+
+// shades maps live-byte fraction per cell to a glyph.
+// ' ' = untouched, '.' = 0%, then quartiles to '@' = full.
+var shades = []byte{'.', '-', '+', '#', '@'}
+
+func shadeFor(frac float64) byte {
+	switch {
+	case frac <= 0:
+		return shades[0]
+	case frac <= 0.25:
+		return shades[1]
+	case frac <= 0.5:
+		return shades[2]
+	case frac <= 0.75:
+		return shades[3]
+	default:
+		return shades[4]
+	}
+}
+
+// Options configures the rendering.
+type Options struct {
+	// CellBytes is the address span per glyph (default 512).
+	CellBytes uint64
+	// Width is glyphs per row (default 64).
+	Width int
+	// Exclude skips regions by name (e.g. the workload's stack).
+	Exclude func(name string) bool
+}
+
+// Render draws one occupancy map per (non-excluded, non-empty) region
+// of m, given the live allocation set.
+func Render(m *mem.Memory, live []Block, opt Options) string {
+	if opt.CellBytes == 0 {
+		opt.CellBytes = 512
+	}
+	if opt.Width == 0 {
+		opt.Width = 64
+	}
+	sorted := append([]Block(nil), live...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+
+	var sb strings.Builder
+	for _, r := range m.Regions() {
+		if opt.Exclude != nil && opt.Exclude(r.Name()) {
+			continue
+		}
+		span := r.Size()
+		if span <= mem.RegionReserve {
+			continue
+		}
+		renderRegion(&sb, r, sorted, opt)
+	}
+	fmt.Fprintf(&sb, "legend: '%c' empty", shades[0])
+	for i, pct := range []string{"<=25%%", "<=50%%", "<=75%%", ">75%%"} {
+		fmt.Fprintf(&sb, ", '%c' "+pct+" live", shades[i+1])
+	}
+	sb.WriteString(" (per-cell live-byte fraction)\n")
+	return sb.String()
+}
+
+func renderRegion(sb *strings.Builder, r *mem.Region, live []Block, opt Options) {
+	base, brk := r.Base(), r.Brk()
+	cells := int((brk - base + opt.CellBytes - 1) / opt.CellBytes)
+	liveBytes := make([]uint64, cells)
+
+	// Distribute each live block's bytes over the cells it spans.
+	// Blocks are sorted; skip those outside this region.
+	var total uint64
+	for _, b := range live {
+		end := b.Addr + uint64(b.Size)
+		if end <= base || b.Addr >= brk {
+			continue
+		}
+		total += uint64(b.Size)
+		for addr := b.Addr; addr < end; {
+			cell := (addr - base) / opt.CellBytes
+			cellEnd := base + (cell+1)*opt.CellBytes
+			chunk := cellEnd - addr
+			if end-addr < chunk {
+				chunk = end - addr
+			}
+			if int(cell) < cells {
+				liveBytes[cell] += chunk
+			}
+			addr += chunk
+		}
+	}
+
+	fmt.Fprintf(sb, "%s: %d KB requested, %d KB live (%.0f%%)\n",
+		r.Name(), (brk-base+1023)/1024, (total+1023)/1024,
+		100*float64(total)/float64(brk-base))
+	for row := 0; row < cells; row += opt.Width {
+		fmt.Fprintf(sb, "  %6dK |", uint64(row)*opt.CellBytes/1024)
+		for i := row; i < row+opt.Width && i < cells; i++ {
+			frac := float64(liveBytes[i]) / float64(opt.CellBytes)
+			sb.WriteByte(shadeFor(frac))
+		}
+		sb.WriteString("|\n")
+	}
+}
+
+// FragSummary condenses a live set against a heap span into the
+// headline numbers: live fraction and the count of "holes" (maximal
+// empty cell runs) — many small holes is the shattered-heap signature.
+type FragSummary struct {
+	RequestedBytes uint64
+	LiveBytes      uint64
+	Holes          int
+	LargestHoleKB  uint64
+}
+
+// Summarize computes a FragSummary over every non-excluded region.
+func Summarize(m *mem.Memory, live []Block, opt Options) FragSummary {
+	if opt.CellBytes == 0 {
+		opt.CellBytes = 512
+	}
+	var s FragSummary
+	for _, b := range live {
+		s.LiveBytes += uint64(b.Size)
+	}
+	for _, r := range m.Regions() {
+		if opt.Exclude != nil && opt.Exclude(r.Name()) {
+			continue
+		}
+		if r.Size() <= mem.RegionReserve {
+			continue
+		}
+		s.RequestedBytes += r.Size()
+		base, brk := r.Base(), r.Brk()
+		cells := int((brk - base + opt.CellBytes - 1) / opt.CellBytes)
+		occupied := make([]bool, cells)
+		for _, b := range live {
+			end := b.Addr + uint64(b.Size)
+			if end <= base || b.Addr >= brk {
+				continue
+			}
+			for addr := b.Addr; addr < end; addr += opt.CellBytes {
+				cell := int((addr - base) / opt.CellBytes)
+				if cell < cells {
+					occupied[cell] = true
+				}
+			}
+		}
+		run := 0
+		for i := 0; i <= cells; i++ {
+			if i < cells && !occupied[i] {
+				run++
+				continue
+			}
+			if run > 0 {
+				s.Holes++
+				if kb := uint64(run) * opt.CellBytes / 1024; kb > s.LargestHoleKB {
+					s.LargestHoleKB = kb
+				}
+				run = 0
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package heapmap
+
+import (
+	"strings"
+	"testing"
+
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func testMemory(t *testing.T, size uint64) (*mem.Memory, *mem.Region, uint64) {
+	t.Helper()
+	m := mem.New(trace.Discard, nil)
+	r := m.NewRegion("heap", 0)
+	base, err := r.Sbrk(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, r, base
+}
+
+func TestRenderShadesByOccupancy(t *testing.T) {
+	m, _, base := testMemory(t, 2048)
+	live := []Block{
+		{base, 512},        // cell 0: 100%
+		{base + 1024, 128}, // cell 2: 25%
+	}
+	out := Render(m, live, Options{CellBytes: 512, Width: 8})
+	if !strings.Contains(out, "heap:") {
+		t.Fatalf("missing region header:\n%s", out)
+	}
+	// One row with: full, empty, quarter, empty (plus reserve slack).
+	if !strings.Contains(out, "@") || !strings.Contains(out, "-") || !strings.Contains(out, ".") {
+		t.Errorf("expected @/-/. glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+}
+
+func TestRenderExcludes(t *testing.T) {
+	m := mem.New(trace.Discard, nil)
+	a := m.NewRegion("keep", 0)
+	b := m.NewRegion("skip", 0)
+	a.Sbrk(1024)
+	b.Sbrk(1024)
+	out := Render(m, nil, Options{Exclude: func(n string) bool { return n == "skip" }})
+	if !strings.Contains(out, "keep:") || strings.Contains(out, "skip:") {
+		t.Errorf("exclusion failed:\n%s", out)
+	}
+}
+
+func TestRenderSkipsEmptyRegions(t *testing.T) {
+	m := mem.New(trace.Discard, nil)
+	m.NewRegion("untouched", 0) // only the reserve, no sbrk
+	out := Render(m, nil, Options{})
+	if strings.Contains(out, "untouched:") {
+		t.Errorf("empty region rendered:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m, _, base := testMemory(t, 8192)
+	// Two live islands leave three holes: [gap][live][gap][live][gap].
+	live := []Block{
+		{base + 1024, 512},
+		{base + 4096, 512},
+	}
+	s := Summarize(m, live, Options{CellBytes: 512})
+	if s.LiveBytes != 1024 {
+		t.Errorf("live bytes %d", s.LiveBytes)
+	}
+	if s.RequestedBytes < 8192 {
+		t.Errorf("requested %d", s.RequestedBytes)
+	}
+	if s.Holes != 3 {
+		t.Errorf("holes = %d, want 3", s.Holes)
+	}
+	if s.LargestHoleKB < 1 {
+		t.Errorf("largest hole %dKB", s.LargestHoleKB)
+	}
+}
+
+func TestSummarizeBlockSpanningCells(t *testing.T) {
+	// Size the region so brk lands exactly on a cell boundary (the
+	// region reserve would otherwise leave a trailing sliver cell).
+	m, _, base := testMemory(t, 4096-mem.RegionReserve)
+	// One block covering the whole span: no holes.
+	live := []Block{{base, 4096 - 2*uint32(mem.RegionReserve)}}
+	s := Summarize(m, live, Options{CellBytes: 512})
+	if s.Holes != 0 {
+		t.Errorf("holes = %d, want 0", s.Holes)
+	}
+}
+
+func TestShadeFor(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want byte
+	}{
+		{0, '.'}, {0.1, '-'}, {0.25, '-'}, {0.4, '+'}, {0.6, '#'}, {0.9, '@'}, {1, '@'},
+	}
+	for _, c := range cases {
+		if got := shadeFor(c.frac); got != c.want {
+			t.Errorf("shadeFor(%v) = %c, want %c", c.frac, got, c.want)
+		}
+	}
+}

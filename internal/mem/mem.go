@@ -1,0 +1,298 @@
+// Package mem provides the simulated byte-addressable address space on
+// which every allocator in this repository operates.
+//
+// The allocators are not models: they are real implementations whose
+// freelist links, boundary tags and chunk headers live as 32-bit words
+// inside this simulated memory. Every word read or written by an
+// allocator emits a trace.Ref (so the cache and page simulators see the
+// allocator's own reference behaviour — the paper's central concern) and
+// charges one instruction to the active cost domain (loads and stores
+// are instructions on the paper's MIPS test vehicle).
+//
+// Memory is sparse and organized into named regions. Each region has a
+// fixed virtual base and grows upward via Sbrk, mimicking Unix program
+// break semantics; distinct regions live far apart so an allocator can
+// keep, say, a chunk-descriptor table in one region and the heap proper
+// in another (as GNU malloc does) without the two colliding. Backing
+// pages are materialized lazily, so a region's virtual span costs
+// nothing until touched.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mallocsim/internal/cost"
+	"mallocsim/internal/trace"
+)
+
+const (
+	// WordSize is the machine word in bytes. The paper's test vehicle is
+	// a 32-bit DECstation; boundary tags are one word ("two extra words
+	// of overhead ... 8 bytes").
+	WordSize = 4
+
+	// PageSize is the backing-store granularity and also the page size
+	// used by the paper's VM experiments (4 KB).
+	PageSize = 4096
+
+	// regionSpan is the virtual address spacing between region bases.
+	// 4 GiB keeps all word values (which hold addresses) inside 32 bits
+	// only if a region's *offset* is stored; we instead store full
+	// addresses as 64-bit values split across... see Region docs.
+	regionSpan = 1 << 32
+)
+
+// RegionReserve is the number of bytes reserved at the start of every
+// region, so that no object ever lives at region offset 0: allocators
+// store region-relative offsets in 32-bit memory words, and offset 0 is
+// their NULL.
+const RegionReserve = 2 * WordSize
+
+// ErrOutOfMemory is returned by Sbrk when a region's limit is exceeded.
+var ErrOutOfMemory = errors.New("mem: out of memory")
+
+// ErrBadAddress is returned for accesses outside any region's break.
+var ErrBadAddress = errors.New("mem: address outside allocated region")
+
+// Memory is a sparse simulated address space. It is not safe for
+// concurrent use; each simulation run owns one Memory.
+type Memory struct {
+	pages   map[uint64]*[PageSize]byte
+	regions []*Region
+	sink    trace.Sink
+	meter   *cost.Meter
+
+	// InstrPerAccess is the instruction charge per word access.
+	// Default 1 (a load or store instruction).
+	InstrPerAccess uint64
+
+	// DefaultRegionLimit caps regions created with limit 0. It exists
+	// for failure-injection tests: a small default limit drives every
+	// allocator's out-of-memory paths without special constructors.
+	// Zero means the full region span.
+	DefaultRegionLimit uint64
+}
+
+// New creates an empty Memory that reports references to sink and
+// charges instructions to meter. Either may be nil, in which case
+// references are discarded / instructions are not charged.
+func New(sink trace.Sink, meter *cost.Meter) *Memory {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	return &Memory{
+		pages:          make(map[uint64]*[PageSize]byte),
+		sink:           sink,
+		meter:          meter,
+		InstrPerAccess: 1,
+	}
+}
+
+// SetSink replaces the reference sink.
+func (m *Memory) SetSink(s trace.Sink) {
+	if s == nil {
+		s = trace.Discard
+	}
+	m.sink = s
+}
+
+// Meter returns the cost meter, which may be nil.
+func (m *Memory) Meter() *cost.Meter { return m.meter }
+
+// Region is a contiguous, upward-growing span of the simulated address
+// space, analogous to a Unix data segment.
+type Region struct {
+	m     *Memory
+	name  string
+	base  uint64
+	brk   uint64
+	limit uint64
+}
+
+// NewRegion creates a region with the given name and maximum size in
+// bytes (0 means the full region span). Regions are assigned
+// non-overlapping virtual bases in creation order, starting at 1<<32 so
+// that address 0 is never valid (a faithful NULL).
+func (m *Memory) NewRegion(name string, limit uint64) *Region {
+	// Regions are staggered by a page count coprime to the cache sizes
+	// under study so that region bases do not all collide on cache set
+	// 0 (real processes also place segments at unrelated offsets).
+	i := uint64(len(m.regions))
+	base := (i+1)*regionSpan + i*37*PageSize
+	if limit == 0 {
+		limit = m.DefaultRegionLimit
+	}
+	if limit == 0 || limit > regionSpan {
+		limit = regionSpan
+	}
+	r := &Region{m: m, name: name, base: base, brk: base + RegionReserve, limit: base + limit}
+	m.regions = append(m.regions, r)
+	return r
+}
+
+// Regions returns all regions in creation order.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+// Footprint returns the total bytes requested from the "operating
+// system" across all regions: the paper's "maximum heap size" metric.
+func (m *Memory) Footprint() uint64 {
+	var total uint64
+	for _, r := range m.regions {
+		total += r.brk - r.base
+	}
+	return total
+}
+
+// TouchedPages returns the number of distinct backing pages materialized
+// so far (pages actually referenced, across all regions).
+func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// Name returns the region's name.
+func (r *Region) Name() string { return r.name }
+
+// Base returns the region's first virtual address.
+func (r *Region) Base() uint64 { return r.base }
+
+// Brk returns the current program break (one past the last valid byte).
+func (r *Region) Brk() uint64 { return r.brk }
+
+// Size returns the bytes obtained so far via Sbrk.
+func (r *Region) Size() uint64 { return r.brk - r.base }
+
+// Contains reports whether addr lies inside the region's allocated span.
+func (r *Region) Contains(addr uint64) bool {
+	return addr >= r.base && addr < r.brk
+}
+
+// Sbrk extends the region by n bytes (rounded up to word size) and
+// returns the address of the new space. It fails with ErrOutOfMemory
+// when the region limit would be exceeded. Sbrk itself costs a few
+// instructions (a system-call stub on the original hardware); we charge
+// a flat SbrkCost.
+const SbrkCost = 20
+
+// Sbrk extends the region and returns the old break.
+func (r *Region) Sbrk(n uint64) (uint64, error) {
+	n = alignUp(n, WordSize)
+	if r.brk+n > r.limit {
+		return 0, fmt.Errorf("%w: region %q limit %d exceeded (brk %d + %d)",
+			ErrOutOfMemory, r.name, r.limit-r.base, r.brk-r.base, n)
+	}
+	old := r.brk
+	r.brk += n
+	r.charge(SbrkCost)
+	return old, nil
+}
+
+func (r *Region) charge(n uint64) {
+	if r.m.meter != nil {
+		r.m.meter.Charge(n)
+	}
+}
+
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	pn := addr / PageSize
+	p := m.pages[pn]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *Memory) checkAddr(addr uint64, n uint32) {
+	// A word access must lie inside some region's allocated span.
+	// Out-of-range accesses are programming errors in an allocator and
+	// abort the simulation loudly rather than silently corrupting it.
+	for _, r := range m.regions {
+		if addr >= r.base && addr+uint64(n) <= r.brk {
+			return
+		}
+	}
+	panic(fmt.Sprintf("mem: access [%#x,+%d) outside any region break", addr, n))
+}
+
+// ReadWord loads the 32-bit word at addr (which must be word-aligned),
+// emitting a read reference and charging one instruction.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned word read at %#x", addr))
+	}
+	m.checkAddr(addr, WordSize)
+	if m.meter != nil {
+		m.meter.Charge(m.InstrPerAccess)
+	}
+	m.sink.Ref(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Read})
+	p := m.page(addr)
+	off := addr % PageSize
+	return uint64(binary.LittleEndian.Uint32(p[off : off+WordSize]))
+}
+
+// WriteWord stores a 32-bit word at addr (word-aligned), emitting a
+// write reference and charging one instruction. Values must fit in 32
+// bits: the simulated machine is a 32-bit DECstation, and all addresses
+// stored in memory are region-relative (see Region.EncodePtr).
+func (m *Memory) WriteWord(addr, val uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned word write at %#x", addr))
+	}
+	if val>>32 != 0 {
+		panic(fmt.Sprintf("mem: value %#x does not fit in a 32-bit word", val))
+	}
+	m.checkAddr(addr, WordSize)
+	if m.meter != nil {
+		m.meter.Charge(m.InstrPerAccess)
+	}
+	m.sink.Ref(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Write})
+	p := m.page(addr)
+	off := addr % PageSize
+	binary.LittleEndian.PutUint32(p[off:off+WordSize], uint32(val))
+}
+
+// Pointer encoding: simulated words are 32 bits wide but virtual
+// addresses exceed 32 bits (regions are based at multiples of 1<<32).
+// Allocators therefore store *region-relative offsets* in memory words.
+// EncodePtr/DecodePtr perform the translation; offset 0 plays the role
+// of NULL (region offsets of real objects are never 0 because every
+// region reserves its first word).
+
+// EncodePtr converts a full virtual address within r to a storable word
+// value. The zero address encodes as 0 (NULL).
+func (r *Region) EncodePtr(addr uint64) uint64 {
+	if addr == 0 {
+		return 0
+	}
+	if addr < r.base || addr >= r.base+regionSpan {
+		panic(fmt.Sprintf("mem: address %#x outside region %q", addr, r.name))
+	}
+	return addr - r.base
+}
+
+// DecodePtr converts a stored word value back to a full virtual address.
+// The word 0 decodes to address 0 (NULL).
+func (r *Region) DecodePtr(word uint64) uint64 {
+	if word == 0 {
+		return 0
+	}
+	return r.base + word
+}
+
+// Touch emits a reference of n bytes at addr without reading or writing
+// backing store and charges one instruction per word touched. It is
+// used by the synthetic application workloads, whose data contents are
+// irrelevant — only their addresses matter to the locality simulators.
+func (m *Memory) Touch(addr uint64, n uint32, k trace.Kind) {
+	if m.meter != nil {
+		m.meter.Charge(m.InstrPerAccess)
+	}
+	m.sink.Ref(trace.Ref{Addr: addr, Size: n, Kind: k})
+}
+
+func alignUp(n, a uint64) uint64 {
+	return (n + a - 1) &^ (a - 1)
+}
+
+// AlignUp rounds n up to a multiple of a (a power of two).
+func AlignUp(n, a uint64) uint64 { return alignUp(n, a) }

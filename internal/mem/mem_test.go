@@ -1,0 +1,227 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mallocsim/internal/cost"
+	"mallocsim/internal/trace"
+)
+
+func TestRegionBasics(t *testing.T) {
+	m := New(nil, nil)
+	r := m.NewRegion("heap", 0)
+	if r.Name() != "heap" {
+		t.Errorf("name %q", r.Name())
+	}
+	if r.Base()%PageSize != 0 {
+		t.Errorf("region base %#x not page aligned", r.Base())
+	}
+	if r.Size() != RegionReserve {
+		t.Errorf("fresh region size = %d, want reserve %d", r.Size(), RegionReserve)
+	}
+	addr, err := r.Sbrk(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != r.Base()+RegionReserve {
+		t.Errorf("first sbrk at %#x, want base+reserve", addr)
+	}
+	if r.Size() != RegionReserve+AlignUp(100, WordSize) {
+		t.Errorf("size %d", r.Size())
+	}
+	if !r.Contains(addr) || r.Contains(r.Brk()) {
+		t.Error("Contains wrong at boundaries")
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	m := New(nil, nil)
+	var regions []*Region
+	for i := 0; i < 8; i++ {
+		r := m.NewRegion("r", 0)
+		if _, err := r.Sbrk(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	for i, a := range regions {
+		for j, b := range regions {
+			if i == j {
+				continue
+			}
+			if a.Base() < b.Brk() && b.Base() < a.Brk() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestRegionLimit(t *testing.T) {
+	m := New(nil, nil)
+	r := m.NewRegion("small", 4096)
+	if _, err := r.Sbrk(8192); err == nil {
+		t.Error("expected out-of-memory")
+	}
+	if _, err := r.Sbrk(2048); err != nil {
+		t.Errorf("within limit: %v", err)
+	}
+}
+
+func TestWordReadWriteRoundTrip(t *testing.T) {
+	m := New(nil, nil)
+	r := m.NewRegion("heap", 0)
+	base, _ := r.Sbrk(1 << 16)
+	vals := []uint64{0, 1, 0xdeadbeef, 0xffffffff}
+	for i, v := range vals {
+		m.WriteWord(base+uint64(i)*4, v)
+	}
+	for i, v := range vals {
+		if got := m.ReadWord(base + uint64(i)*4); got != v {
+			t.Errorf("word %d: got %#x want %#x", i, got, v)
+		}
+	}
+	// Fresh memory reads as zero.
+	if got := m.ReadWord(base + 4096); got != 0 {
+		t.Errorf("fresh word = %#x", got)
+	}
+}
+
+func TestAccessEmitsRefsAndCharges(t *testing.T) {
+	var rec trace.Recorder
+	meter := &cost.Meter{}
+	m := New(&rec, meter)
+	r := m.NewRegion("heap", 0)
+	base, _ := r.Sbrk(64)
+	before := meter.Total()
+	m.WriteWord(base, 42)
+	v := m.ReadWord(base)
+	if v != 42 {
+		t.Fatal("round trip failed")
+	}
+	if len(rec.Refs) != 2 {
+		t.Fatalf("refs = %d, want 2", len(rec.Refs))
+	}
+	if rec.Refs[0].Kind != trace.Write || rec.Refs[1].Kind != trace.Read {
+		t.Error("ref kinds wrong")
+	}
+	if rec.Refs[0].Addr != base || rec.Refs[0].Size != WordSize {
+		t.Errorf("ref = %+v", rec.Refs[0])
+	}
+	if meter.Total()-before != 2 {
+		t.Errorf("charged %d instructions, want 2", meter.Total()-before)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	var rec trace.Recorder
+	meter := &cost.Meter{}
+	m := New(&rec, meter)
+	m.Touch(12345, 8, trace.Write)
+	if len(rec.Refs) != 1 || rec.Refs[0].Size != 8 || rec.Refs[0].Addr != 12345 {
+		t.Errorf("touch ref %+v", rec.Refs)
+	}
+	if meter.Total() != 1 {
+		t.Errorf("touch charged %d", meter.Total())
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New(nil, nil)
+	r := m.NewRegion("heap", 0)
+	base, _ := r.Sbrk(64)
+	mustPanic(t, "unaligned read", func() { m.ReadWord(base + 1) })
+	mustPanic(t, "unaligned write", func() { m.WriteWord(base+2, 0) })
+	mustPanic(t, "oversize value", func() { m.WriteWord(base, 1<<32) })
+	mustPanic(t, "out of range", func() { m.ReadWord(base + 1<<20) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestEncodeDecodePtr(t *testing.T) {
+	m := New(nil, nil)
+	r := m.NewRegion("heap", 0)
+	addr, _ := r.Sbrk(1024)
+	w := r.EncodePtr(addr)
+	if w == 0 {
+		t.Fatal("valid address encoded as null")
+	}
+	if got := r.DecodePtr(w); got != addr {
+		t.Errorf("decode(encode(%#x)) = %#x", addr, got)
+	}
+	if r.EncodePtr(0) != 0 || r.DecodePtr(0) != 0 {
+		t.Error("null must round-trip as 0")
+	}
+	other := m.NewRegion("other", 0)
+	oaddr, _ := other.Sbrk(16)
+	mustPanic(t, "cross-region encode", func() { r.EncodePtr(oaddr) })
+}
+
+func TestFootprintAndPages(t *testing.T) {
+	m := New(nil, nil)
+	a := m.NewRegion("a", 0)
+	b := m.NewRegion("b", 0)
+	a.Sbrk(1000)
+	b.Sbrk(2000)
+	want := uint64(2*RegionReserve) + AlignUp(1000, WordSize) + AlignUp(2000, WordSize)
+	if m.Footprint() != want {
+		t.Errorf("footprint %d, want %d", m.Footprint(), want)
+	}
+	if m.TouchedPages() != 0 {
+		t.Error("no pages should be materialized before access")
+	}
+	addr, _ := a.Sbrk(PageSize * 3)
+	m.WriteWord(addr, 1)
+	m.WriteWord(addr+2*PageSize, 1)
+	if m.TouchedPages() != 2 {
+		t.Errorf("touched pages = %d, want 2", m.TouchedPages())
+	}
+}
+
+// Property: words written at distinct aligned addresses are all
+// independently recoverable (no aliasing between pages or regions).
+func TestQuickWordIndependence(t *testing.T) {
+	prop := func(offsets []uint16, vals []uint32) bool {
+		n := len(offsets)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		m := New(nil, nil)
+		r := m.NewRegion("heap", 0)
+		base, _ := r.Sbrk(1 << 20)
+		want := map[uint64]uint64{}
+		for i := 0; i < n; i++ {
+			addr := base + uint64(offsets[i])*4
+			want[addr] = uint64(vals[i])
+			m.WriteWord(addr, uint64(vals[i]))
+		}
+		for addr, v := range want {
+			if m.ReadWord(addr) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ n, a, want uint64 }{
+		{0, 4, 0}, {1, 4, 4}, {4, 4, 4}, {5, 4, 8}, {4095, 4096, 4096}, {4097, 4096, 8192},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.n, c.a); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.n, c.a, got, c.want)
+		}
+	}
+}

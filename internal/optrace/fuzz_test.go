@@ -1,0 +1,39 @@
+package optrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the op-trace decoder.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Op{OpMalloc, 1, 24, 3})
+	w.Write(Op{OpFree, 1, 0, 0})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("MOP1"))
+	f.Add([]byte("MOP1\x00\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			op, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if op.Kind != OpMalloc && op.Kind != OpFree {
+				t.Fatalf("decoder produced invalid kind %d", op.Kind)
+			}
+		}
+	})
+}

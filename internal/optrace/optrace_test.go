@@ -1,0 +1,247 @@
+package optrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/rng"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ops := []Op{
+		{OpMalloc, 1, 24, 7},
+		{OpMalloc, 2, 100000, 0},
+		{OpFree, 1, 0, 0},
+		{OpMalloc, 3, 1, 12345},
+		{OpFree, 3, 0, 0},
+		{OpFree, 2, 0, 0},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		w.Write(op)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(ops)) {
+		t.Errorf("count %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range ops {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("op %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadStreams(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Op{OpMalloc, 1, 24, 0})
+	w.Flush()
+	data := buf.Bytes()
+	r, _ := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record: %v", err)
+	}
+	// Invalid tag byte.
+	bad := append(append([]byte{}, data[:4]...), 0x7f)
+	r2, _ := NewReader(bytes.NewReader(bad))
+	if _, err := r2.Next(); err == nil || err == io.EOF {
+		t.Errorf("bad tag: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(kinds []bool, ids []uint16, sizes []uint16) bool {
+		n := min3(len(kinds), len(ids), len(sizes))
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			if kinds[i] {
+				ops[i] = Op{OpFree, uint64(ids[i]), 0, 0}
+			} else {
+				ops[i] = Op{OpMalloc, uint64(ids[i]), uint32(sizes[i]), uint32(i)}
+			}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, op := range ops {
+			w.Write(op)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range ops {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// TestRecordReplay records a synthetic workload's op stream through one
+// allocator and replays it against another: the replay must see the
+// identical op counts and bytes.
+func TestRecordReplay(t *testing.T) {
+	prog, _ := workload.ByName("make")
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(trace.Discard, &cost.Meter{})
+	inner, err := alloc.New("bsd", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(inner, w)
+	stats, err := workload.Run(m, rec, workload.Config{Program: prog, Scale: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != stats.Allocs+stats.Frees {
+		t.Errorf("recorded %d ops, want %d", w.Count(), stats.Allocs+stats.Frees)
+	}
+
+	// Replay against a different allocator on fresh memory.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mem.New(trace.Discard, &cost.Meter{})
+	target, err := alloc.New("gnulocal", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats, err := Replay(r, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Mallocs != stats.Allocs || rstats.Frees != stats.Frees {
+		t.Errorf("replay %d/%d ops, recorded %d/%d",
+			rstats.Mallocs, rstats.Frees, stats.Allocs, stats.Frees)
+	}
+	if rstats.ReqBytes != stats.ReqBytes {
+		t.Errorf("replay bytes %d, recorded %d", rstats.ReqBytes, stats.ReqBytes)
+	}
+	if rstats.MaxLive == 0 || rstats.MaxLive < stats.FinalLive {
+		t.Errorf("max live %d below final live %d", rstats.MaxLive, stats.FinalLive)
+	}
+}
+
+func TestReplayRejectsCorruptTraces(t *testing.T) {
+	mk := func(ops ...Op) *Reader {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, op := range ops {
+			w.Write(op)
+		}
+		w.Flush()
+		r, _ := NewReader(&buf)
+		return r
+	}
+	newAlloc := func() alloc.Allocator {
+		m := mem.New(trace.Discard, nil)
+		a, _ := alloc.New("bsd", m)
+		return a
+	}
+	if _, err := Replay(mk(Op{OpFree, 9, 0, 0}), newAlloc(), nil); err == nil {
+		t.Error("free of unknown id accepted")
+	}
+	if _, err := Replay(mk(
+		Op{OpMalloc, 1, 8, 0},
+		Op{OpMalloc, 1, 8, 0},
+	), newAlloc(), nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+// TestReplayDeterminism: replaying the same trace twice yields identical
+// allocator behaviour.
+func TestReplayDeterminism(t *testing.T) {
+	// Synthesize a random-but-valid op stream.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	r := rng.New(77)
+	var live []uint64
+	var id uint64
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && r.Bool(0.45) {
+			k := r.Intn(len(live))
+			w.Write(Op{OpFree, live[k], 0, 0})
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		id++
+		w.Write(Op{OpMalloc, id, uint32(1 + r.Intn(500)), uint32(r.Intn(8))})
+		live = append(live, id)
+	}
+	w.Flush()
+	data := buf.Bytes()
+
+	run := func() (uint64, uint64) {
+		meter := &cost.Meter{}
+		m := mem.New(trace.Discard, meter)
+		a, _ := alloc.New("quickfit", m)
+		rd, _ := NewReader(bytes.NewReader(data))
+		if _, err := Replay(rd, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		return meter.Total(), m.Footprint()
+	}
+	i1, f1 := run()
+	i2, f2 := run()
+	if i1 != i2 || f1 != f2 {
+		t.Errorf("replay not deterministic: (%d,%d) vs (%d,%d)", i1, f1, i2, f2)
+	}
+}

@@ -1,0 +1,125 @@
+package optrace
+
+import (
+	"fmt"
+	"io"
+
+	"mallocsim/internal/alloc"
+)
+
+// Recorder wraps an allocator, logging every successful operation to a
+// Writer while delegating. Wrap the allocator handed to workload.Run to
+// snapshot a synthetic program's op stream, or use it as a template for
+// instrumenting a real program.
+type Recorder struct {
+	inner alloc.Allocator
+	w     *Writer
+	ids   map[uint64]uint64 // address -> id
+	next  uint64
+}
+
+// NewRecorder wraps inner, writing ops to w.
+func NewRecorder(inner alloc.Allocator, w *Writer) *Recorder {
+	return &Recorder{inner: inner, w: w, ids: make(map[uint64]uint64), next: 1}
+}
+
+// Name implements alloc.Allocator.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Malloc implements alloc.Allocator.
+func (r *Recorder) Malloc(n uint32) (uint64, error) {
+	return r.MallocSite(n, 0)
+}
+
+// MallocSite implements alloc.SiteAllocator (delegating site info when
+// the inner allocator supports it).
+func (r *Recorder) MallocSite(n uint32, site uint32) (uint64, error) {
+	var p uint64
+	var err error
+	if sa, ok := r.inner.(alloc.SiteAllocator); ok {
+		p, err = sa.MallocSite(n, site)
+	} else {
+		p, err = r.inner.Malloc(n)
+	}
+	if err != nil {
+		return 0, err
+	}
+	id := r.next
+	r.next++
+	r.ids[p] = id
+	r.w.Write(Op{Kind: OpMalloc, ID: id, Size: n, Site: site})
+	return p, nil
+}
+
+// Free implements alloc.Allocator.
+func (r *Recorder) Free(p uint64) error {
+	if err := r.inner.Free(p); err != nil {
+		return err
+	}
+	if id, ok := r.ids[p]; ok {
+		delete(r.ids, p)
+		r.w.Write(Op{Kind: OpFree, ID: id})
+	}
+	return nil
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Mallocs  uint64
+	Frees    uint64
+	ReqBytes uint64
+	// MaxLive is the peak number of simultaneously live objects.
+	MaxLive uint64
+}
+
+// Replay drives allocator a with the op stream from r. Unknown or
+// doubled IDs in the trace are reported as errors; allocation failures
+// abort the replay.
+func Replay(r *Reader, a alloc.Allocator, onOp func(Op)) (ReplayStats, error) {
+	var stats ReplayStats
+	addrs := make(map[uint64]uint64) // id -> address
+	sa, hasSites := a.(alloc.SiteAllocator)
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, err
+		}
+		switch op.Kind {
+		case OpMalloc:
+			if _, dup := addrs[op.ID]; dup {
+				return stats, fmt.Errorf("optrace: id %d allocated twice", op.ID)
+			}
+			var p uint64
+			if hasSites {
+				p, err = sa.MallocSite(op.Size, op.Site)
+			} else {
+				p, err = a.Malloc(op.Size)
+			}
+			if err != nil {
+				return stats, fmt.Errorf("optrace: malloc(%d) for id %d: %w", op.Size, op.ID, err)
+			}
+			addrs[op.ID] = p
+			stats.Mallocs++
+			stats.ReqBytes += uint64(op.Size)
+			if live := uint64(len(addrs)); live > stats.MaxLive {
+				stats.MaxLive = live
+			}
+		case OpFree:
+			p, ok := addrs[op.ID]
+			if !ok {
+				return stats, fmt.Errorf("optrace: free of unknown id %d", op.ID)
+			}
+			delete(addrs, op.ID)
+			if err := a.Free(p); err != nil {
+				return stats, fmt.Errorf("optrace: free id %d: %w", op.ID, err)
+			}
+			stats.Frees++
+		}
+		if onOp != nil {
+			onOp(op)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package paper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mallocsim/internal/textplot"
+)
+
+// Table is a rendered experiment result: one table or one figure's data
+// series, with the same rows/columns the paper reports.
+type Table struct {
+	// ID is the experiment identifier, e.g. "figure4" or "table6".
+	ID string
+	// Title describes the table, e.g. the paper's caption.
+	Title string
+	// Note carries methodology remarks (scale, substitutions).
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders an aligned plain-text table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "(%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**%s — %s**\n\n", strings.ToUpper(t.ID), t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "_%s_\n\n", t.Note)
+	}
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Plottable reports whether the table is curve-shaped: at least two
+// data rows whose non-label cells are all numeric.
+func (t *Table) Plottable() bool {
+	return len(t.plotRows()) >= 2
+}
+
+// plotRows returns the rows usable as curve points: the label must be
+// numeric (an x-axis value, not a summary line like "mem requested")
+// and every cell must parse as a number.
+func (t *Table) plotRows() [][]string {
+	var rows [][]string
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) || len(row) < 2 {
+			continue
+		}
+		ok := true
+		for _, cell := range row {
+			if _, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Plot renders the table as an ASCII chart: the first column provides
+// x labels and every remaining column becomes a series. Rows with
+// non-numeric cells (summary rows) are skipped. logY selects a log
+// y-axis (the paper's fault-rate figures).
+func (t *Table) Plot(logY bool) string {
+	rows := t.plotRows()
+	if len(rows) < 2 {
+		return t.String() // not curve-shaped: fall back to the table
+	}
+	p := &textplot.Plot{
+		Title:  strings.ToUpper(t.ID) + " — " + t.Title,
+		YLabel: "value per " + t.Header[0],
+		LogY:   logY,
+		Width:  64,
+		Height: 18,
+	}
+	for _, row := range rows {
+		p.XLabels = append(p.XLabels, row[0])
+	}
+	for col := 1; col < len(t.Header); col++ {
+		s := textplot.Series{Name: t.Header[col]}
+		for _, row := range rows {
+			v, _ := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			s.Y = append(s.Y, v)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p.Render()
+}
+
+func pct(x float64) string      { return fmt.Sprintf("%.2f%%", x*100) }
+func f2(x float64) string       { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string       { return fmt.Sprintf("%.3f", x) }
+func kb(bytes uint64) string    { return fmt.Sprintf("%d", (bytes+1023)/1024) }
+func millions(n uint64) string  { return fmt.Sprintf("%.1f", float64(n)/1e6) }
+func thousands(n uint64) string { return fmt.Sprintf("%.0f", float64(n)/1e3) }

@@ -1,0 +1,168 @@
+// Package paper regenerates every table and figure of the paper's
+// evaluation section (Grunwald, Zorn & Henderson, "Improving the Cache
+// Locality of Memory Allocation", PLDI 1993).
+//
+// A Runner memoizes one fully-instrumented simulation per
+// (program, allocator) pair — five cache configurations simulated in a
+// single pass, plus LRU stack-distance page simulation for the two
+// programs the paper's paging figures use — and each Figure/Table
+// method assembles its rows from those runs. Absolute numbers differ
+// from the paper (our programs are synthetic models of the originals;
+// see DESIGN.md), but the comparisons the paper draws — who wins, by
+// what factor, where the crossovers fall — are the reproduction target.
+package paper
+
+import (
+	"fmt"
+	"sort"
+
+	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/sim"
+	"mallocsim/internal/workload"
+)
+
+// CacheSizes are the direct-mapped cache capacities simulated for every
+// run: the paper's Figures 6–8 sweep 16 KB to 256 KB.
+var CacheSizes = []uint64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+// Allocators are the five implementations the paper compares, in its
+// presentation order.
+var Allocators = all.Paper
+
+// DefaultScale trades runtime for trace length: scale 16 runs 1/16 of
+// each program's events while preserving heap footprints (see
+// workload.Config). Figures reproduce at any scale; tests use coarser
+// scales for speed.
+const DefaultScale = 16
+
+// pageSimPrograms are the programs whose runs also carry page-fault
+// simulation (the paper shows paging curves for GhostScript and PTC).
+var pageSimPrograms = map[string]bool{"gs": true, "ptc": true}
+
+// Runner memoizes simulation results across experiments.
+type Runner struct {
+	Scale   uint64
+	Seed    uint64
+	Penalty uint64
+
+	memo map[string]*sim.Result
+}
+
+// NewRunner creates a Runner at the given scale (0 = DefaultScale).
+func NewRunner(scale uint64) *Runner {
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	return &Runner{Scale: scale, Seed: 1, Penalty: sim.DefaultPenalty, memo: map[string]*sim.Result{}}
+}
+
+// Result returns the memoized fully-instrumented run for the pair.
+func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
+	key := progName + "/" + allocName
+	if res, ok := r.memo[key]; ok {
+		return res, nil
+	}
+	prog, ok := workload.ByName(progName)
+	if !ok {
+		return nil, fmt.Errorf("paper: unknown program %q", progName)
+	}
+	cfgs := make([]cache.Config, len(CacheSizes))
+	for i, s := range CacheSizes {
+		cfgs[i] = cache.Config{Size: s}
+	}
+	res, err := sim.Run(sim.Config{
+		Program:   prog,
+		Allocator: allocName,
+		Scale:     r.Scale,
+		Seed:      r.Seed,
+		Caches:    cfgs,
+		PageSim:   pageSimPrograms[progName],
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.memo[key] = res
+	return res, nil
+}
+
+func (r *Runner) note() string {
+	return fmt.Sprintf("synthetic workloads at scale 1/%d, seed %d, miss penalty %d cycles; absolute values are model estimates — compare shapes with the paper", r.Scale, r.Seed, r.Penalty)
+}
+
+// Experiment pairs an ID with the function producing its table.
+type Experiment struct {
+	ID   string
+	Run  func() (*Table, error)
+	Desc string
+}
+
+// Experiments lists every reproduced table and figure in paper order.
+func (r *Runner) Experiments() []Experiment {
+	return []Experiment{
+		{"table1", r.Table1, "test program descriptions"},
+		{"table2", r.Table2, "test program performance information (FIRSTFIT baseline)"},
+		{"figure1", r.Figure1, "percent of time in malloc and free"},
+		{"figure2", r.Figure2, "page fault rate for GhostScript vs memory size"},
+		{"figure3", r.Figure3, "page fault rate for PTC vs memory size"},
+		{"figure4", r.Figure4, "normalized execution time, 16K direct-mapped cache"},
+		{"figure5", r.Figure5, "normalized execution time, 64K direct-mapped cache"},
+		{"table3", r.Table3, "characteristics of GhostScript input sets"},
+		{"figure6", r.Figure6, "GS-Small data cache miss rate vs cache size"},
+		{"figure7", r.Figure7, "GS-Medium data cache miss rate vs cache size"},
+		{"figure8", r.Figure8, "GS-Large data cache miss rate vs cache size"},
+		{"table4", r.Table4, "estimated execution and miss time, 16K cache"},
+		{"table5", r.Table5, "estimated execution and miss time, 64K cache"},
+		{"table6", r.Table6, "effect of boundary tags on GNU LOCAL, 64K cache"},
+		{"figure9", r.Figure9, "size-mapping array architecture ablation"},
+	}
+}
+
+// AllExperiments returns the paper's experiments followed by the
+// extension studies (see extensions.go).
+func (r *Runner) AllExperiments() []Experiment {
+	return append(r.Experiments(), r.extensions()...)
+}
+
+// RunAll executes every paper experiment (not the extensions),
+// returning tables in paper order.
+func (r *Runner) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, e := range r.Experiments() {
+		t, err := e.Run()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Names returns every experiment ID in order, extensions included.
+func (r *Runner) Names() []string {
+	var out []string
+	for _, e := range r.AllExperiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// ByID finds one experiment (paper or extension).
+func (r *Runner) ByID(id string) (Experiment, bool) {
+	for _, e := range r.AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sortedMemoKeys aids deterministic debugging output.
+func (r *Runner) sortedMemoKeys() []string {
+	keys := make([]string, 0, len(r.memo))
+	for k := range r.memo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

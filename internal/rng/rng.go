@@ -1,0 +1,179 @@
+// Package rng provides a small deterministic pseudo-random number
+// generator and the sampling distributions used by the synthetic
+// workload models: discrete weighted choice, geometric lifetimes and
+// Zipf-ranked locality.
+//
+// Determinism matters here: the paper notes that "because the tools we
+// use generate deterministic results, our experiments did not require
+// statistically averaging multiple runs". Our experiments inherit that
+// property — a (program, allocator, seed, scale) tuple always produces
+// the identical trace.
+package rng
+
+import "math"
+
+// Rand is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64 step).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	ahi, alo := a>>32, a&mask
+	bhi, blo := b>>32, b&mask
+	t := ahi*blo + (alo*blo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += alo * bhi
+	hi = ahi*bhi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with the
+// given mean (mean >= 1); the support is {1, 2, 3, ...}. It is used for
+// object lifetimes measured in allocation events: most objects die
+// young, a few live long, matching the empirical behaviour the paper's
+// segregated-storage allocators exploit.
+func (r *Rand) Geometric(mean float64) uint64 {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := r.Float64()
+	if u == 0 {
+		u = 1e-18
+	}
+	k := math.Ceil(math.Log(u) / math.Log(1-p))
+	if k < 1 {
+		k = 1
+	}
+	if k > 1e15 {
+		k = 1e15
+	}
+	return uint64(k)
+}
+
+// Split derives an independent generator from this one, for giving
+// subsystems (size sampling, lifetime sampling, reference synthesis)
+// their own streams so that adding draws to one does not perturb the
+// others.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+// Discrete samples from a fixed weighted distribution over indices
+// using binary search on the cumulative weights.
+type Discrete struct {
+	cum []float64 // cumulative weights, cum[len-1] == total
+}
+
+// NewDiscrete builds a sampler over weights (all must be >= 0, at least
+// one > 0).
+func NewDiscrete(weights []float64) *Discrete {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: negative or NaN weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: all weights zero")
+	}
+	return &Discrete{cum: cum}
+}
+
+// Sample returns an index with probability proportional to its weight.
+func (d *Discrete) Sample(r *Rand) int {
+	u := r.Float64() * d.cum[len(d.cum)-1]
+	lo, hi := 0, len(d.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Len returns the number of outcomes.
+func (d *Discrete) Len() int { return len(d.cum) }
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, via precomputed cumulative weights. It models temporal
+// locality: the most recently used objects are the most likely to be
+// referenced again.
+type Zipf struct {
+	d *Discrete
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with n <= 0")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return &Zipf{d: NewDiscrete(w)}
+}
+
+// Sample returns a rank in [0, n).
+func (z *Zipf) Sample(r *Rand) int { return z.d.Sample(r) }
+
+// Len returns the number of ranks.
+func (z *Zipf) Len() int { return z.d.Len() }

@@ -1,0 +1,234 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(124)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if New(123).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds look identical")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) must panic")
+		}
+	}()
+	r.Uint64n(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	for _, mean := range []float64{2, 10, 50, 500} {
+		const n = 30000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(mean))
+		}
+		got := sum / n
+		if got < mean*0.9 || got > mean*1.1 {
+			t.Errorf("Geometric(%v): sample mean %v", mean, got)
+		}
+	}
+	if r.Geometric(0.5) != 1 {
+		t.Error("mean <= 1 must return 1")
+	}
+}
+
+func TestDiscreteWeights(t *testing.T) {
+	d := NewDiscrete([]float64{1, 0, 3})
+	r := New(3)
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if d.Len() != 3 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	mustPanic(t, func() { NewDiscrete([]float64{0, 0}) })
+	mustPanic(t, func() { NewDiscrete([]float64{-1, 2}) })
+	mustPanic(t, func() { NewDiscrete([]float64{math.NaN()}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(16, 1.0)
+	r := New(17)
+	counts := make([]int, 16)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[8] || counts[0] <= counts[15] {
+		t.Errorf("zipf not skewed: %v", counts)
+	}
+	// Rank 0 over rank 1 should be ~2:1 at s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("rank0/rank1 = %v, want ~2", ratio)
+	}
+	if z.Len() != 16 {
+		t.Errorf("len = %d", z.Len())
+	}
+	mustPanic(t, func() { NewZipf(0, 1) })
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(42)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("split generators identical")
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	mustPanic(t, func() { r.Intn(0) })
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(8)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary seeds and n.
+func TestQuickUint64nInRange(t *testing.T) {
+	prop := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Discrete never returns an index with zero weight.
+func TestQuickDiscreteSupport(t *testing.T) {
+	prop := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		any := false
+		for i, b := range raw {
+			weights[i] = float64(b)
+			if b != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		d := NewDiscrete(weights)
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			if weights[d.Sample(r)] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim binds a workload model, an allocator, and the locality
+// simulators into one experiment run, producing the metrics every
+// table and figure of the paper is computed from.
+//
+// A run wires up:
+//
+//	workload.Run ──refs──▶ mem.Memory ──trace──▶ counter
+//	                        │    ▲                cache.Group (N configs)
+//	                        ▼    │                vm.StackSim (optional)
+//	                     allocator (real implementation in that memory)
+//
+// and instruction costs flow into a cost.Meter split by app/malloc/free
+// domain. Execution time is then estimated with the paper's model
+// T = I + M·P·D (§4.2).
+package sim
+
+import (
+	"fmt"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all" // register all allocator implementations
+	"mallocsim/internal/cache"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/vm"
+	"mallocsim/internal/workload"
+)
+
+// DefaultPenalty is the paper's cache miss penalty ("a modest cache
+// miss penalty (25 cycles)").
+const DefaultPenalty = 25
+
+// ClockHz converts simulated cycles to the paper's reported seconds.
+// Table 2 gives ESPRESSO 2506 M instructions in 155.1 s on the
+// DECstation 5000/120 test vehicle — 16.16 MIPS at the paper's
+// one-instruction-per-cycle assumption.
+const ClockHz = 16.16e6
+
+// Config describes one experiment run.
+type Config struct {
+	Program   workload.Program
+	Allocator string
+	// Scale divides the program's event counts (see workload.Config).
+	Scale uint64
+	// Seed defaults to 1.
+	Seed uint64
+	// Caches lists the cache configurations to simulate in parallel.
+	Caches []cache.Config
+	// PageSim enables LRU stack-distance page-fault simulation.
+	PageSim bool
+}
+
+// Result carries everything measured in one run.
+type Result struct {
+	Program   string
+	Allocator string
+	Scale     uint64
+
+	Workload workload.Stats
+	Instr    cost.Snapshot
+	Refs     trace.Counter
+	// Footprint is the paper's "maximum heap size": bytes requested
+	// from the OS across all allocator regions (excluding the
+	// workload's stack and global segments).
+	Footprint uint64
+	// TotalFootprint includes the stack and global segments.
+	TotalFootprint uint64
+
+	Caches []cache.Result
+	Curve  *vm.Curve
+}
+
+// Run executes the configured experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+
+	meter := &cost.Meter{}
+	var counter trace.Counter
+	sinks := []trace.Sink{&counter}
+	var group *cache.Group
+	if len(cfg.Caches) > 0 {
+		group = cache.NewGroup(cfg.Caches...)
+		sinks = append(sinks, group)
+	}
+	var pages *vm.StackSim
+	if cfg.PageSim {
+		pages = vm.NewStackSim()
+		sinks = append(sinks, pages)
+	}
+
+	m := mem.New(trace.NewTee(sinks...), meter)
+	a, err := alloc.New(cfg.Allocator, m)
+	if err != nil {
+		return nil, err
+	}
+
+	stats, err := workload.Run(m, a, workload.Config{
+		Program: cfg.Program,
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, err)
+	}
+
+	res := &Result{
+		Program:        cfg.Program.Name,
+		Allocator:      cfg.Allocator,
+		Scale:          cfg.Scale,
+		Workload:       stats,
+		Instr:          meter.Snapshot(),
+		Refs:           counter,
+		TotalFootprint: m.Footprint(),
+	}
+	for _, r := range m.Regions() {
+		switch r.Name() {
+		case cfg.Program.Name + "-stack", cfg.Program.Name + "-globals":
+		default:
+			res.Footprint += r.Size()
+		}
+	}
+	if group != nil {
+		res.Caches = group.Results()
+	}
+	if pages != nil {
+		res.Curve = pages.Curve()
+	}
+	return res, nil
+}
+
+// AllocFraction returns the fraction of instructions spent in malloc
+// and free (Figure 1's y-axis).
+func (r *Result) AllocFraction() float64 {
+	t := r.Instr.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Instr.Malloc+r.Instr.Free) / float64(t)
+}
+
+// CacheResult returns the result for the cache of the given size, or
+// false when that size was not simulated.
+func (r *Result) CacheResult(size uint64) (cache.Result, bool) {
+	for _, c := range r.Caches {
+		if c.Config.Size == size {
+			return c, true
+		}
+	}
+	return cache.Result{}, false
+}
+
+// BaseCycles is the execution time in cycles ignoring the memory
+// hierarchy: the instruction count (loads and stores complete in one
+// cycle).
+func (r *Result) BaseCycles() uint64 { return r.Instr.Total() }
+
+// MissCycles is the time spent waiting on data-cache misses for the
+// cache of the given size: penalty × misses (the M·P·D term).
+func (r *Result) MissCycles(cacheSize uint64, penalty uint64) uint64 {
+	c, ok := r.CacheResult(cacheSize)
+	if !ok {
+		return 0
+	}
+	return penalty * c.Misses
+}
+
+// TotalCycles is the paper's estimated execution time I + M·P·D.
+func (r *Result) TotalCycles(cacheSize uint64, penalty uint64) uint64 {
+	return r.BaseCycles() + r.MissCycles(cacheSize, penalty)
+}
+
+// Seconds converts simulated cycles to full-scale seconds on the
+// paper's test vehicle, undoing the run's scale factor so values are
+// comparable with the paper's tables.
+func (r *Result) Seconds(cycles uint64) float64 {
+	return float64(cycles) * float64(r.Scale) / ClockHz
+}

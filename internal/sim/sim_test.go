@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/workload"
+)
+
+func run(t *testing.T, progName, allocName string, scale uint64, pageSim bool) *Result {
+	t.Helper()
+	prog, ok := workload.ByName(progName)
+	if !ok {
+		t.Fatalf("no program %q", progName)
+	}
+	res, err := Run(Config{
+		Program:   prog,
+		Allocator: allocName,
+		Scale:     scale,
+		Caches:    []cache.Config{{Size: 16 << 10}, {Size: 64 << 10}},
+		PageSim:   pageSim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Importing sim registers every allocator; the paper's five plus our
+	// extensions and ablation variants must all be constructible.
+	names := alloc.Names()
+	want := []string{"bsd", "custom", "custom-pow2", "custom-reclaim", "firstfit",
+		"firstfit-nocoalesce", "firstfit-norover", "gnufit", "gnulocal",
+		"gnulocal-tags", "quickfit"}
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	for _, w := range want {
+		if !has[w] {
+			t.Errorf("registry missing %q (have %v)", w, names)
+		}
+	}
+	for _, n := range all.Paper {
+		if !has[n] {
+			t.Errorf("paper list references unregistered %q", n)
+		}
+	}
+}
+
+func TestRunProducesAllMetrics(t *testing.T) {
+	res := run(t, "make", "quickfit", 4, true)
+	if res.Program != "make" || res.Allocator != "quickfit" {
+		t.Error("identity fields wrong")
+	}
+	if res.Instr.Total() == 0 || res.Refs.Total() == 0 {
+		t.Error("no instructions or references recorded")
+	}
+	if res.Footprint == 0 || res.TotalFootprint <= res.Footprint {
+		t.Errorf("footprints: %d / %d", res.Footprint, res.TotalFootprint)
+	}
+	if len(res.Caches) != 2 {
+		t.Fatalf("cache results: %d", len(res.Caches))
+	}
+	if res.Curve == nil || res.Curve.Refs == 0 {
+		t.Error("page curve missing")
+	}
+	if _, ok := res.CacheResult(16 << 10); !ok {
+		t.Error("16K result missing")
+	}
+	if _, ok := res.CacheResult(99); ok {
+		t.Error("bogus cache size found")
+	}
+	if res.AllocFraction() <= 0 || res.AllocFraction() >= 1 {
+		t.Errorf("alloc fraction %v", res.AllocFraction())
+	}
+}
+
+func TestTimeModel(t *testing.T) {
+	res := run(t, "make", "bsd", 8, false)
+	base := res.BaseCycles()
+	miss := res.MissCycles(16<<10, 25)
+	if base != res.Instr.Total() {
+		t.Error("base cycles must equal instructions")
+	}
+	c, _ := res.CacheResult(16 << 10)
+	if miss != 25*c.Misses {
+		t.Errorf("miss cycles %d != 25 x %d", miss, c.Misses)
+	}
+	if res.TotalCycles(16<<10, 25) != base+miss {
+		t.Error("T != I + M*P*D")
+	}
+	if res.MissCycles(1<<30, 25) != 0 {
+		t.Error("unknown cache size must contribute zero miss time")
+	}
+	// Seconds undo the scale factor.
+	if s := res.Seconds(uint64(ClockHz)); s != float64(res.Scale) {
+		t.Errorf("Seconds(1Hz-sec of cycles) = %v, want scale %d", s, res.Scale)
+	}
+}
+
+func TestUnknownAllocator(t *testing.T) {
+	prog, _ := workload.ByName("make")
+	if _, err := Run(Config{Program: prog, Allocator: "nope"}); err == nil {
+		t.Error("expected error for unknown allocator")
+	}
+}
+
+// TestPaperShapes asserts the qualitative conclusions of the paper on a
+// moderately scaled GhostScript-medium run (the paper notes locality
+// differences are "muted for the smaller input set", so the medium set
+// is the right place to look): these are the load-bearing integration
+// checks of the whole reproduction.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	results := map[string]*Result{}
+	for _, name := range all.Paper {
+		results[name] = run(t, "gs-medium", name, 32, false)
+	}
+	miss16 := func(n string) float64 {
+		c, _ := results[n].CacheResult(16 << 10)
+		return c.MissRate()
+	}
+	// 1. FIRSTFIT has the worst cache locality of the five.
+	for _, other := range []string{"gnufit", "bsd", "gnulocal", "quickfit"} {
+		if miss16("firstfit") < miss16(other)*1.1 {
+			t.Errorf("firstfit miss rate %.3f not clearly worse than %s %.3f",
+				miss16("firstfit"), other, miss16(other))
+		}
+	}
+	// 2. BSD wastes the most memory among the segregated allocators.
+	if results["bsd"].Footprint <= results["quickfit"].Footprint {
+		t.Errorf("bsd footprint %d not larger than quickfit %d",
+			results["bsd"].Footprint, results["quickfit"].Footprint)
+	}
+	if results["bsd"].Footprint <= results["gnulocal"].Footprint {
+		t.Errorf("bsd footprint %d not larger than gnulocal %d",
+			results["bsd"].Footprint, results["gnulocal"].Footprint)
+	}
+	// 3. BSD and QUICKFIT are the cheapest in allocator CPU time.
+	for _, fast := range []string{"bsd", "quickfit"} {
+		for _, slow := range []string{"firstfit", "gnulocal"} {
+			if results[fast].AllocFraction() >= results[slow].AllocFraction() {
+				t.Errorf("%s alloc time %.4f not below %s %.4f", fast,
+					results[fast].AllocFraction(), slow, results[slow].AllocFraction())
+			}
+		}
+	}
+	// 4. GNU LOCAL's locality engineering works: lowest 64K miss rate.
+	c64 := func(n string) float64 {
+		c, _ := results[n].CacheResult(64 << 10)
+		return c.MissRate()
+	}
+	for _, other := range []string{"firstfit", "gnufit", "bsd", "quickfit"} {
+		if c64("gnulocal") > c64(other) {
+			t.Errorf("gnulocal 64K miss %.4f above %s %.4f", c64("gnulocal"), other, c64(other))
+		}
+	}
+}
+
+// TestBoundaryTagAblation: padding GNU LOCAL with emulated tags must
+// increase footprint and execution time — the paper's Table 6 direction.
+func TestBoundaryTagAblation(t *testing.T) {
+	plain := run(t, "espresso", "gnulocal", 64, false)
+	tagged := run(t, "espresso", "gnulocal-tags", 64, false)
+	if tagged.Footprint <= plain.Footprint {
+		t.Errorf("tags should cost space: %d vs %d", tagged.Footprint, plain.Footprint)
+	}
+	if tagged.TotalCycles(64<<10, 25) <= plain.TotalCycles(64<<10, 25) {
+		t.Errorf("tags should cost time: %d vs %d",
+			tagged.TotalCycles(64<<10, 25), plain.TotalCycles(64<<10, 25))
+	}
+}
+
+// TestCustomBeatsBSDOnSpace: the recommended architecture should match
+// BSD's speed while wasting far less memory.
+func TestCustomBeatsBSDOnSpace(t *testing.T) {
+	bsd := run(t, "gawk", "bsd", 32, false)
+	custom := run(t, "gawk", "custom", 32, false)
+	if custom.Footprint >= bsd.Footprint {
+		t.Errorf("custom footprint %d not below bsd %d", custom.Footprint, bsd.Footprint)
+	}
+	if custom.AllocFraction() > bsd.AllocFraction()*1.5 {
+		t.Errorf("custom alloc time %.4f far above bsd %.4f",
+			custom.AllocFraction(), bsd.AllocFraction())
+	}
+}
+
+// TestAssociativityExtension: higher associativity at equal size never
+// dramatically worsens the workload miss rate and usually improves it.
+func TestAssociativityExtension(t *testing.T) {
+	prog, _ := workload.ByName("make")
+	res, err := Run(Config{
+		Program:   prog,
+		Allocator: "bsd",
+		Scale:     4,
+		Caches: []cache.Config{
+			{Size: 16 << 10, Assoc: 1},
+			{Size: 16 << 10, Assoc: 2},
+			{Size: 16 << 10, Assoc: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := res.Caches[0].MissRate()
+	w4 := res.Caches[2].MissRate()
+	if w4 > dm*1.1 {
+		t.Errorf("4-way miss rate %.4f far above direct-mapped %.4f", w4, dm)
+	}
+}
+
+func TestStackAndGlobalsExcludedFromHeapFootprint(t *testing.T) {
+	res := run(t, "make", "bsd", 8, false)
+	prog, _ := workload.ByName("make")
+	diff := res.TotalFootprint - res.Footprint
+	// Stack (8 KB touched) + globals segment + region reserves.
+	if diff < prog.GlobalBytes {
+		t.Errorf("non-heap segments too small: %d", diff)
+	}
+}
+
+// TestBuddyFamilyShapes: Fibonacci buddy's golden-ratio classes waste
+// less memory than binary buddy's powers of two, and both allocate
+// faster than searching first fit.
+func TestBuddyFamilyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	bin := run(t, "espresso", "buddy", 32, false)
+	fib := run(t, "espresso", "fibbuddy", 32, false)
+	ff := run(t, "espresso", "firstfit", 32, false)
+	if fib.Footprint >= bin.Footprint {
+		t.Errorf("fibonacci footprint %d not below binary %d", fib.Footprint, bin.Footprint)
+	}
+	if ff.Footprint >= bin.Footprint {
+		t.Errorf("binary buddy %d should waste more than first fit %d", bin.Footprint, ff.Footprint)
+	}
+	for _, b := range []*Result{bin, fib} {
+		if b.AllocFraction() >= ff.AllocFraction() {
+			t.Errorf("%s alloc time %.4f not below firstfit %.4f",
+				b.Allocator, b.AllocFraction(), ff.AllocFraction())
+		}
+	}
+}
+
+// TestLifetimeSegregationShapes: the §5.1 design should cost little
+// (two arenas) and never be dramatically worse than plain custom, while
+// routing immortals separately (verified precisely in its unit tests).
+func TestLifetimeSegregationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	custom := run(t, "espresso", "custom", 32, true)
+	lifetime := run(t, "espresso", "lifetime", 32, true)
+	if float64(lifetime.Footprint) > float64(custom.Footprint)*1.35 {
+		t.Errorf("lifetime footprint %d far above custom %d", lifetime.Footprint, custom.Footprint)
+	}
+	// Page locality at constrained memory should be competitive or
+	// better (segregated immortals pin fewer churn pages).
+	half := custom.Curve.MinResidentPages() / 2
+	cf := custom.Curve.FaultRate(half)
+	lf := lifetime.Curve.FaultRate(half)
+	if lf > cf*1.25 {
+		t.Errorf("lifetime fault rate %.6f far above custom %.6f", lf, cf)
+	}
+}

@@ -1,0 +1,227 @@
+// Package textplot renders data series as ASCII line charts. The
+// paper's results are figures — fault-rate curves on log axes, miss
+// rates versus cache size — and cmd/locality uses this package to show
+// them as curves in a terminal, not just as tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Plot describes a chart. X positions are shared by all series and
+// labelled by XLabels (short strings; sparse labels are fine).
+type Plot struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 60×16).
+	Width  int
+	Height int
+	// LogY plots log10(y); non-positive values are clamped to a tenth
+	// of the smallest positive value.
+	LogY bool
+}
+
+// markers distinguish series within the grid.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(p.Series) == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	n := 0
+	for _, s := range p.Series {
+		if len(s.Y) > n {
+			n = len(s.Y)
+		}
+	}
+	if n == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+
+	// Transform values and find the range.
+	minPos := math.Inf(1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 1
+	}
+	tf := func(v float64) float64 {
+		if !p.LogY {
+			return v
+		}
+		if v <= 0 {
+			v = minPos / 10
+		}
+		return math.Log10(v)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			t := tf(v)
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xAt := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	yAt := func(v float64) int {
+		frac := (tf(v) - lo) / (hi - lo)
+		row := int(math.Round(frac * float64(height-1)))
+		return height - 1 - row // row 0 is the top
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		prevX, prevY := -1, -1
+		for i, v := range s.Y {
+			x, y := xAt(i), yAt(v)
+			if prevX >= 0 {
+				drawLine(grid, prevX, prevY, x, y, mark)
+			}
+			grid[y][x] = mark
+			prevX, prevY = x, y
+		}
+	}
+
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	// Y tick labels at top, middle, bottom.
+	labelFor := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		t := lo + frac*(hi-lo)
+		v := t
+		if p.LogY {
+			v = math.Pow(10, t)
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", 9)
+		if row == 0 || row == height-1 || row == height/2 {
+			label = labelFor(row)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[row]))
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	// X labels: first, middle, last.
+	if len(p.XLabels) > 0 {
+		xl := make([]byte, width+11)
+		for i := range xl {
+			xl[i] = ' '
+		}
+		place := func(pos int, s string) {
+			start := 11 + pos - len(s)/2
+			if start < 11 {
+				start = 11
+			}
+			if start+len(s) > len(xl) {
+				start = len(xl) - len(s)
+			}
+			copy(xl[start:], s)
+		}
+		place(0, p.XLabels[0])
+		if len(p.XLabels) > 2 {
+			place(xAt((len(p.XLabels)-1)/2), p.XLabels[(len(p.XLabels)-1)/2])
+		}
+		if len(p.XLabels) > 1 {
+			place(width-1, p.XLabels[len(p.XLabels)-1])
+		}
+		sb.Write(xl)
+		sb.WriteByte('\n')
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&sb, "y: %s", p.YLabel)
+		if p.LogY {
+			sb.WriteString(" (log scale)")
+		}
+		sb.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range p.Series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// drawLine marks a rough Bresenham segment between two grid points so
+// curves read as lines rather than scattered dots. Existing marks are
+// kept (first-drawn wins at intersections).
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, mark byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if grid[y][x] == ' ' {
+			grid[y][x] = mark
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

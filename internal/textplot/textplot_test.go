@@ -1,0 +1,119 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := &Plot{
+		Title:   "test chart",
+		YLabel:  "things",
+		XLabels: []string{"1", "2", "3", "4"},
+		Series: []Series{
+			{Name: "up", Y: []float64{1, 2, 3, 4}},
+			{Name: "down", Y: []float64{4, 3, 2, 1}},
+		},
+		Width:  30,
+		Height: 8,
+	}
+	out := p.Render()
+	for _, want := range []string{"test chart", "up", "down", "*", "o", "y: things"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderMonotoneShape(t *testing.T) {
+	// An increasing series must place its last point above its first.
+	p := &Plot{
+		Series: []Series{{Name: "s", Y: []float64{0, 10}}},
+		Width:  20, Height: 10,
+	}
+	out := p.Render()
+	rows := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, row := range rows {
+		if idx := strings.IndexByte(row, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 {
+		t.Fatal("no marks rendered")
+	}
+	// The y=10 point (top row) must appear before (above) the y=0 row.
+	if firstRow >= lastRow {
+		t.Errorf("increasing series not rising: marks from row %d to %d", firstRow, lastRow)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	p := &Plot{
+		Series: []Series{{Name: "log", Y: []float64{1, 10, 100, 1000}}},
+		LogY:   true,
+		Width:  24, Height: 9,
+	}
+	out := p.Render()
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "*") {
+		t.Errorf("log plot missing content:\n%s", out)
+	}
+	// With log scaling the four decade points are evenly spaced: the
+	// mark rows should span the full height.
+	rows := strings.Split(out, "\n")
+	marked := 0
+	for _, row := range rows {
+		if strings.ContainsRune(row, '*') {
+			marked++
+		}
+	}
+	if marked < 8 {
+		t.Errorf("log curve spans %d rows, want full height", marked)
+	}
+}
+
+func TestRenderHandlesZerosOnLog(t *testing.T) {
+	p := &Plot{
+		Series: []Series{{Name: "z", Y: []float64{0, 5, 0, 50}}},
+		LogY:   true,
+	}
+	out := p.Render() // must not panic or produce Inf/NaN
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("log plot produced non-finite labels:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := (&Plot{Title: "x"}).Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	if out := (&Plot{Series: []Series{{Name: "e"}}}).Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty series: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "c", Y: []float64{5, 5, 5}}}}
+	out := p.Render() // degenerate range must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not rendered:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkers(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), Y: []float64{float64(i), float64(i + 1)}})
+	}
+	out := (&Plot{Series: series}).Render()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "@") {
+		t.Errorf("marker variety missing:\n%s", out)
+	}
+}

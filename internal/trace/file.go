@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format, used by cmd/tracegen to store and replay
+// reference traces without rerunning the workload driver.
+//
+// Layout:
+//
+//	magic   [4]byte  "MTR1"
+//	records *
+//
+// Each record is:
+//
+//	tag     byte     bit0 = kind (0 read, 1 write); bits 1.. = size field:
+//	                 size encoded as (size>>2) when size is a multiple of 4
+//	                 and fits in 6 bits, else tag size field = 0x3f and an
+//	                 explicit uvarint size follows the address.
+//	addr    zigzag varint delta from previous address
+//	[size]  uvarint, only when tag size field == 0x3f
+//
+// Delta+varint encoding keeps traces compact: consecutive references are
+// usually near each other, which is, after all, what this paper is about.
+
+var magic = [4]byte{'M', 'T', 'R', '1'}
+
+const sizeInline = 0x3f
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// Writer serializes a reference stream to an io.Writer. It implements
+// Sink; call Flush when done.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	count    uint64
+	buf      [2*binary.MaxVarintLen64 + 1]byte
+	err      error
+}
+
+// NewWriter creates a Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Ref implements Sink. Encoding errors are sticky and reported by Flush.
+func (tw *Writer) Ref(r Ref) {
+	if tw.err != nil {
+		return
+	}
+	tag := byte(0)
+	if r.Kind == Write {
+		tag = 1
+	}
+	inline := false
+	if r.Size%4 == 0 && r.Size>>2 < sizeInline {
+		tag |= byte(r.Size>>2) << 1
+	} else {
+		tag |= sizeInline << 1
+		inline = true
+	}
+	n := 0
+	tw.buf[n] = tag
+	n++
+	delta := int64(r.Addr) - int64(tw.prevAddr)
+	n += binary.PutVarint(tw.buf[n:], delta)
+	if inline {
+		n += binary.PutUvarint(tw.buf[n:], uint64(r.Size))
+	}
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.prevAddr = r.Addr
+	tw.count++
+}
+
+// Count returns the number of references written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush writes buffered data and returns the first error encountered.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace stream produced by Writer.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next reference, or io.EOF at end of stream.
+func (tr *Reader) Next() (Ref, error) {
+	tag, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Ref{}, io.EOF
+		}
+		return Ref{}, fmt.Errorf("trace: %w", err)
+	}
+	var ref Ref
+	if tag&1 != 0 {
+		ref.Kind = Write
+	}
+	delta, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return Ref{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+	}
+	ref.Addr = uint64(int64(tr.prevAddr) + delta)
+	szField := tag >> 1
+	if szField == sizeInline {
+		sz, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return Ref{}, fmt.Errorf("%w: truncated size", ErrBadTrace)
+		}
+		ref.Size = uint32(sz)
+	} else {
+		ref.Size = uint32(szField) << 2
+	}
+	tr.prevAddr = ref.Addr
+	return ref, nil
+}
+
+// ForEach decodes the whole stream, invoking sink for every reference.
+// It returns the number of references decoded.
+func (tr *Reader) ForEach(sink Sink) (uint64, error) {
+	var n uint64
+	for {
+		ref, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Ref(ref)
+		n++
+	}
+}

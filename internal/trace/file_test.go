@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		w.Ref(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Fatalf("writer count %d, want %d", w.Count(), len(refs))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Ref
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ref)
+	}
+	return out
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x100000000, Size: 4, Kind: Read},
+		{Addr: 0x100000004, Size: 4, Kind: Write},
+		{Addr: 0x42, Size: 32768, Kind: Read}, // backward jump + big size
+		{Addr: 0x42, Size: 3, Kind: Write},    // non-word size -> inline
+		{Addr: 1 << 40, Size: 0, Kind: Read},
+	}
+	got := roundTrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d: got %+v want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("expected bad-magic error")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("expected short-header error")
+	}
+}
+
+func TestFileTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{Addr: 1 << 35, Size: 4})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("expected malformed-stream error, got %v", err)
+	}
+}
+
+func TestFileForEach(t *testing.T) {
+	refs := make([]Ref, 1000)
+	addr := uint64(1 << 32)
+	for i := range refs {
+		addr += uint64(i % 64)
+		refs[i] = Ref{Addr: addr, Size: 4, Kind: Kind(i % 2)}
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, r := range refs {
+		w.Ref(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	var c Counter
+	n, err := r.ForEach(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || c.Total() != 1000 {
+		t.Errorf("decoded %d refs, counter %d", n, c.Total())
+	}
+}
+
+// TestQuickFileRoundTrip: encode/decode is the identity for arbitrary
+// reference streams (property-based).
+func TestQuickFileRoundTrip(t *testing.T) {
+	prop := func(addrs []uint32, sizes []uint16, kinds []bool) bool {
+		n := len(addrs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		refs := make([]Ref, n)
+		for i := 0; i < n; i++ {
+			k := Read
+			if kinds[i] {
+				k = Write
+			}
+			refs[i] = Ref{Addr: uint64(addrs[i]), Size: uint32(sizes[i]), Kind: k}
+		}
+		got := roundTrip(t, refs)
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

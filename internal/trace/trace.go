@@ -1,0 +1,158 @@
+// Package trace defines the memory-reference records that flow from the
+// simulated allocators and application workloads into the cache and
+// virtual-memory simulators, together with composable sinks for routing,
+// counting, filtering and serializing those references.
+//
+// The reference stream is the central artifact of the reproduction: the
+// paper ("Improving the Cache Locality of Memory Allocation", PLDI 1993)
+// is a trace-driven simulation study, and every experiment in this
+// repository is a consumer of a trace.Sink.
+package trace
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// Ref is a single data reference: Size bytes at Addr, either a Read or a
+// Write. Addresses are virtual addresses in the simulated address space
+// managed by package mem.
+type Ref struct {
+	Addr uint64
+	Size uint32
+	Kind Kind
+}
+
+// Sink consumes a stream of references. Implementations include cache
+// simulators, page-fault simulators, counters and trace writers.
+type Sink interface {
+	Ref(Ref)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Ref)
+
+// Ref implements Sink.
+func (f SinkFunc) Ref(r Ref) { f(r) }
+
+type discardSink struct{}
+
+func (discardSink) Ref(Ref) {}
+
+// Discard is a Sink that drops every reference.
+var Discard Sink = discardSink{}
+
+// Tee fans a reference stream out to several sinks in order.
+type Tee []Sink
+
+// Ref implements Sink.
+func (t Tee) Ref(r Ref) {
+	for _, s := range t {
+		s.Ref(r)
+	}
+}
+
+// NewTee builds a Tee from the given sinks, flattening nested Tees and
+// dropping Discard and nil entries. If the result contains a single sink,
+// that sink is returned directly.
+func NewTee(sinks ...Sink) Sink {
+	var flat Tee
+	for _, s := range sinks {
+		switch v := s.(type) {
+		case nil:
+			continue
+		case Tee:
+			flat = append(flat, v...)
+		default:
+			if s == Discard {
+				continue
+			}
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Discard
+	case 1:
+		return flat[0]
+	}
+	return flat
+}
+
+// Counter tallies references by kind and total bytes touched.
+type Counter struct {
+	Reads      uint64
+	Writes     uint64
+	BytesRead  uint64
+	BytesWrote uint64
+}
+
+// Ref implements Sink.
+func (c *Counter) Ref(r Ref) {
+	if r.Kind == Write {
+		c.Writes++
+		c.BytesWrote += uint64(r.Size)
+	} else {
+		c.Reads++
+		c.BytesRead += uint64(r.Size)
+	}
+}
+
+// Total returns the total number of references seen.
+func (c *Counter) Total() uint64 { return c.Reads + c.Writes }
+
+// Bytes returns the total number of bytes touched.
+func (c *Counter) Bytes() uint64 { return c.BytesRead + c.BytesWrote }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// Filter forwards only references for which Keep returns true.
+type Filter struct {
+	Keep func(Ref) bool
+	Next Sink
+}
+
+// Ref implements Sink.
+func (f *Filter) Ref(r Ref) {
+	if f.Keep(r) {
+		f.Next.Ref(r)
+	}
+}
+
+// RangeFilter forwards only references whose address lies in [Lo, Hi).
+func RangeFilter(lo, hi uint64, next Sink) Sink {
+	return &Filter{
+		Keep: func(r Ref) bool { return r.Addr >= lo && r.Addr < hi },
+		Next: next,
+	}
+}
+
+// Recorder appends every reference to an in-memory slice. It is intended
+// for tests and small traces.
+type Recorder struct {
+	Refs []Ref
+}
+
+// Ref implements Sink.
+func (rec *Recorder) Ref(r Ref) { rec.Refs = append(rec.Refs, r) }
+
+// Reset clears the recorded references.
+func (rec *Recorder) Reset() { rec.Refs = rec.Refs[:0] }

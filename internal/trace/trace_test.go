@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("Kind strings: %q %q", Read, Write)
+	}
+	if Kind(9).String() != "unknown" {
+		t.Errorf("unexpected: %q", Kind(9))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Ref(Ref{Addr: 0, Size: 4, Kind: Read})
+	c.Ref(Ref{Addr: 8, Size: 8, Kind: Write})
+	c.Ref(Ref{Addr: 16, Size: 4, Kind: Read})
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Errorf("reads=%d writes=%d", c.Reads, c.Writes)
+	}
+	if c.Total() != 3 {
+		t.Errorf("total=%d", c.Total())
+	}
+	if c.BytesRead != 8 || c.BytesWrote != 8 || c.Bytes() != 16 {
+		t.Errorf("bytes: %d/%d", c.BytesRead, c.BytesWrote)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b Counter
+	tee := NewTee(&a, &b)
+	tee.Ref(Ref{Size: 4})
+	tee.Ref(Ref{Size: 4, Kind: Write})
+	if a.Total() != 2 || b.Total() != 2 {
+		t.Errorf("tee did not fan out: %d %d", a.Total(), b.Total())
+	}
+}
+
+func TestNewTeeFlattens(t *testing.T) {
+	var a, b, c Counter
+	inner := NewTee(&a, &b)
+	outer := NewTee(inner, &c, nil, Discard)
+	tee, ok := outer.(Tee)
+	if !ok {
+		t.Fatalf("expected Tee, got %T", outer)
+	}
+	if len(tee) != 3 {
+		t.Errorf("expected 3 flattened sinks, got %d", len(tee))
+	}
+	if got := NewTee(); got != Discard {
+		t.Errorf("empty tee should be Discard")
+	}
+	if got := NewTee(&a); got != Sink(&a) {
+		t.Errorf("single-sink tee should collapse")
+	}
+}
+
+func TestFilterAndRange(t *testing.T) {
+	var c Counter
+	f := RangeFilter(100, 200, &c)
+	f.Ref(Ref{Addr: 50, Size: 4})
+	f.Ref(Ref{Addr: 100, Size: 4})
+	f.Ref(Ref{Addr: 199, Size: 4})
+	f.Ref(Ref{Addr: 200, Size: 4})
+	if c.Total() != 2 {
+		t.Errorf("range filter passed %d refs, want 2", c.Total())
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	refs := []Ref{{1, 4, Read}, {2, 8, Write}}
+	for _, ref := range refs {
+		r.Ref(ref)
+	}
+	if len(r.Refs) != 2 || r.Refs[0] != refs[0] || r.Refs[1] != refs[1] {
+		t.Errorf("recorded %v", r.Refs)
+	}
+	r.Reset()
+	if len(r.Refs) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	n := 0
+	s := SinkFunc(func(Ref) { n++ })
+	s.Ref(Ref{})
+	if n != 1 {
+		t.Error("SinkFunc not invoked")
+	}
+}
+
+// TestQuickCounterTotals: total always equals reads+writes and bytes
+// accumulate exactly, for arbitrary ref sequences.
+func TestQuickCounterTotals(t *testing.T) {
+	prop := func(addrs []uint64, sizes []uint16, kinds []bool) bool {
+		var c Counter
+		n := len(addrs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		var bytes uint64
+		for i := 0; i < n; i++ {
+			k := Read
+			if kinds[i] {
+				k = Write
+			}
+			c.Ref(Ref{Addr: addrs[i], Size: uint32(sizes[i]), Kind: k})
+			bytes += uint64(sizes[i])
+		}
+		return c.Total() == uint64(n) && c.Bytes() == bytes
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package vm_test
+
+import (
+	"fmt"
+
+	"mallocsim/internal/trace"
+	"mallocsim/internal/vm"
+)
+
+// One stack-simulation pass yields the fault count for every memory
+// size: the reference pattern cycles over three pages, so a two-page
+// memory thrashes while a three-page memory holds the working set.
+func ExampleNewStackSim() {
+	s := vm.NewStackSim()
+	for i := 0; i < 5; i++ {
+		for page := uint64(0); page < 3; page++ {
+			s.Ref(trace.Ref{Addr: page * 4096, Size: 4})
+		}
+	}
+	curve := s.Curve()
+	fmt.Printf("2 pages: %d faults\n", curve.Faults(2))
+	fmt.Printf("3 pages: %d faults (cold only)\n", curve.Faults(3))
+	// Output:
+	// 2 pages: 15 faults
+	// 3 pages: 3 faults (cold only)
+}

@@ -1,0 +1,170 @@
+package vm
+
+// Order-statistics treap engine for stack-distance computation.
+//
+// Pages are kept in a balanced BST keyed by the sequence number of
+// their last access; subtree sizes give, in O(log n), the number of
+// pages accessed more recently than a given page — exactly its LRU
+// stack distance. Priorities are derived deterministically from the
+// insertion sequence number with a SplitMix64-style hash so that
+// simulations are reproducible (no global RNG involved).
+
+type treapNode struct {
+	seq         uint64 // last-access sequence number (BST key)
+	prio        uint64 // heap priority (max-heap)
+	size        uint32 // subtree size
+	left, right *treapNode
+}
+
+type treap struct {
+	root  *treapNode
+	nodes map[uint64]*treapNode // page -> node
+	next  uint64                // next access sequence number
+	// freelist recycles nodes: each access deletes and reinserts one
+	// node, so recycling avoids per-access allocation entirely.
+	free *treapNode
+}
+
+func newTreap() *treap {
+	return &treap{nodes: make(map[uint64]*treapNode)}
+}
+
+func (t *treap) len() int { return len(t.nodes) }
+
+func hashPrio(seq uint64) uint64 {
+	z := seq + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func size(n *treapNode) uint32 {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// access returns the stack distance of page (or -1 if new) and promotes
+// it to most recently used.
+func (t *treap) access(page uint64) int {
+	n, ok := t.nodes[page]
+	dist := -1
+	if ok {
+		// Distance = number of nodes with a larger (more recent) key.
+		dist = int(t.countGreater(n.seq))
+		t.root = t.delete(t.root, n.seq)
+		t.release(n)
+	}
+	n = t.alloc()
+	n.seq = t.next
+	n.prio = hashPrio(t.next)
+	n.size = 1
+	t.next++
+	t.root = t.insert(t.root, n)
+	t.nodes[page] = n
+	return dist
+}
+
+func (t *treap) alloc() *treapNode {
+	if t.free != nil {
+		n := t.free
+		t.free = n.right
+		n.left, n.right = nil, nil
+		return n
+	}
+	return &treapNode{}
+}
+
+func (t *treap) release(n *treapNode) {
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
+
+// countGreater returns the number of nodes with seq > key.
+func (t *treap) countGreater(key uint64) uint32 {
+	var count uint32
+	n := t.root
+	for n != nil {
+		if key < n.seq {
+			count += 1 + size(n.right)
+			n = n.left
+		} else if key > n.seq {
+			n = n.right
+		} else {
+			count += size(n.right)
+			return count
+		}
+	}
+	return count
+}
+
+func (t *treap) insert(root, n *treapNode) *treapNode {
+	if root == nil {
+		return n
+	}
+	if n.seq < root.seq {
+		root.left = t.insert(root.left, n)
+		if root.left.prio > root.prio {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = t.insert(root.right, n)
+		if root.right.prio > root.prio {
+			root = rotateLeft(root)
+		}
+	}
+	root.update()
+	return root
+}
+
+func (t *treap) delete(root *treapNode, key uint64) *treapNode {
+	if root == nil {
+		return nil
+	}
+	switch {
+	case key < root.seq:
+		root.left = t.delete(root.left, key)
+	case key > root.seq:
+		root.right = t.delete(root.right, key)
+	default:
+		if root.left == nil {
+			return root.right
+		}
+		if root.right == nil {
+			return root.left
+		}
+		if root.left.prio > root.right.prio {
+			root = rotateRight(root)
+			root.right = t.delete(root.right, key)
+		} else {
+			root = rotateLeft(root)
+			root.left = t.delete(root.left, key)
+		}
+	}
+	root.update()
+	return root
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}

@@ -1,0 +1,211 @@
+// Package vm implements LRU stack-distance simulation of page reference
+// behaviour, reproducing the paper's VMSIM methodology ("a fast
+// implementation of a stack simulation algorithm"; 4 KB pages).
+//
+// Stack simulation exploits the inclusion property of LRU: a single pass
+// over the reference trace yields the page-fault count for every
+// possible memory size at once. For each reference we compute the
+// page's stack distance — the number of distinct pages referenced more
+// recently — and histogram it; the fault count for a memory of M pages
+// is then the number of references at distance >= M plus the cold
+// (first-touch) references.
+//
+// Two engines are provided: a simple move-to-front list (O(depth) per
+// reference, used as the oracle in tests) and an order-statistics treap
+// with deterministic priorities (O(log n) per reference, the default).
+package vm
+
+import (
+	"fmt"
+
+	"mallocsim/internal/trace"
+)
+
+// DefaultPageSize matches the paper's 4 KB pages.
+const DefaultPageSize = 4096
+
+// Curve is the outcome of a stack simulation: everything needed to
+// compute fault counts for any memory size.
+type Curve struct {
+	PageSize uint64
+	// Cold counts first-touch references (infinite stack distance).
+	Cold uint64
+	// Hist[d] counts references with stack distance d (0 = re-reference
+	// of the most recently used page).
+	Hist []uint64
+	// Refs is the total page references simulated.
+	Refs uint64
+}
+
+// Faults returns the number of page faults for a memory of `pages`
+// physical pages under LRU replacement. A reference at stack distance d
+// hits iff d < pages; cold references always fault.
+func (c *Curve) Faults(pages uint64) uint64 {
+	faults := c.Cold
+	for d := pages; d < uint64(len(c.Hist)); d++ {
+		faults += c.Hist[d]
+	}
+	return faults
+}
+
+// FaultRate returns faults per reference for the given memory size, the
+// y-axis of the paper's Figures 2 and 3.
+func (c *Curve) FaultRate(pages uint64) float64 {
+	if c.Refs == 0 {
+		return 0
+	}
+	return float64(c.Faults(pages)) / float64(c.Refs)
+}
+
+// DistinctPages returns the total number of distinct pages referenced
+// (equal to the cold-reference count).
+func (c *Curve) DistinctPages() uint64 { return c.Cold }
+
+// MinResidentPages returns the smallest memory size, in pages, at which
+// only cold faults remain (the program's maximum LRU stack depth + 1).
+func (c *Curve) MinResidentPages() uint64 {
+	for d := len(c.Hist) - 1; d >= 0; d-- {
+		if c.Hist[d] != 0 {
+			return uint64(d) + 1
+		}
+	}
+	return 1
+}
+
+// engine is an LRU stack maintaining recency ranks.
+type engine interface {
+	// access returns the 0-based stack distance of page, or -1 when the
+	// page has never been seen, and promotes the page to most recently
+	// used.
+	access(page uint64) int
+	// len returns the number of distinct pages tracked.
+	len() int
+}
+
+// StackSim runs a stack simulation over a reference stream. It
+// implements trace.Sink; references spanning page boundaries count once
+// per page touched.
+type StackSim struct {
+	pageSize  uint64
+	pageShift uint
+	eng       engine
+	curve     Curve
+	// lastPage short-circuits consecutive references to one page, a
+	// large constant-factor win on real traces (spatial locality) that
+	// does not change the histogram: distance-0 re-references are hits
+	// at every memory size >= 1.
+	lastPage uint64
+	havePage bool
+}
+
+// Option configures a StackSim.
+type Option func(*StackSim)
+
+// WithPageSize overrides the default 4 KB page size (must be a power of
+// two).
+func WithPageSize(n uint64) Option {
+	return func(s *StackSim) { s.pageSize = n }
+}
+
+// WithListEngine selects the O(depth) move-to-front list engine instead
+// of the treap. Used by tests to cross-check the two implementations.
+func WithListEngine() Option {
+	return func(s *StackSim) { s.eng = newMTFList() }
+}
+
+// NewStackSim creates a stack simulator.
+func NewStackSim(opts ...Option) *StackSim {
+	s := &StackSim{pageSize: DefaultPageSize}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.pageSize == 0 || s.pageSize&(s.pageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d not a power of two", s.pageSize))
+	}
+	for p := s.pageSize; p > 1; p >>= 1 {
+		s.pageShift++
+	}
+	if s.eng == nil {
+		s.eng = newTreap()
+	}
+	s.curve.PageSize = s.pageSize
+	return s
+}
+
+// Ref implements trace.Sink.
+func (s *StackSim) Ref(r trace.Ref) {
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := r.Addr >> s.pageShift
+	last := (r.Addr + size - 1) >> s.pageShift
+	for p := first; ; p++ {
+		s.accessPage(p)
+		if p == last {
+			break
+		}
+	}
+}
+
+func (s *StackSim) accessPage(p uint64) {
+	s.curve.Refs++
+	if s.havePage && p == s.lastPage {
+		s.record(0)
+		return
+	}
+	s.lastPage = p
+	s.havePage = true
+	d := s.eng.access(p)
+	if d < 0 {
+		s.curve.Cold++
+		return
+	}
+	s.record(d)
+}
+
+func (s *StackSim) record(d int) {
+	for d >= len(s.curve.Hist) {
+		s.curve.Hist = append(s.curve.Hist, 0)
+	}
+	s.curve.Hist[d]++
+}
+
+// Curve returns the accumulated result. The returned value shares the
+// histogram slice with the simulator; do not keep feeding references
+// while using it.
+func (s *StackSim) Curve() *Curve { return &s.curve }
+
+// DistinctPages returns the number of distinct pages seen so far.
+func (s *StackSim) DistinctPages() int { return s.eng.len() }
+
+// --- move-to-front list engine (oracle) ---
+
+type mtfList struct {
+	order []uint64
+	pos   map[uint64]struct{} // membership only; distance found by scan
+}
+
+func newMTFList() *mtfList {
+	return &mtfList{pos: make(map[uint64]struct{})}
+}
+
+func (l *mtfList) access(page uint64) int {
+	if _, ok := l.pos[page]; !ok {
+		l.pos[page] = struct{}{}
+		l.order = append(l.order, 0)
+		copy(l.order[1:], l.order)
+		l.order[0] = page
+		return -1
+	}
+	for i, p := range l.order {
+		if p == page {
+			copy(l.order[1:i+1], l.order[:i])
+			l.order[0] = page
+			return i
+		}
+	}
+	panic("vm: page in map but not in list")
+}
+
+func (l *mtfList) len() int { return len(l.order) }

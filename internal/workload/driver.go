@@ -1,0 +1,515 @@
+package workload
+
+import (
+	"fmt"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/rng"
+	"mallocsim/internal/trace"
+)
+
+// Config parameterizes one driver run.
+type Config struct {
+	Program Program
+	// Scale divides the program's event counts: Scale 16 runs 1/16 of
+	// the allocations, references and instructions. The long-lived
+	// object count is *not* scaled (it is interleaved more densely), so
+	// for churn-dominated programs the heap footprint — and therefore
+	// cache and paging behaviour — is preserved across scales. Scale 1
+	// reproduces Table 2 exactly.
+	Scale uint64
+	// Seed makes runs reproducible; the same seed yields the identical
+	// operation sequence regardless of allocator.
+	Seed uint64
+	// SampleEvery, when non-zero, captures a fragmentation sample every
+	// that many allocation steps: live payload bytes versus heap bytes
+	// requested from the OS. The series shows how each allocator's
+	// space overhead evolves (the paper's §4.1 space-efficiency axis).
+	SampleEvery uint64
+}
+
+// Sample is one point of the fragmentation time series.
+type Sample struct {
+	Step uint64
+	// LiveBytes is the payload currently allocated by the program.
+	LiveBytes uint64
+	// HeapBytes is what the allocator has requested from the OS
+	// (excluding the workload's own stack/global segments).
+	HeapBytes uint64
+}
+
+// Overhead returns HeapBytes per live payload byte.
+func (s Sample) Overhead() float64 {
+	if s.LiveBytes == 0 {
+		return 0
+	}
+	return float64(s.HeapBytes) / float64(s.LiveBytes)
+}
+
+// Stats summarizes a completed run (the raw material of Table 2).
+type Stats struct {
+	Program   string
+	Allocs    uint64
+	Frees     uint64
+	FinalLive uint64
+	// LiveBytes is the payload bytes still allocated at exit.
+	LiveBytes uint64
+	// ReqBytes is the total payload bytes requested over the run.
+	ReqBytes uint64
+	// Samples is the fragmentation time series (Config.SampleEvery).
+	Samples []Sample
+}
+
+// recencyWindow is the temporal-locality model: the application mostly
+// re-references recently used objects, Zipf-weighted by recency rank.
+const (
+	windowSize  = 32
+	zipfExp     = 1.1
+	windowProb  = 0.85 // else uniform over all live objects
+	writeProb   = 0.3
+	maxRunWords = 8
+)
+
+type object struct {
+	addr uint64
+	size uint32
+	idx  int // position in the live slice
+	dead bool
+}
+
+// deathEvent schedules an object's free.
+type deathEvent struct {
+	step uint64
+	obj  *object
+}
+
+// deathQueue is a binary min-heap on step.
+type deathQueue []deathEvent
+
+func (q *deathQueue) push(e deathEvent) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*q)[parent].step <= (*q)[i].step {
+			break
+		}
+		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
+		i = parent
+	}
+}
+
+func (q *deathQueue) pop() deathEvent {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	*q = h[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].step < h[smallest].step {
+			smallest = l
+		}
+		if r < n && h[r].step < h[smallest].step {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// driver holds one run's state.
+type driver struct {
+	m     *mem.Memory
+	a     alloc.Allocator
+	meter *cost.Meter
+	prog  Program
+
+	sizeRng *rng.Rand
+	lifeRng *rng.Rand
+	refRng  *rng.Rand
+
+	churnDist    *rng.Discrete
+	churnSizes   []uint32
+	immortalDist *rng.Discrete
+	immortalSzs  []uint32
+	windowZipf   *rng.Zipf
+	globalZipf   *rng.Zipf
+
+	live   []*object
+	deaths deathQueue
+	window [windowSize]*object
+	wpos   int
+
+	stackBase  uint64
+	sp         uint64
+	globalBase uint64
+	globalHot  []uint64
+
+	refsAcc  float64 // reference budget accumulator
+	refsStep uint64  // references emitted this step
+
+	liveBytes uint64
+	nonHeap   []*mem.Region // stack + globals, excluded from heap samples
+
+	stats Stats
+}
+
+// Run drives the program model against allocator a on memory m,
+// creating stack and global regions on m for the application's
+// non-heap references. The allocator must already be constructed on
+// the same memory. References flow to m's sink; instructions to its
+// meter with malloc/free time in the proper cost domains.
+func Run(m *mem.Memory, a alloc.Allocator, cfg Config) (Stats, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	p := cfg.Program
+	d := &driver{m: m, a: a, meter: m.Meter(), prog: p}
+	if d.meter == nil {
+		d.meter = &cost.Meter{}
+	}
+
+	root := rng.New(cfg.Seed ^ hashName(p.Name))
+	d.sizeRng = root.Split()
+	d.lifeRng = root.Split()
+	d.refRng = root.Split()
+
+	d.churnDist, d.churnSizes = buildDist(p.ChurnSizes)
+	d.immortalDist, d.immortalSzs = buildDist(p.ImmortalSizes)
+	d.windowZipf = rng.NewZipf(windowSize, zipfExp)
+	d.globalZipf = rng.NewZipf(64, 1.0)
+
+	// Stack segment: a small, intensely hot region.
+	stack := m.NewRegion(p.Name+"-stack", 64*1024)
+	sb, err := stack.Sbrk(8 * 1024)
+	if err != nil {
+		return Stats{}, err
+	}
+	d.stackBase = sb
+	d.sp = 1024
+	d.nonHeap = append(d.nonHeap, stack)
+
+	// Global segment with a Zipf-hot set of word addresses.
+	globals := m.NewRegion(p.Name+"-globals", 0)
+	gb, err := globals.Sbrk(p.GlobalBytes)
+	if err != nil {
+		return Stats{}, err
+	}
+	d.globalBase = gb
+	d.nonHeap = append(d.nonHeap, globals)
+	d.globalHot = make([]uint64, 64)
+	for i := range d.globalHot {
+		d.globalHot[i] = gb + mem.AlignUp(d.refRng.Uint64n(p.GlobalBytes-4), mem.WordSize)
+	}
+
+	nAllocs := p.Allocs / cfg.Scale
+	if nAllocs == 0 {
+		nAllocs = 1
+	}
+	// The long-lived object count is kept at its full-scale value so the
+	// heap footprint survives downscaling, but at extreme scales it is
+	// capped so churn still dominates the run (real behaviour at any
+	// scale has far more deaths than survivors). Programs that free
+	// nothing (PTC) bypass this via the immortal branch below.
+	immortalTarget := p.ImmortalCount()
+	if p.Frees > 0 && immortalTarget > nAllocs/2 {
+		immortalTarget = nAllocs / 2
+	}
+	// Bresenham-style interleaving spreads exactly immortalTarget
+	// long-lived allocations through the run, in small bursts: real
+	// programs allocate long-lived structure in clusters (loading a
+	// document, building a table), not one object at a time. Bursting
+	// also keeps the permanent heap from shredding the address space
+	// into isolated holes beyond what real programs exhibit.
+	const immortalBurst = 4
+	var immAcc uint64
+	var immPending uint64
+	refsPerStep := p.RefsPerAlloc()
+	instrPerStep := p.InstrPerAlloc()
+
+	d.stats.Program = p.Name
+	for step := uint64(0); step < nAllocs; step++ {
+		// Deaths scheduled at or before this step happen first, so the
+		// allocator sees the recycling opportunity the paper's
+		// segregated-storage designs exploit.
+		for len(d.deaths) > 0 && d.deaths[0].step <= step {
+			ev := d.deaths.pop()
+			if err := d.freeObject(ev.obj); err != nil {
+				return d.stats, fmt.Errorf("workload %s step %d: %w", p.Name, step, err)
+			}
+		}
+
+		immortal := false
+		immAcc += immortalTarget
+		if immPending > 0 {
+			immPending--
+			immortal = true
+		} else if immAcc >= nAllocs*immortalBurst {
+			immAcc -= nAllocs * immortalBurst
+			immPending = immortalBurst - 1
+			immortal = true
+		}
+		var size uint32
+		var site uint32
+		if immortal || p.Frees == 0 {
+			idx := d.immortalDist.Sample(d.sizeRng)
+			size = d.immortalSzs[idx]
+			site = immortalSiteBase + uint32(idx)
+			immortal = true
+		} else {
+			idx := d.churnDist.Sample(d.sizeRng)
+			size = d.churnSizes[idx]
+			site = churnSiteBase + uint32(idx)
+		}
+
+		obj, err := d.mallocObject(size, site)
+		if err != nil {
+			return d.stats, fmt.Errorf("workload %s step %d: %w", p.Name, step, err)
+		}
+		if !immortal {
+			death := step + 1 + d.sampleLife()
+			// Phase behaviour: deaths land on batch boundaries, so the
+			// program releases objects in bursts.
+			if b := p.FreeBatch; b > 1 {
+				death = (death + b - 1) / b * b
+			}
+			d.deaths.push(deathEvent{step: death, obj: obj})
+		}
+
+		// The application initializes its new object...
+		d.refsStep = 0
+		d.initObject(obj)
+		// ...then computes, referencing stack, globals and the heap.
+		d.refsAcc += refsPerStep - float64(d.refsStep)
+		d.emitRefs()
+		// Pure-compute instructions fill out the instruction budget
+		// (each reference already charged one instruction).
+		if extra := instrPerStep - float64(d.refsStep); extra > 1 {
+			d.meter.ChargeTo(cost.App, uint64(extra))
+		}
+
+		if cfg.SampleEvery > 0 && step%cfg.SampleEvery == 0 {
+			d.stats.Samples = append(d.stats.Samples, d.sample(step))
+		}
+	}
+
+	d.stats.FinalLive = uint64(len(d.live))
+	for _, o := range d.live {
+		d.stats.LiveBytes += uint64(o.size)
+	}
+	return d.stats, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func buildDist(sw []SizeWeight) (*rng.Discrete, []uint32) {
+	weights := make([]float64, len(sw))
+	sizes := make([]uint32, len(sw))
+	for i, e := range sw {
+		weights[i] = e.Weight
+		sizes[i] = e.Size
+	}
+	return rng.NewDiscrete(weights), sizes
+}
+
+func (d *driver) sampleLife() uint64 {
+	p := d.prog
+	if p.MediumFrac > 0 && d.lifeRng.Bool(p.MediumFrac) {
+		return d.lifeRng.Geometric(p.MediumLife)
+	}
+	return d.lifeRng.Geometric(p.ShortLife)
+}
+
+// Synthetic call-site identifiers: each size-distribution entry plays
+// the role of one allocation site, the granularity at which Barrett &
+// Zorn-style predictors observe programs. Site-aware allocators (the
+// lifetime package) receive them; everything else sees plain Malloc.
+const (
+	churnSiteBase    = 1
+	immortalSiteBase = 1001
+)
+
+func (d *driver) mallocObject(size uint32, site uint32) (*object, error) {
+	prev := d.meter.Enter(cost.Malloc)
+	d.meter.Charge(alloc.CallOverhead)
+	var addr uint64
+	var err error
+	if sa, ok := d.a.(alloc.SiteAllocator); ok {
+		addr, err = sa.MallocSite(size, site)
+	} else {
+		addr, err = d.a.Malloc(size)
+	}
+	d.meter.Enter(prev)
+	if err != nil {
+		return nil, err
+	}
+	d.stats.Allocs++
+	d.stats.ReqBytes += uint64(size)
+	d.liveBytes += uint64(size)
+	o := &object{addr: addr, size: size, idx: len(d.live)}
+	d.live = append(d.live, o)
+	d.window[d.wpos] = o
+	d.wpos = (d.wpos + 1) % windowSize
+	return o, nil
+}
+
+func (d *driver) freeObject(o *object) error {
+	prev := d.meter.Enter(cost.Free)
+	d.meter.Charge(alloc.CallOverhead)
+	err := d.a.Free(o.addr)
+	d.meter.Enter(prev)
+	if err != nil {
+		return err
+	}
+	d.stats.Frees++
+	d.liveBytes -= uint64(o.size)
+	o.dead = true
+	last := len(d.live) - 1
+	d.live[o.idx] = d.live[last]
+	d.live[o.idx].idx = o.idx
+	d.live = d.live[:last]
+	return nil
+}
+
+// sample captures one fragmentation time-series point.
+func (d *driver) sample(step uint64) Sample {
+	heap := d.m.Footprint()
+	for _, r := range d.nonHeap {
+		heap -= r.Size()
+	}
+	return Sample{Step: step, LiveBytes: d.liveBytes, HeapBytes: heap}
+}
+
+// initObject writes every word of the fresh object, as real programs
+// initialize their allocations. Large objects (GhostScript buffers) can
+// exceed one step's reference budget; the accumulator carries the debt
+// forward so total references stay on target.
+func (d *driver) initObject(o *object) {
+	words := uint64(o.size) / mem.WordSize
+	if words == 0 {
+		d.m.Touch(o.addr, o.size, trace.Write)
+		d.refsStep++
+		return
+	}
+	for i := uint64(0); i < words; i++ {
+		d.m.Touch(o.addr+i*mem.WordSize, mem.WordSize, trace.Write)
+	}
+	d.refsStep += words
+}
+
+// emitRefs spends the accumulated reference budget on a locality-shaped
+// mix of stack, global and heap references.
+func (d *driver) emitRefs() {
+	p := d.prog
+	for d.refsAcc >= 1 {
+		r := d.refRng.Float64()
+		switch {
+		case r < p.StackFrac:
+			d.stackRef()
+			d.refsAcc--
+			d.refsStep++
+		case r < p.StackFrac+p.GlobalFrac:
+			d.globalRef()
+			d.refsAcc--
+			d.refsStep++
+		default:
+			n := d.heapRun()
+			d.refsAcc -= float64(n)
+			d.refsStep += n
+		}
+	}
+}
+
+// stackRef models a procedure-call stack: the pointer random-walks in a
+// narrow band and references land near it.
+func (d *driver) stackRef() {
+	delta := int64(d.refRng.Uint64n(129)) - 64
+	sp := int64(d.sp) + delta
+	if sp < 64 {
+		sp = 64
+	}
+	if sp > 1984 {
+		sp = 1984
+	}
+	d.sp = uint64(sp)
+	off := d.sp - d.refRng.Uint64n(16)*mem.WordSize
+	kind := trace.Read
+	if d.refRng.Bool(0.45) {
+		kind = trace.Write
+	}
+	d.m.Touch(d.stackBase+mem.AlignUp(off, mem.WordSize), mem.WordSize, kind)
+}
+
+func (d *driver) globalRef() {
+	addr := d.globalHot[d.globalZipf.Sample(d.refRng)]
+	kind := trace.Read
+	if d.refRng.Bool(0.2) {
+		kind = trace.Write
+	}
+	d.m.Touch(addr, mem.WordSize, kind)
+}
+
+// heapRun references a short sequential run of words inside one live
+// object, chosen mostly from the recency window (temporal locality)
+// and otherwise uniformly from the live set.
+func (d *driver) heapRun() uint64 {
+	o := d.pickObject()
+	if o == nil {
+		// Nothing live: burn one reference on the stack instead.
+		d.stackRef()
+		return 1
+	}
+	words := uint64(o.size) / mem.WordSize
+	if words == 0 {
+		d.m.Touch(o.addr, o.size, trace.Read)
+		return 1
+	}
+	start := d.refRng.Uint64n(words)
+	run := 1 + d.refRng.Uint64n(maxRunWords)
+	if run > words-start {
+		run = words - start
+	}
+	kind := trace.Read
+	if d.refRng.Bool(writeProb) {
+		kind = trace.Write
+	}
+	for i := uint64(0); i < run; i++ {
+		d.m.Touch(o.addr+(start+i)*mem.WordSize, mem.WordSize, kind)
+	}
+	// Promote the object in the recency window.
+	d.window[d.wpos] = o
+	d.wpos = (d.wpos + 1) % windowSize
+	return run
+}
+
+func (d *driver) pickObject() *object {
+	if len(d.live) == 0 {
+		return nil
+	}
+	if d.refRng.Bool(windowProb) {
+		// Most recent = rank 0: the window is a ring, so walk back from
+		// the last insertion point.
+		rank := d.windowZipf.Sample(d.refRng)
+		pos := (d.wpos - 1 - rank + 2*windowSize) % windowSize
+		if o := d.window[pos]; o != nil && !o.dead {
+			return o
+		}
+	}
+	return d.live[d.refRng.Intn(len(d.live))]
+}

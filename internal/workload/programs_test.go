@@ -1,0 +1,99 @@
+package workload
+
+import "testing"
+
+func TestCatalogComplete(t *testing.T) {
+	names := Names()
+	want := map[string]bool{
+		"espresso": true, "gs": true, "gs-medium": true, "gs-small": true,
+		"ptc": true, "gawk": true, "make": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("catalog has %d programs: %v", len(names), names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected program %q", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("espresso")
+	if !ok || p.Name != "espresso" {
+		t.Fatal("espresso lookup failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestPaperProgramsOrder(t *testing.T) {
+	progs := PaperPrograms()
+	want := []string{"espresso", "gs", "ptc", "gawk", "make"}
+	if len(progs) != len(want) {
+		t.Fatalf("got %d programs", len(progs))
+	}
+	for i, p := range progs {
+		if p.Name != want[i] {
+			t.Errorf("position %d: %q, want %q", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestGhostScriptInputsAscending(t *testing.T) {
+	inputs := GhostScriptInputs()
+	if len(inputs) != 3 {
+		t.Fatalf("got %d inputs", len(inputs))
+	}
+	for i := 1; i < len(inputs); i++ {
+		if inputs[i].Allocs <= inputs[i-1].Allocs {
+			t.Error("inputs not ordered smallest to largest")
+		}
+	}
+}
+
+// TestTable2Consistency checks each model against the paper's Table 2
+// identities.
+func TestTable2Consistency(t *testing.T) {
+	for _, p := range Programs() {
+		if p.Frees > p.Allocs {
+			t.Errorf("%s: frees %d > allocs %d", p.Name, p.Frees, p.Allocs)
+		}
+		if p.Instr < p.DataRefs {
+			t.Errorf("%s: more data refs than instructions", p.Name)
+		}
+		ratio := float64(p.DataRefs) / float64(p.Instr)
+		if ratio < 0.2 || ratio > 0.45 {
+			t.Errorf("%s: refs/instr = %.2f outside plausible MIPS range", p.Name, ratio)
+		}
+		if p.StackFrac+p.GlobalFrac >= 1 {
+			t.Errorf("%s: non-heap reference fractions exceed 1", p.Name)
+		}
+		if len(p.ChurnSizes) == 0 || len(p.ImmortalSizes) == 0 {
+			t.Errorf("%s: missing size distributions", p.Name)
+		}
+		for _, sw := range append(append([]SizeWeight{}, p.ChurnSizes...), p.ImmortalSizes...) {
+			if sw.Size == 0 || sw.Weight < 0 {
+				t.Errorf("%s: bad size entry %+v", p.Name, sw)
+			}
+		}
+	}
+	ptc, _ := ByName("ptc")
+	if ptc.Frees != 0 {
+		t.Error("ptc must free nothing (Table 2)")
+	}
+}
+
+func TestDerivedRates(t *testing.T) {
+	p, _ := ByName("espresso")
+	if ipa := p.InstrPerAlloc(); ipa < 1000 || ipa > 2000 {
+		t.Errorf("espresso instr/alloc = %v", ipa)
+	}
+	if rpa := p.RefsPerAlloc(); rpa < 200 || rpa > 600 {
+		t.Errorf("espresso refs/alloc = %v", rpa)
+	}
+	if ic := p.ImmortalCount(); ic != 7000 {
+		t.Errorf("espresso immortal count = %d, want 7000", ic)
+	}
+}
