@@ -5,17 +5,24 @@
 //
 // This is the instruction-count view of the paper's Figure 1 and of its
 // §4 space-efficiency discussion, for every registered allocator
-// including this repository's extensions.
+// including this repository's extensions. Each run is instrumented with
+// the observability layer (package obs), so -json emits the full
+// versioned run reports — per-call latency histograms included — and
+// -metrics-out writes them to a file.
 //
 // Run with:
 //
 //	allocstats -program espresso -scale 64
+//	allocstats -program espresso -json
+//	allocstats -program gs -metrics-out gs-reports.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -23,16 +30,15 @@ import (
 	"mallocsim/internal/alloc/all"
 	"mallocsim/internal/cost"
 	"mallocsim/internal/mem"
+	"mallocsim/internal/obs"
+	"mallocsim/internal/sim"
 	"mallocsim/internal/trace"
 	"mallocsim/internal/workload"
 )
 
-// scanner is implemented by allocators that search freelists.
-type scanner interface {
-	ScanSteps() uint64
-}
-
-// sizeProfiler records the request-size histogram while delegating.
+// sizeProfiler records the exact request-size histogram while
+// delegating (the obs.Recorder buckets sizes in powers of two; this
+// view keeps exact values, which is what size-class design needs).
 type sizeProfiler struct {
 	alloc.Allocator
 	sizes map[uint32]uint64
@@ -85,6 +91,8 @@ func main() {
 	scale := flag.Uint64("scale", 64, "run 1/scale of the program's events")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	sizes := flag.Bool("sizes", false, "print the request-size histogram instead of per-allocator stats")
+	jsonOut := flag.Bool("json", false, "print a JSON array of versioned per-allocator run reports")
+	metrics := flag.String("metrics-out", "", "also write the JSON run reports to this file")
 	flag.Parse()
 
 	prog, ok := workload.ByName(*progName)
@@ -96,51 +104,80 @@ func main() {
 		return
 	}
 
-	fmt.Printf("allocator micro-statistics on %s (scale 1/%d)\n\n", prog.Name, *scale)
-	fmt.Printf("%-16s %12s %12s %10s %10s %12s %12s\n",
-		"allocator", "instr/malloc", "instr/free", "heap KB", "overhead", "scan/alloc", "alloc refs")
+	var reports []*obs.Report
+	if !*jsonOut {
+		fmt.Printf("allocator micro-statistics on %s (scale 1/%d)\n\n", prog.Name, *scale)
+		fmt.Printf("%-16s %12s %12s %10s %10s %12s %12s\n",
+			"allocator", "instr/malloc", "instr/free", "heap KB", "overhead", "scan/alloc", "alloc refs")
+	}
 	for _, name := range all.Extended {
-		meter := &cost.Meter{}
-		var appRefs, allocRefs trace.Counter
-		m := mem.New(trace.SinkFunc(func(r trace.Ref) {
-			if meter.Current() == cost.App {
-				appRefs.Ref(r)
-			} else {
-				allocRefs.Ref(r)
-			}
-		}), meter)
-		a, err := alloc.New(name, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stats, err := workload.Run(m, a, workload.Config{Program: prog, Scale: *scale, Seed: *seed})
+		rec := &obs.Recorder{}
+		res, err := sim.Run(sim.Config{
+			Program:     prog,
+			Allocator:   name,
+			Scale:       *scale,
+			Seed:        *seed,
+			Recorder:    rec,
+			Attribution: true,
+		})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		perMalloc := float64(meter.Instr(cost.Malloc)) / float64(stats.Allocs)
+		reports = append(reports, res.Report())
+		if *jsonOut {
+			continue
+		}
+		stats := res.Workload
+		perMalloc := float64(res.Instr.Malloc) / float64(stats.Allocs)
 		perFree := 0.0
 		if stats.Frees > 0 {
-			perFree = float64(meter.Instr(cost.Free)) / float64(stats.Frees)
+			perFree = float64(res.Instr.Free) / float64(stats.Frees)
 		}
 		// Overhead: heap bytes obtained from the OS per live+recycled
 		// payload byte requested.
-		overhead := float64(m.Footprint()) / float64(stats.LiveBytes+1)
+		overhead := float64(res.TotalFootprint) / float64(stats.LiveBytes+1)
 		scan := "-"
-		if s, ok := a.(scanner); ok {
-			scan = fmt.Sprintf("%.2f", float64(s.ScanSteps())/float64(stats.Allocs))
+		if rec.Scan.Count() > 0 {
+			scan = fmt.Sprintf("%.2f", float64(rec.Scan.Sum())/float64(stats.Allocs))
 		}
-		var heap uint64
-		for _, r := range m.Regions() {
-			switch r.Name() {
-			case prog.Name + "-stack", prog.Name + "-globals":
-			default:
-				heap += r.Size()
+		// References issued from inside malloc/free, per the
+		// region × domain attribution matrix.
+		var allocRefs uint64
+		for _, row := range res.Attribution {
+			if row.Domain != cost.App.String() {
+				allocRefs += row.Reads + row.Writes
 			}
 		}
 		fmt.Printf("%-16s %12.1f %12.1f %10d %9.2fx %12s %12d\n",
-			name, perMalloc, perFree, heap/1024, overhead, scan, allocRefs.Total())
+			name, perMalloc, perFree, res.Footprint/1024, overhead, scan, allocRefs)
 	}
-	fmt.Println("\ninstr/op includes call overhead and all memory accesses;")
-	fmt.Println("overhead = OS bytes requested / live payload bytes at exit;")
-	fmt.Println("alloc refs = memory references issued by the allocator itself.")
+	if !*jsonOut {
+		fmt.Println("\ninstr/op includes call overhead and all memory accesses;")
+		fmt.Println("overhead = OS bytes requested / live payload bytes at exit;")
+		fmt.Println("alloc refs = memory references issued by the allocator itself.")
+	}
+
+	if *jsonOut {
+		if err := writeReports(os.Stdout, reports); err != nil {
+			log.Fatalf("allocstats: %v", err)
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatalf("allocstats: %v", err)
+		}
+		if err := writeReports(f, reports); err != nil {
+			log.Fatalf("allocstats: write %s: %v", *metrics, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("allocstats: close %s: %v", *metrics, err)
+		}
+	}
+}
+
+func writeReports(w *os.File, reports []*obs.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }

@@ -7,13 +7,19 @@
 //	locality -list
 //	locality -exp figure4
 //	locality -exp all -scale 16 -format markdown
+//	locality -exp figure4,figure5 -json
+//	locality -exp all -metrics-out tables.json
 //
 // Each experiment drives synthetic models of the paper's five test
 // programs through real implementations of the paper's five allocators
 // on simulated memory, and reports the same rows/series the paper does.
+// -json replaces the text output with a versioned JSON array of table
+// documents; -metrics-out writes that JSON to a file while the chosen
+// -format still goes to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +30,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6), comma-separated, or 'all'")
-		scale  = flag.Uint64("scale", paper.DefaultScale, "run 1/scale of each program's events (1 = full scale)")
-		seed   = flag.Uint64("seed", 1, "workload random seed")
-		format = flag.String("format", "text", "output format: text, csv, markdown or plot (ASCII chart for curve experiments)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6), comma-separated, or 'all'")
+		scale   = flag.Uint64("scale", paper.DefaultScale, "run 1/scale of each program's events (1 = full scale)")
+		seed    = flag.Uint64("seed", 1, "workload random seed")
+		format  = flag.String("format", "text", "output format: text, csv, markdown or plot (ASCII chart for curve experiments)")
+		jsonOut = flag.Bool("json", false, "print a versioned JSON array of table documents instead of -format")
+		metrics = flag.String("metrics-out", "", "also write the JSON table documents to this file")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -49,6 +57,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
+	var tables []*paper.Table
 	for _, id := range ids {
 		e, ok := r.ByID(strings.TrimSpace(id))
 		if !ok {
@@ -59,6 +68,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "locality: %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		tables = append(tables, t)
+		if *jsonOut {
+			continue
 		}
 		switch *format {
 		case "csv":
@@ -73,4 +86,32 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
+
+	if *jsonOut {
+		if err := writeTables(os.Stdout, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "locality: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locality: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeTables(f, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "locality: write %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "locality: close %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeTables(w *os.File, tables []*paper.Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

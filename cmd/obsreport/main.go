@@ -1,0 +1,208 @@
+// Command obsreport runs one fully-instrumented simulation and emits
+// its observability report: per-call instruction-latency and
+// request-size histograms, freelist scan lengths, error counts, an
+// operation-time series of footprint and cache miss rate (the
+// phase-behaviour view the paper's end-of-run tables cannot show), and
+// the per-region × cost-domain reference-attribution matrix.
+//
+// Run with:
+//
+//	obsreport -program espresso -alloc quickfit -json
+//	obsreport -program gs -alloc firstfit -pagesim -o report.json
+//
+// With -json the versioned run report (obs.ReportVersion) is printed
+// to stdout; otherwise a human-readable summary is printed. -o writes
+// the JSON report to a file in either mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/obs"
+	"mallocsim/internal/sim"
+	"mallocsim/internal/workload"
+)
+
+func main() {
+	var (
+		progName = flag.String("program", "espresso", "workload: "+strings.Join(workload.Names(), ", "))
+		allocN   = flag.String("alloc", "quickfit", "allocator: "+strings.Join(alloc.Names(), ", "))
+		scale    = flag.Uint64("scale", 64, "run 1/scale of the program's events")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		points   = flag.Uint64("points", 64, "target number of time-series points (used when -every is 0)")
+		every    = flag.Uint64("every", 0, "sample every N malloc/free operations (0 = derive from -points)")
+		caches   = flag.String("caches", "16K,64K,256K", "comma-separated direct-mapped cache sizes to simulate ('' = none)")
+		pageSim  = flag.Bool("pagesim", false, "enable LRU stack-distance page-fault simulation")
+		jsonOut  = flag.Bool("json", false, "print the versioned JSON run report instead of a summary")
+		outFile  = flag.String("o", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	prog, ok := workload.ByName(*progName)
+	if !ok {
+		log.Fatalf("obsreport: unknown program %q (have %s)", *progName, strings.Join(workload.Names(), ", "))
+	}
+	if *scale == 0 {
+		*scale = 1
+	}
+	if *every == 0 {
+		// Derive the sampling interval from the expected operation count
+		// (allocs plus at most as many frees).
+		estOps := 2 * (prog.Allocs / *scale)
+		if *points == 0 {
+			*points = 64
+		}
+		*every = estOps / *points
+		if *every == 0 {
+			*every = 1
+		}
+	}
+
+	cfgs, err := parseCaches(*caches)
+	if err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+
+	rec := &obs.Recorder{}
+	res, err := sim.Run(sim.Config{
+		Program:     prog,
+		Allocator:   *allocN,
+		Scale:       *scale,
+		Seed:        *seed,
+		Caches:      cfgs,
+		PageSim:     *pageSim,
+		Recorder:    rec,
+		SampleEvery: *every,
+		Attribution: true,
+	})
+	if err != nil {
+		log.Fatalf("obsreport: %v", err)
+	}
+
+	rep := res.Report()
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatalf("obsreport: %v", err)
+		}
+		if err := rep.Write(f); err != nil {
+			log.Fatalf("obsreport: write %s: %v", *outFile, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("obsreport: close %s: %v", *outFile, err)
+		}
+	}
+	if *jsonOut {
+		if err := rep.Write(os.Stdout); err != nil {
+			log.Fatalf("obsreport: %v", err)
+		}
+		return
+	}
+	printSummary(res, rec)
+}
+
+// parseCaches turns "16K,64K,1M" into direct-mapped cache configs.
+func parseCaches(s string) ([]cache.Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []cache.Config
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		mult := uint64(1)
+		switch {
+		case strings.HasSuffix(part, "M"):
+			mult, part = 1<<20, strings.TrimSuffix(part, "M")
+		case strings.HasSuffix(part, "K"):
+			mult, part = 1<<10, strings.TrimSuffix(part, "K")
+		}
+		n, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cache size %q: %v", part, err)
+		}
+		out = append(out, cache.Config{Size: n * mult})
+	}
+	return out, nil
+}
+
+func printSummary(res *sim.Result, rec *obs.Recorder) {
+	fmt.Printf("observability report: %s / %s (scale 1/%d, seed %d)\n\n",
+		res.Program, res.Allocator, res.Scale, res.Seed)
+
+	fmt.Printf("operations: %d mallocs, %d frees (%d ops observed)\n",
+		rec.Mallocs.Value(), rec.Frees.Value(), rec.Ops())
+	fmt.Printf("instructions: app %d, malloc %d, free %d (alloc fraction %.2f%%)\n",
+		res.Instr.App, res.Instr.Malloc, res.Instr.Free, res.Instr.AllocFraction()*100)
+	fmt.Printf("footprint: heap %d KB, total %d KB (high-water %d KB)\n\n",
+		res.Footprint/1024, res.TotalFootprint/1024, rec.Footprint.Max()/1024)
+
+	fmt.Printf("%-14s %s\n", "malloc instr:", rec.MallocInstr.String())
+	fmt.Printf("%-14s %s\n", "free instr:", rec.FreeInstr.String())
+	fmt.Printf("%-14s %s\n", "request size:", rec.ReqSize.String())
+	if rec.Scan.Count() > 0 {
+		fmt.Printf("%-14s %s\n", "scan steps:", rec.Scan.String())
+	}
+	fmt.Printf("%-14s live objects %d (max %d), live bytes %d (max %d)\n",
+		"live set:", rec.LiveObjects.Value(), rec.LiveObjects.Max(),
+		rec.LiveBytes.Value(), rec.LiveBytes.Max())
+	if n := rec.BadFree.Value() + rec.TooLarge.Value() + rec.OOM.Value() + rec.OtherErrors.Value(); n > 0 {
+		fmt.Printf("%-14s bad-free %d, too-large %d, oom %d, other %d\n",
+			"errors:", rec.BadFree.Value(), rec.TooLarge.Value(), rec.OOM.Value(), rec.OtherErrors.Value())
+	}
+
+	if len(res.Caches) > 0 {
+		fmt.Println("\ncaches:")
+		for _, c := range res.Caches {
+			fmt.Printf("  %-24s %10d accesses %10d misses  %6.2f%% miss rate\n",
+				c.Config.String(), c.Accesses, c.Misses, c.MissRate()*100)
+		}
+	}
+
+	if len(res.Series) > 0 {
+		fmt.Printf("\ntime series (%d points; op, footprint KB, live KB", len(res.Series))
+		withCache := len(res.Series[0].Caches) > 0
+		if withCache {
+			fmt.Printf(", interval miss%% %s", res.Series[0].Caches[0].Config)
+		}
+		fmt.Println("):")
+		for _, p := range seriesPreview(res.Series) {
+			fmt.Printf("  %10d %10d %10d", p.Op, p.FootprintBytes/1024, p.LiveBytes/1024)
+			if withCache {
+				fmt.Printf(" %8.2f%%", p.Caches[0].IntervalMissRate*100)
+			}
+			fmt.Println()
+		}
+	}
+
+	if len(res.Attribution) > 0 {
+		fmt.Println("\nreference attribution (region × domain):")
+		fmt.Printf("  %-24s %-8s %12s %12s %14s\n", "region", "domain", "reads", "writes", "bytes")
+		for _, row := range res.Attribution {
+			fmt.Printf("  %-24s %-8s %12d %12d %14d\n",
+				row.Region, row.Domain, row.Reads, row.Writes, row.Bytes)
+		}
+	}
+
+	if res.Curve != nil {
+		fmt.Printf("\npaging: %d refs over %d distinct pages (page size %d)\n",
+			res.Curve.Refs, res.Curve.DistinctPages(), res.Curve.PageSize)
+	}
+}
+
+// seriesPreview limits summary output to the first and last few points.
+func seriesPreview(s []obs.SamplePoint) []obs.SamplePoint {
+	const headTail = 8
+	if len(s) <= 2*headTail {
+		return s
+	}
+	out := append([]obs.SamplePoint{}, s[:headTail]...)
+	return append(out, s[len(s)-headTail:]...)
+}

@@ -59,6 +59,17 @@ type SiteAllocator interface {
 	MallocSite(n uint32, site uint32) (uint64, error)
 }
 
+// Scanner is an optional interface implemented by allocators that
+// search freelists (the sequential fits, and hybrids that fall back to
+// one). ScanSteps returns the cumulative number of freelist nodes
+// examined across all operations; per-call scan lengths — the paper's
+// "sequential fit algorithms ... require a search" cost made visible —
+// are deltas of this counter. Callers discover conformance with a type
+// assertion; allocators that never search simply do not implement it.
+type Scanner interface {
+	ScanSteps() uint64
+}
+
 // CallOverhead is the instruction cost of the call/return linkage and
 // argument setup of a malloc or free call, charged by the simulation
 // driver per call (on top of the work the allocator itself performs).

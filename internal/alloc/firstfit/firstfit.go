@@ -114,7 +114,11 @@ func init() {
 // Name implements alloc.Allocator.
 func (a *Allocator) Name() string { return "firstfit" }
 
-// ScanSteps returns the cumulative number of freelist nodes examined.
+// Allocator searches the freelist, so it implements alloc.Scanner.
+var _ alloc.Scanner = (*Allocator)(nil)
+
+// ScanSteps implements alloc.Scanner: the cumulative number of
+// freelist nodes examined.
 func (a *Allocator) ScanSteps() uint64 { return a.scanSteps }
 
 // Malloc implements alloc.Allocator.

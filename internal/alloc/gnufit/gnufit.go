@@ -76,7 +76,12 @@ func (a *Allocator) Name() string { return "gnufit" }
 // region to encode pointers into it.
 func (a *Allocator) Region() *mem.Region { return a.h.R }
 
-// ScanSteps returns the cumulative number of freelist nodes examined.
+// Allocator searches its bins' freelists, so it implements
+// alloc.Scanner.
+var _ alloc.Scanner = (*Allocator)(nil)
+
+// ScanSteps implements alloc.Scanner: the cumulative number of
+// freelist nodes examined.
 func (a *Allocator) ScanSteps() uint64 { return a.scanSteps }
 
 // binIndex returns the bin holding blocks of the given size:

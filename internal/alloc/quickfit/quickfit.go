@@ -166,3 +166,13 @@ func (a *Allocator) Free(p uint64) error {
 
 // Stats reports basic operation counts.
 func (a *Allocator) Stats() (allocs, frees uint64) { return a.allocs, a.frees }
+
+// The exact-size lists never search, but the general-allocator
+// fallback (large requests and tail-chunk fetches) does, so QUICKFIT's
+// conformance is explicit too.
+var _ alloc.Scanner = (*Allocator)(nil)
+
+// ScanSteps implements alloc.Scanner: freelist nodes examined by the
+// embedded general allocator (the exact-size fast path contributes
+// zero, which is the paper's point).
+func (a *Allocator) ScanSteps() uint64 { return a.general.ScanSteps() }

@@ -15,7 +15,10 @@
 // one of several domains (application, malloc, free).
 package cost
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Domain identifies who is being charged for instructions.
 type Domain uint8
@@ -31,6 +34,10 @@ const (
 
 	numDomains
 )
+
+// NumDomains is the number of cost domains, for callers that keep
+// per-domain tables indexed by Domain.
+const NumDomains = int(numDomains)
 
 // String returns a short human-readable domain name.
 func (d Domain) String() string {
@@ -114,7 +121,40 @@ func (m *Meter) Snapshot() Snapshot {
 // Total returns the instruction total of the snapshot.
 func (s Snapshot) Total() uint64 { return s.App + s.Malloc + s.Free }
 
-// Sub returns the difference s - o, field by field.
+// AllocFraction returns the fraction of the snapshot's instructions
+// spent in malloc and free (Figure 1's y-axis), 0 for an empty
+// snapshot. It mirrors Meter.AllocFraction for code that holds only
+// the copyable summary.
+func (s Snapshot) AllocFraction() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Malloc+s.Free) / float64(t)
+}
+
+// MarshalJSON serializes the snapshot with its derived totals, so JSON
+// consumers get the Figure 1 quantity without recomputing it.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		App           uint64  `json:"app"`
+		Malloc        uint64  `json:"malloc"`
+		Free          uint64  `json:"free"`
+		Total         uint64  `json:"total"`
+		AllocFraction float64 `json:"alloc_fraction"`
+	}{s.App, s.Malloc, s.Free, s.Total(), s.AllocFraction()})
+}
+
+// Sub returns the difference s - o, field by field. Fields that would
+// underflow — snapshots subtracted out of order — clamp to zero rather
+// than wrapping, so interval arithmetic degrades to an empty interval
+// instead of a garbage one.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
-	return Snapshot{App: s.App - o.App, Malloc: s.Malloc - o.Malloc, Free: s.Free - o.Free}
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Snapshot{App: sub(s.App, o.App), Malloc: sub(s.Malloc, o.Malloc), Free: sub(s.Free, o.Free)}
 }

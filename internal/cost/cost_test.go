@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -66,6 +67,53 @@ func TestSnapshot(t *testing.T) {
 	}
 	if s2.Total() != 8 {
 		t.Errorf("total = %d", s2.Total())
+	}
+}
+
+// TestSnapshotSubUnderflow: out-of-order subtraction clamps each field
+// to zero instead of wrapping to huge values.
+func TestSnapshotSubUnderflow(t *testing.T) {
+	older := Snapshot{App: 10, Malloc: 5, Free: 2}
+	newer := Snapshot{App: 100, Malloc: 50, Free: 20}
+	d := older.Sub(newer)
+	if d != (Snapshot{}) {
+		t.Errorf("out-of-order Sub = %+v, want zeroed fields", d)
+	}
+	// Mixed direction: only the underflowing fields clamp.
+	mixed := Snapshot{App: 200, Malloc: 1, Free: 30}.Sub(newer)
+	if mixed != (Snapshot{App: 100, Malloc: 0, Free: 10}) {
+		t.Errorf("mixed Sub = %+v", mixed)
+	}
+}
+
+func TestSnapshotAllocFraction(t *testing.T) {
+	if f := (Snapshot{}).AllocFraction(); f != 0 {
+		t.Errorf("empty snapshot fraction = %v", f)
+	}
+	s := Snapshot{App: 60, Malloc: 30, Free: 10}
+	if got, want := s.AllocFraction(), 0.4; got != want {
+		t.Errorf("fraction = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotMarshalJSON(t *testing.T) {
+	s := Snapshot{App: 60, Malloc: 30, Free: 10}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		App           uint64  `json:"app"`
+		Malloc        uint64  `json:"malloc"`
+		Free          uint64  `json:"free"`
+		Total         uint64  `json:"total"`
+		AllocFraction float64 `json:"alloc_fraction"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 100 || out.AllocFraction != 0.4 || out.Malloc != 30 {
+		t.Errorf("marshalled %s", data)
 	}
 }
 

@@ -135,6 +135,24 @@ func (m *Memory) NewRegion(name string, limit uint64) *Region {
 // Regions returns all regions in creation order.
 func (m *Memory) Regions() []*Region { return m.regions }
 
+// RegionAt returns the region whose allocated span contains addr, or
+// nil. The fast path exploits the regionSpan-aligned base layout (the
+// region index is addr's high word minus one); the linear fallback
+// covers addresses past a span boundary inside an oversized region.
+func (m *Memory) RegionAt(addr uint64) *Region {
+	if i := addr/regionSpan - 1; addr >= regionSpan && i < uint64(len(m.regions)) {
+		if r := m.regions[i]; r.Contains(addr) {
+			return r
+		}
+	}
+	for _, r := range m.regions {
+		if r.Contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
 // Footprint returns the total bytes requested from the "operating
 // system" across all regions: the paper's "maximum heap size" metric.
 func (m *Memory) Footprint() uint64 {

@@ -57,6 +57,40 @@ func TestRegionsDoNotOverlap(t *testing.T) {
 	}
 }
 
+func TestRegionAt(t *testing.T) {
+	m := New(nil, nil)
+	var regions []*Region
+	for i := 0; i < 4; i++ {
+		r := m.NewRegion("r", 0)
+		if _, err := r.Sbrk(1024); err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	for i, r := range regions {
+		if got := m.RegionAt(r.Base()); got != r {
+			t.Errorf("region %d: RegionAt(base) = %v", i, got)
+		}
+		if got := m.RegionAt(r.Brk() - 1); got != r {
+			t.Errorf("region %d: RegionAt(brk-1) = %v", i, got)
+		}
+		if got := m.RegionAt(r.Brk()); got == r {
+			t.Errorf("region %d: RegionAt(brk) should not match", i)
+		}
+	}
+	if got := m.RegionAt(0); got != nil {
+		t.Errorf("RegionAt(0) = %v, want nil", got)
+	}
+	if got := m.RegionAt(1 << 62); got != nil {
+		t.Errorf("RegionAt(huge) = %v, want nil", got)
+	}
+	// Below the first region's base (inside its span slot but before the
+	// reserve) nothing matches either.
+	if got := m.RegionAt(regions[0].Base() - 1); got != nil {
+		t.Errorf("RegionAt(base-1) = %v, want nil", got)
+	}
+}
+
 func TestRegionLimit(t *testing.T) {
 	m := New(nil, nil)
 	r := m.NewRegion("small", 4096)

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sort"
+
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// RefCell tallies one (region, domain) attribution cell.
+type RefCell struct {
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Bytes  uint64 `json:"bytes"`
+}
+
+// AttribRow is one row of the attribution matrix for serialization.
+type AttribRow struct {
+	// Region is the region name ("gnufit-heap", "espresso-stack", ...)
+	// or "(unmapped)" for references outside every region.
+	Region string `json:"region"`
+	// Domain is the cost domain that issued the references: "app",
+	// "malloc" or "free".
+	Domain string `json:"domain"`
+	RefCell
+}
+
+// Attribution is a trace.Sink that attributes every reference to a
+// (memory region × cost domain) cell: "who touches what memory". It is
+// the observability view of the paper's central concern — the
+// allocator's *own* reference behaviour, separated from the
+// application's, per area of the address space. A reference is charged
+// to the domain the meter is in when the reference is issued, so
+// allocator-issued references land in malloc/free rows even when they
+// touch the heap the application also uses.
+type Attribution struct {
+	mem   *mem.Memory
+	meter *cost.Meter
+	cells map[*mem.Region]*[cost.NumDomains]RefCell
+	// orphan catches references outside every region (impossible for
+	// word accesses, which mem checks, but kept for robustness).
+	orphan [cost.NumDomains]RefCell
+}
+
+// NewAttribution builds an attribution sink resolving regions via m and
+// domains via meter. A nil meter attributes everything to the App
+// domain.
+func NewAttribution(m *mem.Memory, meter *cost.Meter) *Attribution {
+	return &Attribution{
+		mem:   m,
+		meter: meter,
+		cells: make(map[*mem.Region]*[cost.NumDomains]RefCell),
+	}
+}
+
+// Ref implements trace.Sink.
+func (a *Attribution) Ref(r trace.Ref) {
+	d := cost.App
+	if a.meter != nil {
+		d = a.meter.Current()
+	}
+	cell := &a.orphan[d]
+	if reg := a.mem.RegionAt(r.Addr); reg != nil {
+		row := a.cells[reg]
+		if row == nil {
+			row = new([cost.NumDomains]RefCell)
+			a.cells[reg] = row
+		}
+		cell = &row[d]
+	}
+	if r.Kind == trace.Write {
+		cell.Writes++
+	} else {
+		cell.Reads++
+	}
+	cell.Bytes += uint64(r.Size)
+}
+
+// Cell returns the tallies for one region name and domain (zero if the
+// pair saw no references).
+func (a *Attribution) Cell(region string, d cost.Domain) RefCell {
+	for reg, row := range a.cells {
+		if reg.Name() == region {
+			return row[d]
+		}
+	}
+	return RefCell{}
+}
+
+// Rows returns the non-empty attribution cells, sorted by region name
+// then domain, ready for serialization.
+func (a *Attribution) Rows() []AttribRow {
+	var out []AttribRow
+	for reg, row := range a.cells {
+		for d := 0; d < cost.NumDomains; d++ {
+			c := row[d]
+			if c.Reads == 0 && c.Writes == 0 {
+				continue
+			}
+			out = append(out, AttribRow{Region: reg.Name(), Domain: cost.Domain(d).String(), RefCell: c})
+		}
+	}
+	for d, c := range a.orphan {
+		if c.Reads == 0 && c.Writes == 0 {
+			continue
+		}
+		out = append(out, AttribRow{Region: "(unmapped)", Domain: cost.Domain(d).String(), RefCell: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"errors"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+)
+
+// Instrumented wraps an allocator and records per-call metrics into a
+// Recorder. Build one with Instrument.
+type Instrumented struct {
+	inner alloc.Allocator
+	site  alloc.SiteAllocator // nil when inner has no site support
+	scan  alloc.Scanner       // nil when inner does not search freelists
+	meter *cost.Meter
+	rec   *Recorder
+	sizes map[uint64]uint32 // live addr → request size, for Free accounting
+}
+
+// Instrument wraps a with per-call metric recording into rec. The
+// meter supplies instruction-latency deltas (its Malloc/Free domains);
+// a nil meter disables the latency histograms, and a nil rec returns a
+// unchanged — the uninstrumented allocator with zero added overhead.
+//
+// The wrapper is domain-safe in both directions: it enters the proper
+// cost domain itself, so it measures correctly whether the caller is
+// the workload driver (which has already switched domains) or a bare
+// test harness (which has not). Site-aware allocation is preserved:
+// the wrapper always implements alloc.SiteAllocator, forwarding to the
+// wrapped allocator's MallocSite when it has one and falling back to
+// plain Malloc otherwise (the same semantics the workload driver
+// applies to an unwrapped allocator).
+func Instrument(a alloc.Allocator, meter *cost.Meter, rec *Recorder) alloc.Allocator {
+	if rec == nil || a == nil {
+		return a
+	}
+	w := &Instrumented{
+		inner: a,
+		meter: meter,
+		rec:   rec,
+		sizes: make(map[uint64]uint32),
+	}
+	if sa, ok := a.(alloc.SiteAllocator); ok {
+		w.site = sa
+	}
+	if sc, ok := a.(alloc.Scanner); ok {
+		w.scan = sc
+	}
+	return w
+}
+
+// Unwrap returns the wrapped allocator.
+func (w *Instrumented) Unwrap() alloc.Allocator { return w.inner }
+
+// Name implements alloc.Allocator, reporting the wrapped name.
+func (w *Instrumented) Name() string { return w.inner.Name() }
+
+// Malloc implements alloc.Allocator.
+func (w *Instrumented) Malloc(n uint32) (uint64, error) {
+	return w.malloc(n, 0, false)
+}
+
+// MallocSite implements alloc.SiteAllocator, falling back to Malloc
+// when the wrapped allocator is not site-aware.
+func (w *Instrumented) MallocSite(n uint32, site uint32) (uint64, error) {
+	return w.malloc(n, site, true)
+}
+
+func (w *Instrumented) malloc(n uint32, site uint32, haveSite bool) (uint64, error) {
+	var before, scanBefore uint64
+	if w.meter != nil {
+		prev := w.meter.Enter(cost.Malloc)
+		defer w.meter.Enter(prev)
+		before = w.meter.Instr(cost.Malloc)
+	}
+	if w.scan != nil {
+		scanBefore = w.scan.ScanSteps()
+	}
+
+	var addr uint64
+	var err error
+	if haveSite && w.site != nil {
+		addr, err = w.site.MallocSite(n, site)
+	} else {
+		addr, err = w.inner.Malloc(n)
+	}
+
+	if w.meter != nil {
+		w.rec.MallocInstr.Observe(w.meter.Instr(cost.Malloc) - before)
+	}
+	if w.scan != nil {
+		w.rec.Scan.Observe(w.scan.ScanSteps() - scanBefore)
+	}
+	w.rec.ReqSize.Observe(uint64(n))
+	if err != nil {
+		w.recordError(err)
+	} else {
+		w.rec.Mallocs.Inc()
+		w.rec.LiveObjects.Add(1)
+		w.rec.LiveBytes.Add(int64(n))
+		w.sizes[addr] = n
+	}
+	w.rec.finishOp()
+	return addr, err
+}
+
+// Free implements alloc.Allocator.
+func (w *Instrumented) Free(addr uint64) error {
+	var before uint64
+	if w.meter != nil {
+		prev := w.meter.Enter(cost.Free)
+		defer w.meter.Enter(prev)
+		before = w.meter.Instr(cost.Free)
+	}
+
+	err := w.inner.Free(addr)
+
+	if w.meter != nil {
+		w.rec.FreeInstr.Observe(w.meter.Instr(cost.Free) - before)
+	}
+	if err != nil {
+		w.recordError(err)
+	} else {
+		w.rec.Frees.Inc()
+		w.rec.LiveObjects.Add(-1)
+		if n, ok := w.sizes[addr]; ok {
+			w.rec.LiveBytes.Add(-int64(n))
+			delete(w.sizes, addr)
+		}
+	}
+	w.rec.finishOp()
+	return err
+}
+
+// recordError classifies err into the recorder's error counters.
+func (w *Instrumented) recordError(err error) {
+	switch {
+	case errors.Is(err, alloc.ErrBadFree):
+		w.rec.BadFree.Inc()
+	case errors.Is(err, alloc.ErrTooLarge):
+		w.rec.TooLarge.Inc()
+	case errors.Is(err, mem.ErrOutOfMemory):
+		w.rec.OOM.Inc()
+	default:
+		w.rec.OtherErrors.Inc()
+	}
+}

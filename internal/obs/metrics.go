@@ -1,0 +1,246 @@
+// Package obs is the observability layer of the reproduction: metric
+// primitives (counters, gauges, log₂-bucketed histograms), an
+// allocator-instrumentation middleware, an operation-time sampler that
+// turns one run into a phase-behaviour time series, a per-region ×
+// cost-domain reference-attribution sink, and a versioned JSON run
+// report tying it all together.
+//
+// The paper's entire argument is built from measurements — instruction
+// counts split by domain (Figure 1), miss rates over cache sizes
+// (Figures 4/5), fault curves (Figures 2/3) — but, like the paper, the
+// seed simulator only reported end-of-run aggregates. Package obs makes
+// the *distributions* and the *phases* visible: how many instructions
+// each individual malloc took, how the miss rate moves as the heap
+// grows, and which region of memory each cost domain actually touches.
+//
+// Everything here is zero-dependency (standard library only) and
+// strictly opt-in: a nil *Recorder disables the whole layer, and the
+// simulation driver takes the exact seed code path.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use. Counters are not safe for concurrent use; each simulation run
+// owns its metrics, matching the rest of the repository.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// MarshalJSON encodes the counter as a bare number.
+func (c Counter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.n)
+}
+
+// Gauge is an instantaneous signed value that also tracks its
+// high-water mark. The zero value is ready to use.
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.Set(g.v + delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// MarshalJSON encodes the gauge with its high-water mark.
+func (g Gauge) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Value int64 `json:"value"`
+		Max   int64 `json:"max"`
+	}{g.v, g.max})
+}
+
+// histBuckets is one bucket per power of two: bucket 0 holds the value
+// 0 and bucket i (i ≥ 1) holds values in [2^(i-1), 2^i). 65 buckets
+// cover the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a log₂-bucketed histogram of uint64 observations: the
+// standard allocator-telemetry shape (tcmalloc, jemalloc and the
+// Risco-Martín profiles all bucket sizes and latencies in powers of
+// two). It keeps exact count/sum/min/max alongside the buckets, so
+// means are exact and only quantiles are approximate. The zero value is
+// an empty, ready-to-use histogram.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// bucketIndex returns the bucket for v: bits.Len64 maps 0→0, 1→1,
+// [2,4)→2, [4,8)→3 and so on.
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketLo returns the inclusive lower bound of bucket i.
+func BucketLo(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketHi returns the inclusive upper bound of bucket i.
+func BucketHi(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observation (0 for an empty histogram).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the exact mean observation (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an estimate of the p-quantile (0 ≤ p ≤ 1): the upper
+// bound of the first bucket whose cumulative count reaches p·count,
+// clamped to the exact observed min/max. Log₂ buckets bound the
+// relative error at 2×, which is plenty for "p99 malloc latency"-style
+// reporting.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			hi := BucketHi(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket for serialization.
+type Bucket struct {
+	// Lo and Hi are the inclusive value bounds of the bucket.
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		out = append(out, Bucket{Lo: BucketLo(i), Hi: BucketHi(i), Count: n})
+	}
+	return out
+}
+
+// HistogramSnapshot is the serialized form of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a copyable, JSON-ready summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Buckets: h.Buckets(),
+	}
+}
+
+// MarshalJSON serializes the snapshot form.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.Snapshot())
+}
+
+// String renders a compact one-line summary for human-readable output.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d",
+		h.count, h.Mean(), h.min, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.max)
+}

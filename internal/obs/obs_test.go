@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	var g Gauge
+	g.Add(10)
+	g.Add(-3)
+	g.Add(5)
+	if g.Value() != 12 {
+		t.Errorf("gauge = %d, want 12", g.Value())
+	}
+	if g.Max() != 12 {
+		t.Errorf("gauge max = %d, want 12", g.Max())
+	}
+	g.Add(-12)
+	if g.Value() != 0 || g.Max() != 12 {
+		t.Errorf("gauge after drain = %d max %d, want 0 max 12", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+	}
+	for _, c := range cases {
+		i := bucketIndex(c.v)
+		if BucketLo(i) != c.lo || BucketHi(i) != c.hi {
+			t.Errorf("value %d: bucket [%d,%d], want [%d,%d]",
+				c.v, BucketLo(i), BucketHi(i), c.lo, c.hi)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 100, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 || h.Sum() != 1306 {
+		t.Errorf("count=%d sum=%d, want 8/1306", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min=%d max=%d, want 0/1000", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 1306.0/8; got != want {
+		t.Errorf("mean=%v want %v", got, want)
+	}
+	// p50 of 8 values → 4th value (3), bucket [2,3] → upper bound 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50=%d, want 3", q)
+	}
+	// p99 → 8th value (1000), bucket [512,1023] clamped to max.
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Errorf("p99=%d, want 1000", q)
+	}
+	// Quantile upper bounds clamp to the observed max.
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100=%d, want 1000", q)
+	}
+
+	buckets := h.Buckets()
+	var n uint64
+	for _, b := range buckets {
+		if b.Lo > b.Hi {
+			t.Errorf("bucket [%d,%d] inverted", b.Lo, b.Hi)
+		}
+		n += b.Count
+	}
+	if n != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", n, h.Count())
+	}
+}
+
+func TestHistogramJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(9)
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap HistogramSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 2 || snap.Sum != 14 || snap.Min != 5 || snap.Max != 9 {
+		t.Errorf("roundtrip snapshot = %+v", snap)
+	}
+}
+
+// errAllocator fails every call with a configured error.
+type errAllocator struct{ err error }
+
+func (a *errAllocator) Name() string                  { return "err" }
+func (a *errAllocator) Malloc(uint32) (uint64, error) { return 0, a.err }
+func (a *errAllocator) Free(uint64) error             { return a.err }
+
+func TestInstrumentNilRecorder(t *testing.T) {
+	a := &errAllocator{}
+	if got := Instrument(a, nil, nil); got != alloc.Allocator(a) {
+		t.Error("nil recorder should return the allocator unchanged")
+	}
+}
+
+func TestInstrumentErrorClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		read func(r *Recorder) uint64
+	}{
+		{alloc.ErrBadFree, func(r *Recorder) uint64 { return r.BadFree.Value() }},
+		{alloc.ErrTooLarge, func(r *Recorder) uint64 { return r.TooLarge.Value() }},
+		{mem.ErrOutOfMemory, func(r *Recorder) uint64 { return r.OOM.Value() }},
+		{errors.New("novel failure"), func(r *Recorder) uint64 { return r.OtherErrors.Value() }},
+	}
+	for _, c := range cases {
+		rec := &Recorder{}
+		w := Instrument(&errAllocator{err: c.err}, &cost.Meter{}, rec)
+		if _, err := w.Malloc(8); !errors.Is(err, c.err) {
+			t.Errorf("Malloc error %v not propagated", c.err)
+		}
+		if err := w.Free(4); !errors.Is(err, c.err) {
+			t.Errorf("Free error %v not propagated", c.err)
+		}
+		if got := c.read(rec); got != 2 {
+			t.Errorf("%v: counted %d, want 2 (one malloc + one free)", c.err, got)
+		}
+		if rec.Mallocs.Value() != 0 || rec.Frees.Value() != 0 {
+			t.Errorf("%v: failed calls must not count as successes", c.err)
+		}
+		if rec.Ops() != 2 {
+			t.Errorf("%v: ops = %d, want 2 (failures count as operations)", c.err, rec.Ops())
+		}
+	}
+}
+
+func TestInstrumentRealAllocator(t *testing.T) {
+	meter := &cost.Meter{}
+	m := mem.New(trace.Discard, meter)
+	inner, err := alloc.New("firstfit", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{FootprintFn: m.Footprint}
+	a := Instrument(inner, meter, rec)
+
+	var addrs []uint64
+	for i := 0; i < 100; i++ {
+		addr, err := a.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	if rec.Mallocs.Value() != 100 {
+		t.Errorf("mallocs = %d, want 100", rec.Mallocs.Value())
+	}
+	if rec.LiveObjects.Value() != 100 || rec.LiveBytes.Value() != 3200 {
+		t.Errorf("live = %d objects / %d bytes, want 100/3200",
+			rec.LiveObjects.Value(), rec.LiveBytes.Value())
+	}
+	if rec.MallocInstr.Count() != 100 || rec.MallocInstr.Sum() == 0 {
+		t.Errorf("malloc latency histogram: count=%d sum=%d",
+			rec.MallocInstr.Count(), rec.MallocInstr.Sum())
+	}
+	// The latency delta must match the meter's Malloc domain exactly:
+	// the wrapper entered the domain itself, and nothing else charged it.
+	if rec.MallocInstr.Sum() != meter.Instr(cost.Malloc) {
+		t.Errorf("latency sum %d != meter malloc domain %d",
+			rec.MallocInstr.Sum(), meter.Instr(cost.Malloc))
+	}
+	if rec.ReqSize.Count() != 100 || rec.ReqSize.Min() != 32 || rec.ReqSize.Max() != 32 {
+		t.Errorf("request size histogram: %s", rec.ReqSize.String())
+	}
+	// firstfit implements alloc.Scanner, so scan deltas are recorded.
+	if rec.Scan.Count() != 100 {
+		t.Errorf("scan histogram count = %d, want 100", rec.Scan.Count())
+	}
+	if rec.Footprint.Max() == 0 {
+		t.Error("footprint gauge never polled")
+	}
+
+	for _, addr := range addrs {
+		if err := a.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Frees.Value() != 100 || rec.LiveObjects.Value() != 0 || rec.LiveBytes.Value() != 0 {
+		t.Errorf("after frees: %d frees, live %d/%d",
+			rec.Frees.Value(), rec.LiveObjects.Value(), rec.LiveBytes.Value())
+	}
+	if rec.LiveObjects.Max() != 100 || rec.LiveBytes.Max() != 3200 {
+		t.Errorf("high-water %d objects / %d bytes, want 100/3200",
+			rec.LiveObjects.Max(), rec.LiveBytes.Max())
+	}
+	if rec.FreeInstr.Sum() != meter.Instr(cost.Free) {
+		t.Errorf("free latency sum %d != meter free domain %d",
+			rec.FreeInstr.Sum(), meter.Instr(cost.Free))
+	}
+	if rec.Ops() != 200 {
+		t.Errorf("ops = %d, want 200", rec.Ops())
+	}
+
+	// Freeing garbage classifies as a bad free and propagates.
+	if err := a.Free(12345); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("free of garbage returned %v", err)
+	}
+	if rec.BadFree.Value() != 1 {
+		t.Errorf("bad free count = %d, want 1", rec.BadFree.Value())
+	}
+}
+
+// TestInstrumentPreservesDomain verifies the wrapper restores whatever
+// cost domain the caller was in.
+func TestInstrumentPreservesDomain(t *testing.T) {
+	meter := &cost.Meter{}
+	m := mem.New(trace.Discard, meter)
+	inner, err := alloc.New("bsd", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Instrument(inner, meter, &Recorder{})
+
+	meter.Enter(cost.Free) // caller in an unusual domain
+	if _, err := a.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Current() != cost.Free {
+		t.Errorf("domain after Malloc = %v, want free", meter.Current())
+	}
+	meter.Enter(cost.App)
+	if _, err := a.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Current() != cost.App {
+		t.Errorf("domain after Malloc = %v, want app", meter.Current())
+	}
+}
+
+// TestInstrumentSiteFallback: the wrapper always offers MallocSite,
+// delegating to the inner allocator's site support when present and
+// falling back to plain Malloc otherwise.
+func TestInstrumentSiteFallback(t *testing.T) {
+	meter := &cost.Meter{}
+	m := mem.New(trace.Discard, meter)
+	inner, err := alloc.New("bsd", m) // not site-aware
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	a := Instrument(inner, meter, rec)
+	sa, ok := a.(alloc.SiteAllocator)
+	if !ok {
+		t.Fatal("instrumented allocator should implement SiteAllocator")
+	}
+	if _, err := sa.MallocSite(24, 7); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mallocs.Value() != 1 {
+		t.Errorf("mallocs = %d, want 1", rec.Mallocs.Value())
+	}
+}
+
+func TestRecorderSnapshotJSON(t *testing.T) {
+	rec := &Recorder{}
+	rec.Mallocs.Add(3)
+	rec.MallocInstr.Observe(10)
+	rec.ReqSize.Observe(64)
+	snap := rec.Snapshot()
+	if snap.Scan != nil {
+		t.Error("scan snapshot should be omitted when no scans were recorded")
+	}
+	rec.Scan.Observe(2)
+	snap = rec.Snapshot()
+	if snap.Scan == nil || snap.Scan.Count != 1 {
+		t.Error("scan snapshot missing after observation")
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}

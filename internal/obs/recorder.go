@@ -1,0 +1,112 @@
+package obs
+
+// Recorder accumulates per-call allocator metrics. It is populated by
+// the Instrument middleware; one Recorder belongs to one simulation run
+// (like every other piece of per-run state in this repository, it is
+// not safe for concurrent use).
+type Recorder struct {
+	// MallocInstr and FreeInstr are per-call instruction latencies:
+	// the delta of the cost meter's Malloc/Free domain across each
+	// call, including the memory accesses the allocator performs (one
+	// instruction per word on the paper's test vehicle) but excluding
+	// the fixed call overhead charged by the driver.
+	MallocInstr Histogram
+	FreeInstr   Histogram
+	// ReqSize is the request-size histogram — the paper's "most
+	// allocation requests were for one of a few different object
+	// sizes" observation, measured rather than asserted.
+	ReqSize Histogram
+	// Scan is the per-malloc freelist scan length (delta of
+	// alloc.Scanner's ScanSteps), recorded only for allocators that
+	// search freelists.
+	Scan Histogram
+
+	// Mallocs and Frees count successful calls.
+	Mallocs Counter
+	Frees   Counter
+	// BadFree, TooLarge and OOM classify failed calls by the sentinel
+	// errors of packages alloc and mem; OtherErrors catches the rest.
+	BadFree     Counter
+	TooLarge    Counter
+	OOM         Counter
+	OtherErrors Counter
+
+	// LiveObjects and LiveBytes gauge the allocator's live population
+	// (with high-water marks).
+	LiveObjects Gauge
+	LiveBytes   Gauge
+	// Footprint gauges bytes requested from the OS across all regions,
+	// updated once per operation via FootprintFn.
+	Footprint Gauge
+
+	// FootprintFn, when non-nil, is polled after every operation to
+	// update the Footprint gauge. The simulation driver sets it to the
+	// run's mem.Memory Footprint method.
+	FootprintFn func() uint64
+
+	ops  uint64
+	onOp func(op uint64)
+}
+
+// Ops returns the total number of malloc and free calls observed,
+// failed calls included: the x-axis of the operation-time series.
+func (r *Recorder) Ops() uint64 { return r.ops }
+
+// finishOp runs end-of-operation bookkeeping: the footprint gauge poll
+// and the sampler hook.
+func (r *Recorder) finishOp() {
+	if r.FootprintFn != nil {
+		r.Footprint.Set(int64(r.FootprintFn()))
+	}
+	r.ops++
+	if r.onOp != nil {
+		r.onOp(r.ops)
+	}
+}
+
+// RecorderSnapshot is the serialized form of a Recorder.
+type RecorderSnapshot struct {
+	Mallocs     uint64 `json:"mallocs"`
+	Frees       uint64 `json:"frees"`
+	BadFree     uint64 `json:"err_bad_free,omitempty"`
+	TooLarge    uint64 `json:"err_too_large,omitempty"`
+	OOM         uint64 `json:"err_oom,omitempty"`
+	OtherErrors uint64 `json:"err_other,omitempty"`
+
+	MallocInstr HistogramSnapshot `json:"malloc_instr"`
+	FreeInstr   HistogramSnapshot `json:"free_instr"`
+	ReqSize     HistogramSnapshot `json:"request_size"`
+	// Scan is omitted for allocators that do not search freelists.
+	Scan *HistogramSnapshot `json:"scan_steps,omitempty"`
+
+	LiveObjects    int64 `json:"live_objects"`
+	LiveObjectsMax int64 `json:"live_objects_max"`
+	LiveBytes      int64 `json:"live_bytes"`
+	LiveBytesMax   int64 `json:"live_bytes_max"`
+	FootprintMax   int64 `json:"footprint_max,omitempty"`
+}
+
+// Snapshot returns a copyable, JSON-ready summary of the recorder.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	s := RecorderSnapshot{
+		Mallocs:        r.Mallocs.Value(),
+		Frees:          r.Frees.Value(),
+		BadFree:        r.BadFree.Value(),
+		TooLarge:       r.TooLarge.Value(),
+		OOM:            r.OOM.Value(),
+		OtherErrors:    r.OtherErrors.Value(),
+		MallocInstr:    r.MallocInstr.Snapshot(),
+		FreeInstr:      r.FreeInstr.Snapshot(),
+		ReqSize:        r.ReqSize.Snapshot(),
+		LiveObjects:    r.LiveObjects.Value(),
+		LiveObjectsMax: r.LiveObjects.Max(),
+		LiveBytes:      r.LiveBytes.Value(),
+		LiveBytesMax:   r.LiveBytes.Max(),
+		FootprintMax:   r.Footprint.Max(),
+	}
+	if r.Scan.Count() > 0 {
+		sc := r.Scan.Snapshot()
+		s.Scan = &sc
+	}
+	return s
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func TestSamplerCapturesEveryN(t *testing.T) {
+	meter := &cost.Meter{}
+	group := cache.NewGroup(cache.Config{Size: 16 << 10})
+	s := &Sampler{Every: 4, Meter: meter, Group: group}
+	rec := &Recorder{}
+	s.Bind(rec)
+
+	m := mem.New(trace.NewTee(group, s), meter)
+	inner, err := alloc.New("bsd", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Mem = m
+	a := Instrument(inner, meter, rec)
+
+	var addrs []uint64
+	for i := 0; i < 10; i++ {
+		addr, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs[:6] {
+		if err := a.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 16 ops at Every=4 → samples at ops 4, 8, 12, 16.
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("got %d sample points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := uint64(4 * (i + 1)); p.Op != want {
+			t.Errorf("point %d at op %d, want %d", i, p.Op, want)
+		}
+	}
+	// Live objects: 4 after op 4, 8 after op 8, 10-2 after op 12 (10
+	// mallocs + 2 frees), 10-6 after op 16.
+	wantLive := []int64{4, 8, 8, 4}
+	for i, p := range pts {
+		if p.LiveObjects != wantLive[i] {
+			t.Errorf("point %d live objects = %d, want %d", i, p.LiveObjects, wantLive[i])
+		}
+	}
+	// Refs and footprint must be monotonically non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Refs < pts[i-1].Refs {
+			t.Errorf("refs decreased at point %d", i)
+		}
+		if pts[i].FootprintBytes < pts[i-1].FootprintBytes {
+			t.Errorf("footprint decreased at point %d", i)
+		}
+		if pts[i].Instr.Total() < pts[i-1].Instr.Total() {
+			t.Errorf("instr total decreased at point %d", i)
+		}
+	}
+	// Interval cache counts must sum back to the cumulative counts.
+	last := pts[len(pts)-1]
+	if len(last.Caches) != 1 {
+		t.Fatalf("expected 1 cache point, got %d", len(last.Caches))
+	}
+	var intervalSum uint64
+	for _, p := range pts {
+		intervalSum += p.Caches[0].IntervalMisses
+	}
+	if intervalSum != last.Caches[0].Misses {
+		t.Errorf("interval misses sum %d != cumulative %d", intervalSum, last.Caches[0].Misses)
+	}
+}
+
+func TestSamplerDefaultEvery(t *testing.T) {
+	s := &Sampler{}
+	s.Bind(&Recorder{})
+	if s.Every != 1024 {
+		t.Errorf("default Every = %d, want 1024", s.Every)
+	}
+}
+
+// TestAttributionHandBuilt drives the attribution sink with a
+// hand-built reference stream whose region and domain for every single
+// reference are known, and checks each cell exactly.
+func TestAttributionHandBuilt(t *testing.T) {
+	meter := &cost.Meter{}
+	m := mem.New(trace.Discard, meter)
+	heap := m.NewRegion("heap", 0)
+	heapBase, err := heap.Sbrk(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := m.NewRegion("stack", 0)
+	stackBase, err := stack.Sbrk(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAttribution(m, meter)
+
+	// App domain: two heap reads, one stack write.
+	a.Ref(trace.Ref{Addr: heapBase, Size: 4, Kind: trace.Read})
+	a.Ref(trace.Ref{Addr: heapBase + 8, Size: 4, Kind: trace.Read})
+	a.Ref(trace.Ref{Addr: stackBase, Size: 8, Kind: trace.Write})
+
+	// Malloc domain: one heap write.
+	meter.Enter(cost.Malloc)
+	a.Ref(trace.Ref{Addr: heapBase + 16, Size: 4, Kind: trace.Write})
+
+	// Free domain: one heap read, one reference outside every region.
+	meter.Enter(cost.Free)
+	a.Ref(trace.Ref{Addr: heapBase + 20, Size: 4, Kind: trace.Read})
+	a.Ref(trace.Ref{Addr: 12, Size: 4, Kind: trace.Read})
+	meter.Enter(cost.App)
+
+	if c := a.Cell("heap", cost.App); c != (RefCell{Reads: 2, Writes: 0, Bytes: 8}) {
+		t.Errorf("heap/app = %+v", c)
+	}
+	if c := a.Cell("heap", cost.Malloc); c != (RefCell{Reads: 0, Writes: 1, Bytes: 4}) {
+		t.Errorf("heap/malloc = %+v", c)
+	}
+	if c := a.Cell("heap", cost.Free); c != (RefCell{Reads: 1, Writes: 0, Bytes: 4}) {
+		t.Errorf("heap/free = %+v", c)
+	}
+	if c := a.Cell("stack", cost.App); c != (RefCell{Reads: 0, Writes: 1, Bytes: 8}) {
+		t.Errorf("stack/app = %+v", c)
+	}
+	if c := a.Cell("stack", cost.Malloc); c != (RefCell{}) {
+		t.Errorf("stack/malloc should be empty, got %+v", c)
+	}
+
+	rows := a.Rows()
+	// heap×3 domains + stack×1 + unmapped×1 = 5 non-empty cells,
+	// sorted by region then domain.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5: %+v", len(rows), rows)
+	}
+	if rows[0].Region != "(unmapped)" || rows[0].Domain != "free" {
+		t.Errorf("row 0 = %+v, want (unmapped)/free", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Region > rows[i].Region {
+			t.Errorf("rows not sorted by region at %d", i)
+		}
+	}
+	var total uint64
+	for _, r := range rows {
+		total += r.Reads + r.Writes
+	}
+	if total != 6 {
+		t.Errorf("total attributed refs = %d, want 6", total)
+	}
+}
+
+// TestAttributionNilMeter: without a meter everything lands in the App
+// domain.
+func TestAttributionNilMeter(t *testing.T) {
+	m := mem.New(trace.Discard, nil)
+	r := m.NewRegion("only", 0)
+	base, err := r.Sbrk(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAttribution(m, nil)
+	a.Ref(trace.Ref{Addr: base, Size: 4, Kind: trace.Write})
+	if c := a.Cell("only", cost.App); c.Writes != 1 {
+		t.Errorf("nil-meter ref not attributed to app: %+v", c)
+	}
+}
+
+func TestReportEncode(t *testing.T) {
+	rep := NewReport()
+	if rep.Version != ReportVersion || rep.Kind != ReportKind {
+		t.Errorf("header = %d/%q", rep.Version, rep.Kind)
+	}
+	rep.Program = "espresso"
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty encoding")
+	}
+}

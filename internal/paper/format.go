@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -108,6 +109,24 @@ func (t *Table) Markdown() string {
 		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
 	}
 	return sb.String()
+}
+
+// TableVersion is the schema version stamped into every JSON-encoded
+// table (cmd/locality -json); bump on field renames.
+const TableVersion = 1
+
+// MarshalJSON serializes the table as a versioned document, the
+// machine-readable counterpart of the text/CSV/markdown renderings.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Version int        `json:"version"`
+		Kind    string     `json:"kind"`
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Note    string     `json:"note,omitempty"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+	}{TableVersion, "mallocsim-table", t.ID, t.Title, t.Note, t.Header, t.Rows})
 }
 
 // Plottable reports whether the table is curve-shaped: at least two

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cache"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/obs"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/workload"
+)
+
+func benchConfig(b *testing.B) Config {
+	b.Helper()
+	prog, ok := workload.ByName("make")
+	if !ok {
+		b.Fatal("no make program")
+	}
+	return Config{
+		Program:   prog,
+		Allocator: "quickfit",
+		Scale:     8,
+		Caches:    []cache.Config{{Size: 64 << 10}},
+	}
+}
+
+// runSeedBaseline replicates Run's pre-observability body: the same
+// pipeline with no obs branch compiled in at all. It is the reference
+// the nil-Recorder path is compared against — if someone adds
+// unconditional obs work to Run, the comparison (TestNilRecorderOverhead,
+// BenchmarkRunBaseline vs BenchmarkRunNilRecorder) exposes it.
+func runSeedBaseline(cfg Config) (*Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	meter := &cost.Meter{}
+	var counter trace.Counter
+	sinks := []trace.Sink{&counter}
+	var group *cache.Group
+	if len(cfg.Caches) > 0 {
+		group = cache.NewGroup(cfg.Caches...)
+		sinks = append(sinks, group)
+	}
+	m := mem.New(trace.NewTee(sinks...), meter)
+	a, err := alloc.New(cfg.Allocator, m)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := workload.Run(m, a, workload.Config{
+		Program: cfg.Program,
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Workload:       stats,
+		Instr:          meter.Snapshot(),
+		Refs:           counter,
+		TotalFootprint: m.Footprint(),
+	}
+	if group != nil {
+		res.Caches = group.Results()
+	}
+	return res, nil
+}
+
+// BenchmarkRunBaseline is the seed pipeline with no observability code
+// at all (see runSeedBaseline).
+func BenchmarkRunBaseline(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runSeedBaseline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunNilRecorder is Run as shipped, with the observability
+// layer compiled in but disabled (nil Recorder). Compare against
+// BenchmarkRunBaseline: the two must be within noise of each other.
+func BenchmarkRunNilRecorder(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunInstrumented measures the full observability stack:
+// recorder, sampler, and attribution all enabled.
+func BenchmarkRunInstrumented(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Recorder = &obs.Recorder{}
+		cfg.SampleEvery = 1024
+		cfg.Attribution = true
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNilRecorderOverhead is the zero-overhead guard for the
+// observability layer: Run with a nil Recorder must stay within noise
+// of the seed pipeline (runSeedBaseline). The check is opt-in (set
+// OBS_OVERHEAD_CHECK=1, optionally OBS_OVERHEAD_PCT) because wall-time
+// thresholds are hostile to loaded development machines; CI enables it.
+func TestNilRecorderOverhead(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_CHECK") == "" {
+		t.Skip("set OBS_OVERHEAD_CHECK=1 to enable the timing comparison")
+	}
+	pct := 2.0
+	if s := os.Getenv("OBS_OVERHEAD_PCT"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad OBS_OVERHEAD_PCT %q: %v", s, err)
+		}
+		pct = v
+	}
+
+	prog, ok := workload.ByName("make")
+	if !ok {
+		t.Fatal("no make program")
+	}
+	cfg := Config{
+		Program:   prog,
+		Allocator: "quickfit",
+		Scale:     8,
+		Caches:    []cache.Config{{Size: 64 << 10}},
+	}
+
+	const rounds = 9
+	median := func(run func(Config) (*Result, error)) time.Duration {
+		times := make([]time.Duration, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			if _, err := run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, time.Since(start))
+		}
+		for i := 1; i < len(times); i++ {
+			for j := i; j > 0 && times[j] < times[j-1]; j-- {
+				times[j], times[j-1] = times[j-1], times[j]
+			}
+		}
+		return times[len(times)/2]
+	}
+
+	// Warm both paths once so cold-start effects don't land on either
+	// side of the comparison, then interleave-measure.
+	if _, err := runSeedBaseline(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	base := median(runSeedBaseline)
+	nilRec := median(Run)
+
+	overhead := 100 * (float64(nilRec)/float64(base) - 1)
+	t.Logf("seed baseline median %v, nil-recorder Run median %v (overhead %.2f%%, threshold %.1f%%)",
+		base, nilRec, overhead, pct)
+	if overhead > pct {
+		t.Errorf("nil-recorder Run is %.2f%% slower than the seed pipeline (threshold %.1f%%): %v vs %v",
+			overhead, pct, nilRec, base)
+	}
+
+	// Structural guard, independent of timing: the nil path must not
+	// fabricate any obs state.
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder != nil || res.Series != nil || res.Attribution != nil {
+		t.Error("nil-recorder run produced obs data")
+	}
+}

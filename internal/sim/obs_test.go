@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mallocsim/internal/cache"
+	"mallocsim/internal/obs"
+	"mallocsim/internal/workload"
+)
+
+func runObs(t *testing.T, progName, allocName string, scale uint64) (*Result, *obs.Recorder) {
+	t.Helper()
+	prog, ok := workload.ByName(progName)
+	if !ok {
+		t.Fatalf("no program %q", progName)
+	}
+	rec := &obs.Recorder{}
+	res, err := Run(Config{
+		Program:     prog,
+		Allocator:   allocName,
+		Scale:       scale,
+		Caches:      []cache.Config{{Size: 16 << 10}, {Size: 64 << 10}},
+		Recorder:    rec,
+		SampleEvery: 256,
+		Attribution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestObsDoesNotPerturbRun: the load-bearing invariant of the
+// observability layer — instrumenting a run must not change what the
+// run measures. Every aggregate of an instrumented run must be
+// identical to the uninstrumented run at the same seed.
+func TestObsDoesNotPerturbRun(t *testing.T) {
+	plain := run(t, "make", "quickfit", 8, false)
+	instr, _ := runObs(t, "make", "quickfit", 8)
+
+	if plain.Instr != instr.Instr {
+		t.Errorf("instruction split changed: %+v vs %+v", plain.Instr, instr.Instr)
+	}
+	if plain.Refs != instr.Refs {
+		t.Errorf("reference counts changed: %+v vs %+v", plain.Refs, instr.Refs)
+	}
+	if plain.Footprint != instr.Footprint || plain.TotalFootprint != instr.TotalFootprint {
+		t.Errorf("footprints changed: %d/%d vs %d/%d",
+			plain.Footprint, plain.TotalFootprint, instr.Footprint, instr.TotalFootprint)
+	}
+	if plain.Workload.Allocs != instr.Workload.Allocs ||
+		plain.Workload.Frees != instr.Workload.Frees ||
+		plain.Workload.LiveBytes != instr.Workload.LiveBytes ||
+		plain.Workload.ReqBytes != instr.Workload.ReqBytes {
+		t.Errorf("workload stats changed: %+v vs %+v", plain.Workload, instr.Workload)
+	}
+	for i := range plain.Caches {
+		if plain.Caches[i].Misses != instr.Caches[i].Misses ||
+			plain.Caches[i].Accesses != instr.Caches[i].Accesses {
+			t.Errorf("cache %d results changed: %+v vs %+v",
+				i, plain.Caches[i], instr.Caches[i])
+		}
+	}
+}
+
+func TestObsRecorderConsistency(t *testing.T) {
+	res, rec := runObs(t, "make", "firstfit", 8)
+
+	// Recorder call counts must agree with the workload's.
+	if rec.Mallocs.Value() != res.Workload.Allocs {
+		t.Errorf("recorder mallocs %d != workload allocs %d",
+			rec.Mallocs.Value(), res.Workload.Allocs)
+	}
+	if rec.Frees.Value() != res.Workload.Frees {
+		t.Errorf("recorder frees %d != workload frees %d",
+			rec.Frees.Value(), res.Workload.Frees)
+	}
+	// Live gauges must agree with the workload's exit state.
+	if uint64(rec.LiveObjects.Value()) != res.Workload.FinalLive {
+		t.Errorf("live objects %d != final live %d",
+			rec.LiveObjects.Value(), res.Workload.FinalLive)
+	}
+	if uint64(rec.LiveBytes.Value()) != res.Workload.LiveBytes {
+		t.Errorf("live bytes %d != workload %d",
+			rec.LiveBytes.Value(), res.Workload.LiveBytes)
+	}
+	// Latency sums must equal the meter's domains minus the per-call
+	// overhead the driver charges outside the wrapper's measurement.
+	overhead := res.Workload.Allocs * 8 // alloc.CallOverhead
+	if got := rec.MallocInstr.Sum() + overhead; got != res.Instr.Malloc {
+		t.Errorf("malloc latency sum+overhead %d != domain %d", got, res.Instr.Malloc)
+	}
+	// Request-size histogram totals the requested bytes.
+	if rec.ReqSize.Sum() != res.Workload.ReqBytes {
+		t.Errorf("request size sum %d != req bytes %d",
+			rec.ReqSize.Sum(), res.Workload.ReqBytes)
+	}
+	// firstfit searches, so scan deltas were recorded per malloc.
+	if rec.Scan.Count() != res.Workload.Allocs {
+		t.Errorf("scan observations %d != allocs %d", rec.Scan.Count(), res.Workload.Allocs)
+	}
+	// No errors on a healthy run.
+	if rec.BadFree.Value()+rec.TooLarge.Value()+rec.OOM.Value()+rec.OtherErrors.Value() != 0 {
+		t.Error("spurious error counts on a clean run")
+	}
+}
+
+func TestObsSeriesAndAttribution(t *testing.T) {
+	res, _ := runObs(t, "make", "quickfit", 8)
+
+	if len(res.Series) < 10 {
+		t.Fatalf("series has %d points, want >= 10", len(res.Series))
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Op <= res.Series[i-1].Op {
+			t.Errorf("series ops not increasing at %d", i)
+		}
+		if res.Series[i].FootprintBytes < res.Series[i-1].FootprintBytes {
+			t.Errorf("footprint decreased at %d", i)
+		}
+	}
+	if res.Series[0].Caches == nil {
+		t.Error("series points missing cache state")
+	}
+
+	if len(res.Attribution) == 0 {
+		t.Fatal("no attribution rows")
+	}
+	// Attribution must cover every reference the run counted.
+	var attributed uint64
+	domains := map[string]bool{}
+	regions := map[string]bool{}
+	for _, row := range res.Attribution {
+		attributed += row.Reads + row.Writes
+		domains[row.Domain] = true
+		regions[row.Region] = true
+	}
+	if attributed != res.Refs.Total() {
+		t.Errorf("attributed %d refs, counter saw %d", attributed, res.Refs.Total())
+	}
+	for _, d := range []string{"app", "malloc", "free"} {
+		if !domains[d] {
+			t.Errorf("no attribution rows for domain %q", d)
+		}
+	}
+	for _, r := range []string{"make-stack", "make-globals"} {
+		if !regions[r] {
+			t.Errorf("no attribution rows for region %q", r)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	res, _ := runObs(t, "make", "quickfit", 8)
+	rep := res.Report()
+	if rep.Version != obs.ReportVersion || rep.Kind != obs.ReportKind {
+		t.Errorf("report header %d/%q", rep.Version, rep.Kind)
+	}
+	if rep.Alloc == nil || rep.Alloc.Mallocs != res.Workload.Allocs {
+		t.Error("report missing recorder snapshot")
+	}
+	if len(rep.Series) != len(res.Series) || len(rep.Attribution) != len(res.Attribution) {
+		t.Error("report dropped series or attribution")
+	}
+	if len(rep.Caches) != 2 {
+		t.Errorf("report caches: %d", len(rep.Caches))
+	}
+
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"version", "kind", "program", "allocator", "workload",
+		"instr", "refs", "alloc", "series", "attribution", "caches"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	// The instr object carries the derived alloc fraction (Figure 1).
+	instr, _ := decoded["instr"].(map[string]any)
+	if _, ok := instr["alloc_fraction"]; !ok {
+		t.Error("instr JSON missing alloc_fraction")
+	}
+}
+
+// TestReportWithoutObs: a plain run still yields a valid (aggregates
+// only) report.
+func TestReportWithoutObs(t *testing.T) {
+	res := run(t, "make", "bsd", 8, true)
+	rep := res.Report()
+	if rep.Alloc != nil || rep.Series != nil || rep.Attribution != nil {
+		t.Error("uninstrumented run must not fabricate obs data")
+	}
+	if rep.VM == nil || len(rep.VM.Curve) == 0 {
+		t.Error("page-sim run should include the fault curve")
+	}
+	if _, err := rep.Encode(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"mallocsim/internal/cache"
 	"mallocsim/internal/cost"
 	"mallocsim/internal/mem"
+	"mallocsim/internal/obs"
 	"mallocsim/internal/trace"
 	"mallocsim/internal/vm"
 	"mallocsim/internal/workload"
@@ -49,6 +50,21 @@ type Config struct {
 	Caches []cache.Config
 	// PageSim enables LRU stack-distance page-fault simulation.
 	PageSim bool
+
+	// Recorder, when non-nil, enables the observability layer: the
+	// allocator is wrapped with obs.Instrument and per-call metrics
+	// (instruction-latency and request-size histograms, error counts,
+	// live-set gauges, freelist scan lengths) accumulate in it. A nil
+	// Recorder takes the seed code path — no wrapper, no extra sinks,
+	// zero overhead (guarded by BenchmarkNilRecorderOverhead).
+	Recorder *obs.Recorder
+	// SampleEvery, with a non-nil Recorder, captures one
+	// obs.SamplePoint every that many malloc/free operations: the
+	// phase-behaviour time series (Result.Series).
+	SampleEvery uint64
+	// Attribution enables the per-region × cost-domain reference
+	// attribution matrix (Result.Attribution).
+	Attribution bool
 }
 
 // Result carries everything measured in one run.
@@ -56,6 +72,7 @@ type Result struct {
 	Program   string
 	Allocator string
 	Scale     uint64
+	Seed      uint64
 
 	Workload workload.Stats
 	Instr    cost.Snapshot
@@ -69,6 +86,15 @@ type Result struct {
 
 	Caches []cache.Result
 	Curve  *vm.Curve
+
+	// Recorder echoes Config.Recorder: the per-call allocator metrics
+	// (nil when the run was not instrumented).
+	Recorder *obs.Recorder
+	// Series is the operation-time sample series (Config.SampleEvery).
+	Series []obs.SamplePoint
+	// Attribution is the region × domain reference matrix
+	// (Config.Attribution).
+	Attribution []obs.AttribRow
 }
 
 // Run executes the configured experiment.
@@ -95,9 +121,41 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	m := mem.New(trace.NewTee(sinks...), meter)
+
+	// Observability layer: strictly opt-in, so the nil-Recorder path is
+	// byte-for-byte the seed configuration. The extra sinks are
+	// installed before the allocator is constructed so that even the
+	// allocator's initialization references are attributed.
+	var sampler *obs.Sampler
+	var attrib *obs.Attribution
+	if cfg.Recorder != nil || cfg.Attribution {
+		if cfg.Attribution {
+			attrib = obs.NewAttribution(m, meter)
+			sinks = append(sinks, attrib)
+		}
+		if cfg.Recorder != nil {
+			cfg.Recorder.FootprintFn = m.Footprint
+			if cfg.SampleEvery > 0 {
+				sampler = &obs.Sampler{
+					Every: cfg.SampleEvery,
+					Mem:   m,
+					Meter: meter,
+					Group: group,
+					Pages: pages,
+				}
+				sampler.Bind(cfg.Recorder)
+				sinks = append(sinks, sampler)
+			}
+		}
+		m.SetSink(trace.NewTee(sinks...))
+	}
+
 	a, err := alloc.New(cfg.Allocator, m)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Recorder != nil {
+		a = obs.Instrument(a, meter, cfg.Recorder)
 	}
 
 	stats, err := workload.Run(m, a, workload.Config{
@@ -113,6 +171,7 @@ func Run(cfg Config) (*Result, error) {
 		Program:        cfg.Program.Name,
 		Allocator:      cfg.Allocator,
 		Scale:          cfg.Scale,
+		Seed:           cfg.Seed,
 		Workload:       stats,
 		Instr:          meter.Snapshot(),
 		Refs:           counter,
@@ -130,6 +189,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if pages != nil {
 		res.Curve = pages.Curve()
+	}
+	res.Recorder = cfg.Recorder
+	if sampler != nil {
+		res.Series = sampler.Points()
+	}
+	if attrib != nil {
+		res.Attribution = attrib.Rows()
 	}
 	return res, nil
 }

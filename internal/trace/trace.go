@@ -69,24 +69,12 @@ func (t Tee) Ref(r Ref) {
 	}
 }
 
-// NewTee builds a Tee from the given sinks, flattening nested Tees and
-// dropping Discard and nil entries. If the result contains a single sink,
-// that sink is returned directly.
+// NewTee builds a Tee from the given sinks, recursively flattening
+// nested Tees and dropping Discard and nil entries at any depth. If the
+// result contains a single sink, that sink is returned directly; with
+// none, Discard.
 func NewTee(sinks ...Sink) Sink {
-	var flat Tee
-	for _, s := range sinks {
-		switch v := s.(type) {
-		case nil:
-			continue
-		case Tee:
-			flat = append(flat, v...)
-		default:
-			if s == Discard {
-				continue
-			}
-			flat = append(flat, s)
-		}
-	}
+	flat := flatten(nil, sinks)
 	switch len(flat) {
 	case 0:
 		return Discard
@@ -94,6 +82,23 @@ func NewTee(sinks ...Sink) Sink {
 		return flat[0]
 	}
 	return flat
+}
+
+func flatten(dst Tee, sinks []Sink) Tee {
+	for _, s := range sinks {
+		switch v := s.(type) {
+		case nil:
+			continue
+		case Tee:
+			dst = flatten(dst, v)
+		default:
+			if s == Discard {
+				continue
+			}
+			dst = append(dst, s)
+		}
+	}
+	return dst
 }
 
 // Counter tallies references by kind and total bytes touched.

@@ -63,6 +63,53 @@ func TestNewTeeFlattens(t *testing.T) {
 	}
 }
 
+// TestNewTeeNested: hand-built Tees nested inside Tees flatten
+// recursively, including Discard and nil entries at any depth.
+func TestNewTeeNested(t *testing.T) {
+	var a, b, c, d Counter
+	deep := Tee{&a, Tee{&b, Tee{&c, Discard}, nil}}
+	out := NewTee(deep, &d)
+	tee, ok := out.(Tee)
+	if !ok {
+		t.Fatalf("expected Tee, got %T", out)
+	}
+	if len(tee) != 4 {
+		t.Fatalf("expected 4 flattened sinks, got %d: %#v", len(tee), tee)
+	}
+	out.Ref(Ref{Size: 4})
+	for i, cnt := range []*Counter{&a, &b, &c, &d} {
+		if cnt.Total() != 1 {
+			t.Errorf("sink %d saw %d refs, want 1", i, cnt.Total())
+		}
+	}
+}
+
+// TestNewTeeAllDiscard: an input of only Discard (and nested Discard)
+// collapses to Discard itself, not an empty Tee.
+func TestNewTeeAllDiscard(t *testing.T) {
+	if got := NewTee(Discard, Discard); got != Discard {
+		t.Errorf("all-Discard tee = %T, want Discard", got)
+	}
+	if got := NewTee(Tee{Discard}, nil, Tee{Tee{Discard}}); got != Discard {
+		t.Errorf("nested all-Discard tee = %T, want Discard", got)
+	}
+	if got := NewTee(nil, nil); got != Discard {
+		t.Errorf("all-nil tee = %T, want Discard", got)
+	}
+}
+
+// TestNewTeeSingleUnwrap: a single surviving sink is returned directly
+// even when buried under nesting and noise.
+func TestNewTeeSingleUnwrap(t *testing.T) {
+	var a Counter
+	if got := NewTee(Tee{Tee{&a}}, Discard, nil); got != Sink(&a) {
+		t.Errorf("buried single sink = %T, want *Counter directly", got)
+	}
+	if got := NewTee(Discard, &a); got != Sink(&a) {
+		t.Errorf("single sink + Discard = %T, want *Counter directly", got)
+	}
+}
+
 func TestFilterAndRange(t *testing.T) {
 	var c Counter
 	f := RangeFilter(100, 200, &c)
