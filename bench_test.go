@@ -195,6 +195,100 @@ func BenchmarkStackSimTreap(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheGroupSweep drives the paper's five-configuration cache
+// group (the per-pair workhorse of package paper) with a mixed stream:
+// mostly word refs, some straddling line boundaries, occasional block
+// refs spanning several lines. This is the hot path the sparse paged
+// bitset and the hoisted line decomposition target.
+func BenchmarkCacheGroupSweep(b *testing.B) {
+	cfgs := make([]cache.Config, len(paper.CacheSizes))
+	for i, s := range paper.CacheSizes {
+		cfgs[i] = cache.Config{Size: s}
+	}
+	g := cache.NewGroup(cfgs...)
+	r := rng.New(4)
+	refs := make([]trace.Ref, 4096)
+	for i := range refs {
+		ref := trace.Ref{Addr: r.Uint64n(1 << 24), Size: 4}
+		if r.Bool(0.3) {
+			ref.Kind = trace.Write
+		}
+		switch {
+		case r.Bool(0.05):
+			ref.Size = 256 // multi-line block copy
+		case r.Bool(0.1):
+			ref.Addr = ref.Addr&^63 + 62 // straddles a line boundary
+			ref.Size = 8
+		}
+		refs[i] = ref
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ref(refs[i%len(refs)])
+	}
+	b.ReportMetric(float64(g.DistinctLines()), "distinct-lines")
+}
+
+// BenchmarkTeeBatch compares synchronous per-ref delivery against the
+// batched ring-buffer path through a realistic fan-out (counter + cache
+// group + filter), measured per simulated reference.
+func BenchmarkTeeBatch(b *testing.B) {
+	mkSink := func() trace.Sink {
+		g := cache.NewGroup(cache.Config{Size: 16 << 10}, cache.Config{Size: 64 << 10})
+		return trace.NewTee(
+			&trace.Counter{},
+			g,
+			&trace.Filter{Keep: func(r trace.Ref) bool { return r.Kind == trace.Write }, Next: &trace.Counter{}},
+		)
+	}
+	run := func(b *testing.B, batch int) {
+		m := mem.New(mkSink(), &cost.Meter{})
+		m.SetBatching(batch)
+		region := m.NewRegion("bench", 1<<21)
+		base, err := region.Sbrk(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rng.New(5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := base + r.Uint64n(1<<20)&^7
+			if r.Bool(0.3) {
+				m.WriteWord(a, uint64(i))
+			} else {
+				m.ReadWord(a)
+			}
+		}
+		m.Flush()
+	}
+	b.Run("direct", func(b *testing.B) { run(b, -1) })
+	b.Run("batched", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkRunAllParallel regenerates the paper's entire experiment
+// suite per iteration with the worker pool at GOMAXPROCS;
+// BenchmarkRunAllSequential is the same matrix at Workers=1. Their
+// ratio is the wall-clock win of parallel matrix execution (the output
+// is byte-identical either way).
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := paper.NewRunner(benchScale())
+		if _, err := r.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := paper.NewRunner(benchScale())
+		r.Workers = 1
+		if _, err := r.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- ablation benches: the §4.3/§4.4 design decisions ---
 
 func runAblation(b *testing.B, progName, allocName string, caches ...cache.Config) *sim.Result {

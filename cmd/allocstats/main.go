@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"mallocsim/internal/alloc"
 	"mallocsim/internal/alloc/all"
@@ -90,6 +92,7 @@ func main() {
 	progName := flag.String("program", "espresso", "workload: "+strings.Join(workload.Names(), ", "))
 	scale := flag.Uint64("scale", 64, "run 1/scale of the program's events")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent per-allocator simulations (0 = GOMAXPROCS)")
 	sizes := flag.Bool("sizes", false, "print the request-size histogram instead of per-allocator stats")
 	jsonOut := flag.Bool("json", false, "print a JSON array of versioned per-allocator run reports")
 	metrics := flag.String("metrics-out", "", "also write the JSON run reports to this file")
@@ -104,22 +107,49 @@ func main() {
 		return
 	}
 
+	// Every per-allocator run is hermetic (its own Memory, allocator and
+	// recorder), so the matrix runs through a bounded worker pool; rows
+	// are then reported in registry order regardless of finish order.
+	type runOut struct {
+		rec *obs.Recorder
+		res *sim.Result
+		err error
+	}
+	outs := make([]runOut, len(all.Extended))
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, nWorkers)
+	var wg sync.WaitGroup
+	for i, name := range all.Extended {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec := &obs.Recorder{}
+			res, err := sim.Run(sim.Config{
+				Program:     prog,
+				Allocator:   name,
+				Scale:       *scale,
+				Seed:        *seed,
+				Recorder:    rec,
+				Attribution: true,
+			})
+			outs[i] = runOut{rec: rec, res: res, err: err}
+		}(i, name)
+	}
+	wg.Wait()
+
 	var reports []*obs.Report
 	if !*jsonOut {
 		fmt.Printf("allocator micro-statistics on %s (scale 1/%d)\n\n", prog.Name, *scale)
 		fmt.Printf("%-16s %12s %12s %10s %10s %12s %12s\n",
 			"allocator", "instr/malloc", "instr/free", "heap KB", "overhead", "scan/alloc", "alloc refs")
 	}
-	for _, name := range all.Extended {
-		rec := &obs.Recorder{}
-		res, err := sim.Run(sim.Config{
-			Program:     prog,
-			Allocator:   name,
-			Scale:       *scale,
-			Seed:        *seed,
-			Recorder:    rec,
-			Attribution: true,
-		})
+	for i, name := range all.Extended {
+		rec, res, err := outs[i].rec, outs[i].res, outs[i].err
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}

@@ -33,6 +33,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6), comma-separated, or 'all'")
 		scale   = flag.Uint64("scale", paper.DefaultScale, "run 1/scale of each program's events (1 = full scale)")
 		seed    = flag.Uint64("seed", 1, "workload random seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 		format  = flag.String("format", "text", "output format: text, csv, markdown or plot (ASCII chart for curve experiments)")
 		jsonOut = flag.Bool("json", false, "print a versioned JSON array of table documents instead of -format")
 		metrics = flag.String("metrics-out", "", "also write the JSON table documents to this file")
@@ -42,6 +43,7 @@ func main() {
 
 	r := paper.NewRunner(*scale)
 	r.Seed = *seed
+	r.Workers = *workers
 
 	if *list {
 		for _, e := range r.Experiments() {
@@ -56,6 +58,15 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
+
+	// Run the selected experiments' simulation matrix through the worker
+	// pool up front; the per-experiment loop below then assembles tables
+	// from memoized results in order. Unknown ids are diagnosed in the
+	// loop, and prefetch errors resurface there too.
+	_ = r.Prefetch(r.PairsFor(ids...))
 
 	var tables []*paper.Table
 	for _, id := range ids {

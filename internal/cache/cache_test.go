@@ -220,3 +220,123 @@ func TestQuickCacheInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWrappingRefTerminates is the regression test for the span-wrap
+// bug: a reference whose Addr+Size-1 overflows uint64 made last < first
+// and the `line == last` termination never fire. The span is clamped to
+// the top of the address space instead.
+func TestWrappingRefTerminates(t *testing.T) {
+	top := ^uint64(0)
+	cases := []trace.Ref{
+		{Addr: top, Size: 4},           // starts on the last byte
+		{Addr: top - 3, Size: 8},       // crosses the top boundary
+		{Addr: top - 40, Size: 64},     // spans into the wrap
+		{Addr: top - 31, Size: 0},      // zero size at the edge
+		{Addr: top &^ 31, Size: 1 << 31}, // huge span from the last line
+	}
+	for _, r := range cases {
+		c := New(Config{Size: 128})
+		c.Ref(r) // must terminate
+		wantLines := (top >> 5) - ((r.Addr) >> 5) + 1
+		if c.Accesses() != wantLines {
+			t.Errorf("ref %+v: accesses=%d, want %d (clamped span)", r, c.Accesses(), wantLines)
+		}
+
+		g := NewGroup(Config{Size: 128}, Config{Size: 4096})
+		g.Ref(r)
+		if g.DistinctLines() != wantLines {
+			t.Errorf("group ref %+v: distinct=%d, want %d", r, g.DistinctLines(), wantLines)
+		}
+
+		v := NewVictim(Config{Size: 128}, 2)
+		v.Ref(r)
+		if v.Accesses() != wantLines {
+			t.Errorf("victim ref %+v: accesses=%d, want %d", r, v.Accesses(), wantLines)
+		}
+
+		h := NewHierarchy(Config{Size: 128}, Config{Size: 4096})
+		h.Ref(r)
+		if h.Accesses() != wantLines {
+			t.Errorf("hierarchy ref %+v: accesses=%d, want %d", r, h.Accesses(), wantLines)
+		}
+	}
+}
+
+// TestSingleLineFastPath checks the common-case shortcut against the
+// span loop: results must be identical for line-interior references.
+func TestSingleLineFastPath(t *testing.T) {
+	c := New(Config{Size: 1024})
+	c.Ref(trace.Ref{Addr: 4, Size: 4})  // fast path
+	c.Ref(trace.Ref{Addr: 12, Size: 4}) // same line: hit via fast path
+	c.Ref(trace.Ref{Addr: 0, Size: 32}) // exactly one full line
+	if c.Accesses() != 3 || c.Misses() != 1 {
+		t.Errorf("accesses=%d misses=%d, want 3/1", c.Accesses(), c.Misses())
+	}
+	// Write on the fast path must still set the dirty bit.
+	c.Ref(trace.Ref{Addr: 4, Size: 4, Kind: trace.Write})
+	c.Ref(trace.Ref{Addr: 1024 + 4, Size: 4}) // conflict: evicts dirty line
+	if c.Writebacks() != 1 {
+		t.Errorf("writebacks=%d, want 1", c.Writebacks())
+	}
+}
+
+// TestLineSetPagedBitset exercises the distinct-line bitset across page
+// boundaries and re-visits, comparing against a map oracle.
+func TestLineSetPagedBitset(t *testing.T) {
+	s := newLineSet()
+	oracle := map[uint64]bool{}
+	seed := uint64(99)
+	add := func(line uint64) {
+		s.add(line)
+		oracle[line] = true
+	}
+	// Dense run crossing several 4096-line pages, then sparse far jumps
+	// (distinct lineSet pages), then revisits.
+	for i := uint64(0); i < 3*4096+17; i++ {
+		add(i)
+	}
+	for i := 0; i < 5000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		add(seed >> 24)
+	}
+	for i := uint64(0); i < 4096; i += 7 {
+		add(i) // all revisits
+	}
+	if s.count != uint64(len(oracle)) {
+		t.Errorf("lineSet count=%d, oracle=%d", s.count, len(oracle))
+	}
+}
+
+// TestGroupBatchEquivalence feeds one random stream to two identical
+// groups — one per-ref, one in batches — and requires identical state.
+func TestGroupBatchEquivalence(t *testing.T) {
+	mk := func() *Group {
+		return NewGroup(Config{Size: 1 << 10}, Config{Size: 4 << 10}, Config{Size: 16 << 10, Assoc: 2})
+	}
+	single, batched := mk(), mk()
+	seed := uint64(7)
+	var batch []trace.Ref
+	for i := 0; i < 50000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		r := trace.Ref{Addr: (seed >> 16) % (1 << 21), Size: uint32(4 + (seed>>8)%64)}
+		if seed%3 == 0 {
+			r.Kind = trace.Write
+		}
+		single.Ref(r)
+		batch = append(batch, r)
+		if len(batch) == 113 {
+			batched.Refs(batch)
+			batch = batch[:0]
+		}
+	}
+	batched.Refs(batch)
+	if single.DistinctLines() != batched.DistinctLines() {
+		t.Errorf("distinct lines: %d vs %d", single.DistinctLines(), batched.DistinctLines())
+	}
+	a, b := single.Results(), batched.Results()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cache %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -40,18 +40,24 @@ func NewHierarchy(l1, l2 Config) *Hierarchy {
 
 // Ref implements trace.Sink.
 func (h *Hierarchy) Ref(r trace.Ref) {
-	size := uint64(r.Size)
-	if size == 0 {
-		size = 1
-	}
+	first, last := span(r.Addr, r.Size, h.L1.lineShift)
 	write := r.Kind == trace.Write
-	first := r.Addr >> h.L1.lineShift
-	last := (r.Addr + size - 1) >> h.L1.lineShift
+	if first == last {
+		h.accessLine(first, write)
+		return
+	}
 	for line := first; ; line++ {
 		h.accessLine(line, write)
 		if line == last {
 			break
 		}
+	}
+}
+
+// Refs implements trace.BatchSink.
+func (h *Hierarchy) Refs(batch []trace.Ref) {
+	for _, r := range batch {
+		h.Ref(r)
 	}
 }
 

@@ -57,17 +57,23 @@ func (v *VictimCache) Entries() int { return len(v.victims) }
 
 // Ref implements trace.Sink.
 func (v *VictimCache) Ref(r trace.Ref) {
-	size := uint64(r.Size)
-	if size == 0 {
-		size = 1
+	first, last := span(r.Addr, r.Size, v.lineShift)
+	if first == last {
+		v.accessLine(first)
+		return
 	}
-	first := r.Addr >> v.lineShift
-	last := (r.Addr + size - 1) >> v.lineShift
 	for line := first; ; line++ {
 		v.accessLine(line)
 		if line == last {
 			break
 		}
+	}
+}
+
+// Refs implements trace.BatchSink.
+func (v *VictimCache) Refs(batch []trace.Ref) {
+	for _, r := range batch {
+		v.Ref(r)
 	}
 }
 

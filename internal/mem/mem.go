@@ -56,6 +56,11 @@ var ErrOutOfMemory = errors.New("mem: out of memory")
 // ErrBadAddress is returned for accesses outside any region's break.
 var ErrBadAddress = errors.New("mem: address outside allocated region")
 
+// DefaultBatchSize is the reference ring-buffer capacity used by
+// SetBatching(0): 256 refs (4 KB) keeps the buffer cache-resident while
+// amortizing the flush fan-out well.
+const DefaultBatchSize = 256
+
 // Memory is a sparse simulated address space. It is not safe for
 // concurrent use; each simulation run owns one Memory.
 type Memory struct {
@@ -63,6 +68,14 @@ type Memory struct {
 	regions []*Region
 	sink    trace.Sink
 	meter   *cost.Meter
+
+	// Batched reference delivery (see SetBatching): emitted references
+	// accumulate in buf and are handed as a slice to each batcher at
+	// flush boundaries; direct receives every reference synchronously.
+	buf      []trace.Ref
+	bufN     int
+	batchers []trace.BatchSink
+	direct   trace.Sink
 
 	// InstrPerAccess is the instruction charge per word access.
 	// Default 1 (a load or store instruction).
@@ -90,12 +103,80 @@ func New(sink trace.Sink, meter *cost.Meter) *Memory {
 	}
 }
 
-// SetSink replaces the reference sink.
+// SetSink replaces the reference sink. Pending batched references are
+// flushed to the old sinks first.
 func (m *Memory) SetSink(s trace.Sink) {
 	if s == nil {
 		s = trace.Discard
 	}
+	m.Flush()
 	m.sink = s
+	if m.buf != nil {
+		m.rebatch(len(m.buf))
+	}
+}
+
+// SetBatching enables (size > 0, or 0 for DefaultBatchSize) or disables
+// (size < 0) batched reference delivery. When enabled, references are
+// buffered and flushed in slices to every sink that implements
+// trace.BatchSink; sinks that do not still receive each reference
+// immediately, so order-sensitive sinks stay exact. Callers that read
+// simulator state out of band (cache counters, fault curves) must call
+// Flush first; the simulation drivers in package sim and paper do.
+//
+// Batching is off by default: ad-hoc pipelines keep the seed semantics
+// where every sink observes each reference the instant it is emitted.
+func (m *Memory) SetBatching(size int) {
+	m.Flush()
+	if size < 0 {
+		m.buf, m.batchers, m.direct = nil, nil, nil
+		return
+	}
+	if size == 0 {
+		size = DefaultBatchSize
+	}
+	m.rebatch(size)
+}
+
+// rebatch recomputes the batch/direct split of the current sink.
+func (m *Memory) rebatch(size int) {
+	m.batchers, m.direct = trace.Split(m.sink)
+	if len(m.batchers) == 0 {
+		// Nothing batches: fall back to the plain path.
+		m.buf, m.direct = nil, nil
+		return
+	}
+	m.buf, m.bufN = make([]trace.Ref, size), 0
+}
+
+// Flush delivers buffered references to the batch sinks. It is a no-op
+// when batching is disabled or the buffer is empty.
+func (m *Memory) Flush() {
+	if m.bufN == 0 {
+		return
+	}
+	batch := m.buf[:m.bufN]
+	m.bufN = 0
+	for _, b := range m.batchers {
+		b.Refs(batch)
+	}
+}
+
+// emit routes one reference to the sinks, via the ring buffer when
+// batching is enabled.
+func (m *Memory) emit(r trace.Ref) {
+	if m.buf == nil {
+		m.sink.Ref(r)
+		return
+	}
+	if m.direct != nil {
+		m.direct.Ref(r)
+	}
+	m.buf[m.bufN] = r
+	m.bufN++
+	if m.bufN == len(m.buf) {
+		m.Flush()
+	}
 }
 
 // Meter returns the cost meter, which may be nil.
@@ -242,7 +323,7 @@ func (m *Memory) ReadWord(addr uint64) uint64 {
 	if m.meter != nil {
 		m.meter.Charge(m.InstrPerAccess)
 	}
-	m.sink.Ref(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Read})
+	m.emit(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Read})
 	p := m.page(addr)
 	off := addr % PageSize
 	return uint64(binary.LittleEndian.Uint32(p[off : off+WordSize]))
@@ -263,7 +344,7 @@ func (m *Memory) WriteWord(addr, val uint64) {
 	if m.meter != nil {
 		m.meter.Charge(m.InstrPerAccess)
 	}
-	m.sink.Ref(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Write})
+	m.emit(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Write})
 	p := m.page(addr)
 	off := addr % PageSize
 	binary.LittleEndian.PutUint32(p[off:off+WordSize], uint32(val))
@@ -305,7 +386,7 @@ func (m *Memory) Touch(addr uint64, n uint32, k trace.Kind) {
 	if m.meter != nil {
 		m.meter.Charge(m.InstrPerAccess)
 	}
-	m.sink.Ref(trace.Ref{Addr: addr, Size: n, Kind: k})
+	m.emit(trace.Ref{Addr: addr, Size: n, Kind: k})
 }
 
 func alignUp(n, a uint64) uint64 {

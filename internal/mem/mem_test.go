@@ -259,3 +259,122 @@ func TestAlignUp(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchingDeliversIdenticalStream checks that a batching Memory
+// delivers the same references, in the same order, as an unbatched one
+// — to batch sinks at flush boundaries and to plain sinks immediately.
+func TestBatchingDeliversIdenticalStream(t *testing.T) {
+	run := func(batch int) (counted trace.Counter, recorded []trace.Ref) {
+		var c trace.Counter
+		rec := &trace.Recorder{} // plain Sink: stays on the direct path
+		m := New(trace.NewTee(&c, rec), nil)
+		if batch != 0 {
+			m.SetBatching(batch)
+		}
+		r := m.NewRegion("r", 1<<20)
+		a, err := r.Sbrk(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 40; i++ {
+			m.WriteWord(a+i*WordSize, i)
+			if m.ReadWord(a+i*WordSize) != i {
+				t.Fatal("round trip")
+			}
+		}
+		m.Touch(a, 64, trace.Read)
+		m.Flush()
+		return c, rec.Refs
+	}
+	wantC, wantRefs := run(0)
+	for _, size := range []int{1, 7, 256} {
+		gotC, gotRefs := run(size)
+		if gotC != wantC {
+			t.Errorf("batch=%d: counter %+v != %+v", size, gotC, wantC)
+		}
+		if len(gotRefs) != len(wantRefs) {
+			t.Fatalf("batch=%d: %d refs != %d", size, len(gotRefs), len(wantRefs))
+		}
+		for i := range gotRefs {
+			if gotRefs[i] != wantRefs[i] {
+				t.Errorf("batch=%d: ref %d differs: %+v vs %+v", size, i, gotRefs[i], wantRefs[i])
+			}
+		}
+	}
+}
+
+// TestBatchingFlushBoundaries checks buffered delivery semantics: batch
+// sinks see nothing until a flush (buffer fill, explicit Flush, SetSink
+// or SetBatching), plain sinks see everything immediately.
+func TestBatchingFlushBoundaries(t *testing.T) {
+	var c trace.Counter
+	rec := &trace.Recorder{}
+	m := New(trace.NewTee(&c, rec), nil)
+	m.SetBatching(8)
+	r := m.NewRegion("r", 1<<20)
+	a, _ := r.Sbrk(256)
+
+	for i := uint64(0); i < 5; i++ {
+		m.WriteWord(a+i*WordSize, i)
+	}
+	if c.Total() != 0 {
+		t.Errorf("batch sink saw %d refs before flush", c.Total())
+	}
+	if len(rec.Refs) != 5 {
+		t.Errorf("direct sink saw %d refs, want 5 immediately", len(rec.Refs))
+	}
+	m.Flush()
+	if c.Total() != 5 {
+		t.Errorf("after flush: %d refs, want 5", c.Total())
+	}
+	m.Flush() // idempotent on empty buffer
+	if c.Total() != 5 {
+		t.Error("empty flush re-delivered")
+	}
+
+	// Buffer fill auto-flushes.
+	for i := uint64(0); i < 8; i++ {
+		m.WriteWord(a+i*WordSize, i)
+	}
+	if c.Total() != 13 {
+		t.Errorf("auto-flush: %d, want 13", c.Total())
+	}
+
+	// SetSink flushes pending refs to the old sinks first.
+	m.WriteWord(a, 1)
+	var c2 trace.Counter
+	m.SetSink(&c2)
+	if c.Total() != 14 || c2.Total() != 0 {
+		t.Errorf("SetSink flush: old=%d new=%d", c.Total(), c2.Total())
+	}
+	// ...and the new sink inherits batching.
+	m.WriteWord(a, 2)
+	if c2.Total() != 0 {
+		t.Error("new sink not batched")
+	}
+	m.Flush()
+	if c2.Total() != 1 {
+		t.Errorf("new sink after flush: %d", c2.Total())
+	}
+
+	// SetBatching(-1) disables and restores synchronous delivery.
+	m.SetBatching(-1)
+	m.WriteWord(a, 3)
+	if c2.Total() != 2 {
+		t.Errorf("unbatched delivery: %d, want 2", c2.Total())
+	}
+}
+
+// TestBatchingNoBatchersFallsBack: with only plain sinks the buffer is
+// disabled entirely and delivery is synchronous.
+func TestBatchingNoBatchersFallsBack(t *testing.T) {
+	rec := &trace.Recorder{}
+	m := New(rec, nil)
+	m.SetBatching(0)
+	r := m.NewRegion("r", 1<<20)
+	a, _ := r.Sbrk(64)
+	m.WriteWord(a, 42)
+	if len(rec.Refs) != 1 {
+		t.Errorf("plain-only pipeline: %d refs, want 1 synchronously", len(rec.Refs))
+	}
+}

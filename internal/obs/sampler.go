@@ -86,11 +86,21 @@ func (s *Sampler) Bind(rec *Recorder) {
 // Ref implements trace.Sink, counting references.
 func (s *Sampler) Ref(trace.Ref) { s.refs++ }
 
+// Refs implements trace.BatchSink. Capture correctness under batched
+// delivery is preserved by capture, which flushes Mem's buffer first.
+func (s *Sampler) Refs(batch []trace.Ref) { s.refs += uint64(len(batch)) }
+
 // Points returns the captured time series.
 func (s *Sampler) Points() []SamplePoint { return s.points }
 
-// capture appends one sample point.
+// capture appends one sample point. With a batching mem.Memory, the
+// trigger (the recorder's per-operation hook) fires outside the
+// reference stream, so any buffered references are flushed first to
+// keep the sampled counters (Refs, cache results, page counts) exact.
 func (s *Sampler) capture(op uint64) {
+	if s.Mem != nil {
+		s.Mem.Flush()
+	}
 	p := SamplePoint{Op: op, Refs: s.refs}
 	if s.Meter != nil {
 		p.Instr = s.Meter.Snapshot()

@@ -182,6 +182,7 @@ func (r *Runner) ExtApps() (*Table, error) {
 			meter := &cost.Meter{}
 			c16 := cache.New(cache.Config{Size: 16 << 10})
 			m := mem.New(c16, meter)
+			m.SetBatching(0)
 			a, err := alloc.New(allocName, m)
 			if err != nil {
 				return nil, err
@@ -190,6 +191,7 @@ func (r *Runner) ExtApps() (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ext-apps %s/%s: %w", appName, allocName, err)
 			}
+			m.Flush()
 			if i == 0 {
 				want = sum
 			} else if sum != want {
@@ -355,7 +357,9 @@ func (r *Runner) ExtPenaltySweep() (*Table, error) {
 
 // extRun executes one ad-hoc simulation through arbitrary sinks,
 // returning the meter. Used by extensions whose instrumentation is not
-// expressible as a cache.Config list.
+// expressible as a cache.Config list. References are batched (all the
+// locality simulators implement trace.BatchSink) and flushed before
+// returning, so callers may read sink state immediately.
 func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Meter, error) {
 	prog, ok := workload.ByName(progName)
 	if !ok {
@@ -363,6 +367,7 @@ func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Mete
 	}
 	meter := &cost.Meter{}
 	m := mem.New(sink, meter)
+	m.SetBatching(0)
 	a, err := alloc.New(allocName, m)
 	if err != nil {
 		return nil, err
@@ -370,6 +375,7 @@ func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Mete
 	if _, err := workload.Run(m, a, workload.Config{Program: prog, Scale: r.Scale, Seed: r.Seed}); err != nil {
 		return nil, err
 	}
+	m.Flush()
 	return meter, nil
 }
 

@@ -1,0 +1,114 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+// detIDs is a fast cross-section of the matrix: a baseline table, a
+// miss-rate curve, and the allocator-architecture ablation.
+var detIDs = []string{"table2", "figure6", "figure9"}
+
+// renderAll prefetches the ids through a pool of the given width and
+// returns the concatenated rendered tables.
+func renderAll(t *testing.T, workers int, ids []string) string {
+	t.Helper()
+	r := testRunner()
+	r.Workers = workers
+	if err := r.Prefetch(r.PairsFor(ids...)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, id := range ids {
+		e, ok := r.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		tab, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		sb.WriteString(tab.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminism: the worker pool must not change a single
+// byte of output — every (program, allocator) run is hermetic, and
+// table assembly always reads from the memo sequentially. Run under
+// -race in CI, this also exercises the single-flight memo from many
+// goroutines.
+func TestParallelDeterminism(t *testing.T) {
+	seq := renderAll(t, 1, detIDs)
+	par := renderAll(t, 8, detIDs)
+	if seq == "" {
+		t.Fatal("empty output")
+	}
+	if seq != par {
+		t.Errorf("workers=1 and workers=8 output differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestPrefetchSharedKey: many goroutines asking for overlapping pairs
+// share one simulation per key (single-flight), and the memoized
+// pointer is stable.
+func TestPrefetchSharedKey(t *testing.T) {
+	r := testRunner()
+	r.Workers = 4
+	pairs := []Pair{
+		{"make", "bsd"}, {"make", "bsd"}, {"make", "bsd"},
+		{"make", "quickfit"}, {"make", "bsd"},
+	}
+	if err := r.Prefetch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Result("make", "bsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Result("make", "bsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoized result not shared")
+	}
+	if got := len(r.sortedMemoKeys()); got != 2 {
+		t.Errorf("memo holds %d keys, want 2: %v", got, r.sortedMemoKeys())
+	}
+}
+
+// TestPrefetchPropagatesError: a failing pair surfaces from Prefetch,
+// and errors are never memoized.
+func TestPrefetchPropagatesError(t *testing.T) {
+	r := testRunner()
+	r.Workers = 4
+	pairs := []Pair{{"make", "bsd"}, {"no-such-program", "bsd"}}
+	if err := r.Prefetch(pairs); err == nil {
+		t.Fatal("expected error for unknown program")
+	}
+	if got := len(r.sortedMemoKeys()); got != 1 {
+		t.Errorf("memo holds %d keys, want 1 (errors must not be memoized): %v", got, r.sortedMemoKeys())
+	}
+}
+
+// TestPaperPairsCoverRunAll: prefetching PaperPairs must leave RunAll
+// with zero simulations left to run — i.e. the pair lists in PairsFor
+// actually cover every experiment's needs. Detecting drift here keeps
+// RunAll's parallelism honest: a missing pair silently degrades back
+// to sequential execution during assembly.
+func TestPaperPairsCoverRunAll(t *testing.T) {
+	r := testRunner()
+	if err := r.Prefetch(r.PaperPairs()); err != nil {
+		t.Fatal(err)
+	}
+	before := len(r.sortedMemoKeys())
+	if _, err := r.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := len(r.sortedMemoKeys())
+	if before != after {
+		t.Errorf("RunAll ran %d simulations PaperPairs missed", after-before)
+	}
+}

@@ -14,7 +14,9 @@ package paper
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mallocsim/internal/alloc/all"
 	"mallocsim/internal/cache"
@@ -40,13 +42,32 @@ const DefaultScale = 16
 // simulation (the paper shows paging curves for GhostScript and PTC).
 var pageSimPrograms = map[string]bool{"gs": true, "ptc": true}
 
-// Runner memoizes simulation results across experiments.
+// Runner memoizes simulation results across experiments. Each
+// (program, allocator) simulation is hermetic — it owns its mem.Memory,
+// allocator instance and sinks — so independent pairs may run
+// concurrently; Runner's memo is mutex-guarded with single-flight per
+// key, making Result safe to call from many goroutines and each pair's
+// simulation run at most once.
 type Runner struct {
 	Scale   uint64
 	Seed    uint64
 	Penalty uint64
 
-	memo map[string]*sim.Result
+	// Workers bounds the worker pool used by Prefetch and RunAll.
+	// 0 means GOMAXPROCS; 1 recovers the fully sequential path. The
+	// results are byte-identical either way — only wall-clock changes.
+	Workers int
+
+	mu       sync.Mutex
+	memo     map[string]*sim.Result
+	inflight map[string]*flight
+}
+
+// flight is one in-progress simulation, awaited by duplicate callers.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
 }
 
 // NewRunner creates a Runner at the given scale (0 = DefaultScale).
@@ -54,15 +75,56 @@ func NewRunner(scale uint64) *Runner {
 	if scale == 0 {
 		scale = DefaultScale
 	}
-	return &Runner{Scale: scale, Seed: 1, Penalty: sim.DefaultPenalty, memo: map[string]*sim.Result{}}
+	return &Runner{
+		Scale:    scale,
+		Seed:     1,
+		Penalty:  sim.DefaultPenalty,
+		memo:     map[string]*sim.Result{},
+		inflight: map[string]*flight{},
+	}
 }
 
-// Result returns the memoized fully-instrumented run for the pair.
+// workerCount resolves Workers to a concrete pool size.
+func (r *Runner) workerCount() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result returns the memoized fully-instrumented run for the pair,
+// executing it if needed. Safe for concurrent use: duplicate concurrent
+// calls for one key share a single simulation.
 func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
 	key := progName + "/" + allocName
+	r.mu.Lock()
 	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
 		return res, nil
 	}
+	if f, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.mu.Unlock()
+
+	f.res, f.err = r.runPair(progName, allocName)
+
+	r.mu.Lock()
+	if f.err == nil {
+		r.memo[key] = f.res
+	}
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// runPair executes one fully-instrumented simulation.
+func (r *Runner) runPair(progName, allocName string) (*sim.Result, error) {
 	prog, ok := workload.ByName(progName)
 	if !ok {
 		return nil, fmt.Errorf("paper: unknown program %q", progName)
@@ -71,7 +133,7 @@ func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
 	for i, s := range CacheSizes {
 		cfgs[i] = cache.Config{Size: s}
 	}
-	res, err := sim.Run(sim.Config{
+	return sim.Run(sim.Config{
 		Program:   prog,
 		Allocator: allocName,
 		Scale:     r.Scale,
@@ -79,11 +141,61 @@ func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
 		Caches:    cfgs,
 		PageSim:   pageSimPrograms[progName],
 	})
-	if err != nil {
-		return nil, err
+}
+
+// Pair names one (program, allocator) simulation.
+type Pair struct {
+	Program   string
+	Allocator string
+}
+
+// Prefetch runs the given pairs through a bounded worker pool (Workers
+// goroutines), populating the memo so that subsequent table assembly is
+// pure lookup. Already-memoized pairs cost nothing. It returns the
+// first error encountered after all workers drain; every run is
+// hermetic, so results are byte-identical to executing the pairs
+// sequentially.
+func (r *Runner) Prefetch(pairs []Pair) error {
+	workers := r.workerCount()
+	if workers > len(pairs) {
+		workers = len(pairs)
 	}
-	r.memo[key] = res
-	return res, nil
+	if workers <= 1 {
+		for _, p := range pairs {
+			if _, err := r.Result(p.Program, p.Allocator); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan Pair)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var first error
+			for p := range work {
+				if _, err := r.Result(p.Program, p.Allocator); err != nil && first == nil {
+					first = err
+				}
+			}
+			errs <- first
+		}()
+	}
+	for _, p := range pairs {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (r *Runner) note() string {
@@ -124,9 +236,78 @@ func (r *Runner) AllExperiments() []Experiment {
 	return append(r.Experiments(), r.extensions()...)
 }
 
+// PairsFor returns the (program, allocator) simulations the given paper
+// experiments draw on, deduplicated in first-use order. Extension
+// experiments run their own ad-hoc simulations and contribute nothing.
+func (r *Runner) PairsFor(ids ...string) []Pair {
+	seen := map[Pair]bool{}
+	var out []Pair
+	add := func(progs []workload.Program, allocs ...string) {
+		for _, p := range progs {
+			for _, a := range allocs {
+				pair := Pair{p.Name, a}
+				if !seen[pair] {
+					seen[pair] = true
+					out = append(out, pair)
+				}
+			}
+		}
+	}
+	one := func(name string) []workload.Program {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil
+		}
+		return []workload.Program{p}
+	}
+	for _, id := range ids {
+		switch id {
+		case "table2":
+			add(workload.PaperPrograms(), "firstfit")
+		case "table3":
+			add(workload.GhostScriptInputs(), "firstfit")
+		case "figure1", "figure4", "figure5", "table4", "table5":
+			add(workload.PaperPrograms(), Allocators...)
+		case "figure2":
+			add(one("gs"), Allocators...)
+		case "figure3":
+			add(one("ptc"), Allocators...)
+		case "figure6":
+			add(one("gs-small"), Allocators...)
+		case "figure7":
+			add(one("gs-medium"), Allocators...)
+		case "figure8":
+			add(one("gs"), Allocators...)
+		case "table6":
+			add(workload.PaperPrograms(), "gnulocal-tags", "gnulocal")
+		case "figure9":
+			add(append(one("gawk"), one("espresso")...),
+				"bsd", "quickfit", "custom-pow2", "custom", "custom-reclaim")
+		}
+	}
+	return out
+}
+
+// PaperPairs returns the full simulation matrix behind the paper's
+// tables and figures.
+func (r *Runner) PaperPairs() []Pair {
+	var ids []string
+	for _, e := range r.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return r.PairsFor(ids...)
+}
+
 // RunAll executes every paper experiment (not the extensions),
-// returning tables in paper order.
+// returning tables in paper order. The underlying simulation matrix is
+// prefetched through the Workers-bounded pool first, so independent
+// (program, allocator) runs use all cores; table assembly then proceeds
+// sequentially from the memo, keeping the output byte-identical to a
+// Workers=1 run.
 func (r *Runner) RunAll() ([]*Table, error) {
+	if err := r.Prefetch(r.PaperPairs()); err != nil {
+		return nil, err
+	}
 	var out []*Table
 	for _, e := range r.Experiments() {
 		t, err := e.Run()

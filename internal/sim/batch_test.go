@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mallocsim/internal/cache"
+	"mallocsim/internal/workload"
+)
+
+// TestBatchedRunMatchesSeedPipeline: Run (which batches reference
+// delivery through mem.Memory's ring buffer) must produce numerically
+// identical results to the unbatched seed pipeline (runSeedBaseline) —
+// batching may only change *when* sinks observe references, never what
+// they accumulate by the end of the run.
+func TestBatchedRunMatchesSeedPipeline(t *testing.T) {
+	prog, ok := workload.ByName("make")
+	if !ok {
+		t.Fatal("no make program")
+	}
+	cfg := Config{
+		Program:   prog,
+		Allocator: "quickfit",
+		Scale:     8,
+		Caches:    []cache.Config{{Size: 16 << 10}, {Size: 64 << 10}},
+	}
+	batched, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := runSeedBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Refs != plain.Refs {
+		t.Errorf("ref counters differ: %+v vs %+v", batched.Refs, plain.Refs)
+	}
+	if !reflect.DeepEqual(batched.Caches, plain.Caches) {
+		t.Errorf("cache results differ:\nbatched: %+v\nplain:   %+v", batched.Caches, plain.Caches)
+	}
+	if batched.Instr != plain.Instr {
+		t.Errorf("instruction splits differ: %+v vs %+v", batched.Instr, plain.Instr)
+	}
+	if batched.TotalFootprint != plain.TotalFootprint {
+		t.Errorf("footprints differ: %d vs %d", batched.TotalFootprint, plain.TotalFootprint)
+	}
+	if !reflect.DeepEqual(batched.Workload, plain.Workload) {
+		t.Errorf("workload stats differ")
+	}
+}

@@ -150,6 +150,14 @@ func Run(cfg Config) (*Result, error) {
 		m.SetSink(trace.NewTee(sinks...))
 	}
 
+	// Batched reference delivery: the counter, cache group, page
+	// simulator and sampler all implement trace.BatchSink, so the hot
+	// per-word emit devirtualizes into buffer appends with one fan-out
+	// per 256 refs. Order-sensitive sinks (obs.Attribution reads the
+	// meter's current domain per reference) do not implement BatchSink
+	// and keep receiving every reference synchronously.
+	m.SetBatching(0)
+
 	a, err := alloc.New(cfg.Allocator, m)
 	if err != nil {
 		return nil, err
@@ -166,6 +174,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, err)
 	}
+	m.Flush() // deliver the tail of the batched reference stream
 
 	res := &Result{
 		Program:        cfg.Program.Name,

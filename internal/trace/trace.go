@@ -7,6 +7,18 @@
 // paper ("Improving the Cache Locality of Memory Allocation", PLDI 1993)
 // is a trace-driven simulation study, and every experiment in this
 // repository is a consumer of a trace.Sink.
+//
+// # Batching
+//
+// The per-reference Sink.Ref call is the simulator's hottest edge, so
+// sinks that can tolerate deferred delivery additionally implement
+// BatchSink (Refs([]Ref)). Producers such as mem.Memory buffer
+// references and flush them in slices to every BatchSink while still
+// delivering synchronously, reference by reference, to plain Sinks.
+// Custom Sink implementors need to do nothing: not implementing
+// BatchSink is always correct. Implement it only when the sink's
+// behaviour depends solely on the reference values and their order —
+// see the BatchSink contract.
 package trace
 
 // Kind distinguishes loads from stores.
@@ -46,6 +58,56 @@ type Sink interface {
 	Ref(Ref)
 }
 
+// BatchSink is a Sink that also accepts references in slices. Producers
+// with a hot emit path (mem.Memory) buffer references and hand the
+// whole batch to each BatchSink at flush boundaries, replacing one
+// interface call per reference per sink with one call per batch.
+//
+// Implementing BatchSink is a contract, not just an optimization: it
+// declares that the sink tolerates *deferred* delivery. Refs(batch)
+// must be equivalent to calling Ref for each element in order, and the
+// sink must not depend on observing each reference at the instant it
+// was generated (for example by reading clock-like state that advances
+// between generation and flush). Sinks that need synchronous delivery —
+// like obs.Attribution, which reads the cost meter's current domain per
+// reference — simply implement plain Sink and keep receiving every
+// reference immediately; see Split.
+//
+// The batch slice is only valid for the duration of the call and may be
+// reused by the producer; copy it if it must be retained.
+type BatchSink interface {
+	Sink
+	Refs([]Ref)
+}
+
+// Split partitions a sink graph into its batch-capable leaves and an
+// immediate-delivery remainder. Tees are flattened recursively (and
+// Discard/nil entries dropped) exactly as NewTee does; every leaf that
+// implements BatchSink lands in the batch slice, and the rest are
+// recombined into a single Sink (nil when there are none). Producers
+// use this to route buffered references to batchers at flush time while
+// still delivering synchronously to everything else.
+func Split(s Sink) ([]BatchSink, Sink) {
+	flat := flatten(nil, []Sink{s})
+	var batch []BatchSink
+	var rest Tee
+	for _, leaf := range flat {
+		if b, ok := leaf.(BatchSink); ok {
+			batch = append(batch, b)
+		} else {
+			rest = append(rest, leaf)
+		}
+	}
+	switch len(rest) {
+	case 0:
+		return batch, nil
+	case 1:
+		return batch, rest[0]
+	default:
+		return batch, rest
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Ref)
 
@@ -54,7 +116,8 @@ func (f SinkFunc) Ref(r Ref) { f(r) }
 
 type discardSink struct{}
 
-func (discardSink) Ref(Ref) {}
+func (discardSink) Ref(Ref)    {}
+func (discardSink) Refs([]Ref) {}
 
 // Discard is a Sink that drops every reference.
 var Discard Sink = discardSink{}
@@ -66,6 +129,20 @@ type Tee []Sink
 func (t Tee) Ref(r Ref) {
 	for _, s := range t {
 		s.Ref(r)
+	}
+}
+
+// Refs implements BatchSink: members that batch receive the whole
+// slice, the rest receive the references one by one.
+func (t Tee) Refs(batch []Ref) {
+	for _, s := range t {
+		if b, ok := s.(BatchSink); ok {
+			b.Refs(batch)
+			continue
+		}
+		for _, r := range batch {
+			s.Ref(r)
+		}
 	}
 }
 
@@ -120,6 +197,13 @@ func (c *Counter) Ref(r Ref) {
 	}
 }
 
+// Refs implements BatchSink.
+func (c *Counter) Refs(batch []Ref) {
+	for _, r := range batch {
+		c.Ref(r)
+	}
+}
+
 // Total returns the total number of references seen.
 func (c *Counter) Total() uint64 { return c.Reads + c.Writes }
 
@@ -142,6 +226,15 @@ func (f *Filter) Ref(r Ref) {
 	}
 }
 
+// Refs implements BatchSink.
+func (f *Filter) Refs(batch []Ref) {
+	for _, r := range batch {
+		if f.Keep(r) {
+			f.Next.Ref(r)
+		}
+	}
+}
+
 // RangeFilter forwards only references whose address lies in [Lo, Hi).
 func RangeFilter(lo, hi uint64, next Sink) Sink {
 	return &Filter{
@@ -156,7 +249,10 @@ type Recorder struct {
 	Refs []Ref
 }
 
-// Ref implements Sink.
+// Ref implements Sink. Recorder does not implement BatchSink (the
+// exported Refs field occupies the method name): it receives every
+// reference synchronously even from batching producers, which is what
+// tests interleaving recorded references with other events want.
 func (rec *Recorder) Ref(r Ref) { rec.Refs = append(rec.Refs, r) }
 
 // Reset clears the recorded references.

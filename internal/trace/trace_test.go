@@ -173,3 +173,82 @@ func TestQuickCounterTotals(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTeeRefsBatch(t *testing.T) {
+	var c1, c2 Counter
+	var plain Recorder // plain Sink: receives per-ref fan-out
+	tee := Tee{&c1, &plain, &c2}
+	batch := []Ref{
+		{Addr: 0, Size: 4},
+		{Addr: 8, Size: 4, Kind: Write},
+		{Addr: 16, Size: 8},
+	}
+	tee.Refs(batch)
+	if c1.Total() != 3 || c2.Total() != 3 || len(plain.Refs) != 3 {
+		t.Errorf("batch fan-out: c1=%d c2=%d plain=%d", c1.Total(), c2.Total(), len(plain.Refs))
+	}
+	if c1.Writes != 1 || c1.BytesRead != 12 {
+		t.Errorf("counter state: %+v", c1)
+	}
+}
+
+func TestCounterBatchMatchesSingle(t *testing.T) {
+	refs := []Ref{{Addr: 0, Size: 4}, {Addr: 4, Size: 8, Kind: Write}, {Addr: 32, Size: 0}}
+	var a, b Counter
+	for _, r := range refs {
+		a.Ref(r)
+	}
+	b.Refs(refs)
+	if a != b {
+		t.Errorf("batch %+v != single %+v", b, a)
+	}
+}
+
+func TestFilterBatch(t *testing.T) {
+	var out Counter
+	f := &Filter{Keep: func(r Ref) bool { return r.Addr < 100 }, Next: &out}
+	f.Refs([]Ref{{Addr: 1, Size: 4}, {Addr: 200, Size: 4}, {Addr: 99, Size: 4}})
+	if out.Total() != 2 {
+		t.Errorf("filtered batch total = %d, want 2", out.Total())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	var c Counter      // BatchSink
+	var rec Recorder   // plain Sink (Refs is a field)
+	var rec2 Recorder  // second plain sink: remainder becomes a Tee
+	fn := SinkFunc(func(Ref) {})
+
+	// All-batch graph: no remainder.
+	batch, rest := Split(NewTee(&c, Discard))
+	if len(batch) != 1 || rest != nil {
+		t.Errorf("all-batch split: %d batchers, rest %v", len(batch), rest)
+	}
+
+	// Mixed graph, nested tee: batchers extracted, single leftover
+	// returned directly.
+	batch, rest = Split(NewTee(&c, Tee{&rec}))
+	if len(batch) != 1 || rest != Sink(&rec) {
+		t.Errorf("mixed split: %d batchers, rest %T", len(batch), rest)
+	}
+
+	// Multiple leftovers recombine into a Tee.
+	batch, rest = Split(NewTee(&c, &rec, &rec2, fn))
+	if len(batch) != 1 {
+		t.Errorf("batchers = %d", len(batch))
+	}
+	if tee, ok := rest.(Tee); !ok || len(tee) != 3 {
+		t.Errorf("rest = %T %v, want 3-element Tee", rest, rest)
+	}
+
+	// Discard-only graph: nothing at all.
+	batch, rest = Split(Discard)
+	if len(batch) != 0 || rest != nil {
+		t.Errorf("discard split: %d batchers, rest %v", len(batch), rest)
+	}
+}
+
+var _ BatchSink = (*Counter)(nil)
+var _ BatchSink = (Tee)(nil)
+var _ BatchSink = (*Filter)(nil)
+var _ BatchSink = discardSink{}

@@ -139,12 +139,30 @@ func (s *StackSim) Ref(r trace.Ref) {
 		size = 1
 	}
 	first := r.Addr >> s.pageShift
-	last := (r.Addr + size - 1) >> s.pageShift
+	end := r.Addr + size - 1
+	if end < r.Addr {
+		// Clamp spans that wrap the 64-bit address space so the
+		// page-walk below terminates.
+		end = ^uint64(0)
+	}
+	last := end >> s.pageShift
+	if first == last {
+		s.accessPage(first)
+		return
+	}
 	for p := first; ; p++ {
 		s.accessPage(p)
 		if p == last {
 			break
 		}
+	}
+}
+
+// Refs implements trace.BatchSink: stack simulation depends only on the
+// reference sequence, so deferred batch delivery is safe.
+func (s *StackSim) Refs(batch []trace.Ref) {
+	for _, r := range batch {
+		s.Ref(r)
 	}
 }
 

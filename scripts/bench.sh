@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench.sh — run the repository's locality-simulator micro-benchmarks
+# and write a dated snapshot under bench/.
+#
+# Two artifacts per run:
+#
+#   bench/BENCH_<date>.txt    raw `go test -bench` output, directly
+#                             usable with benchstat (old.txt new.txt)
+#   bench/BENCH_<date>.json   machine-readable summary: one object per
+#                             benchmark with ns/op and any custom
+#                             b.ReportMetric units
+#
+# Environment:
+#   MALLOCSIM_BENCH_SCALE  experiment scale divisor (default 128; the
+#                          full-matrix RunAll benchmark honours it)
+#   BENCH_TIME             -benchtime for the micro-benchmarks
+#                          (default 3x; RunAll always runs 1x)
+#   BENCH_OUT              output directory (default bench/)
+#
+# Usage: scripts/bench.sh            # from the repository root
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-bench}"
+benchtime="${BENCH_TIME:-3x}"
+date="$(date -u +%Y-%m-%d)"
+txt="$out/BENCH_$date.txt"
+json="$out/BENCH_$date.json"
+mkdir -p "$out"
+
+micro='BenchmarkCacheDirectMapped$|BenchmarkCacheGroupSweep$|BenchmarkStackSimTreap$'
+matrix='BenchmarkRunAllParallel$'
+
+{
+  # Micro-benchmarks: cache simulator hot paths and the LRU stack
+  # treap. Several iterations each so benchstat has samples.
+  go test -run '^$' -bench "$micro" -benchtime "$benchtime" .
+  # Full experiment matrix through the parallel runner: one iteration
+  # (it regenerates every paper table per op).
+  go test -run '^$' -bench "$matrix" -benchtime 1x .
+} | tee "$txt"
+
+# Distil the raw output into JSON without external dependencies.
+# Benchmark lines look like:
+#   BenchmarkFoo-8  <iters>  <ns> ns/op  [<value> <unit>]...
+awk -v date="$date" '
+BEGIN { printf "{\n  \"date\": %c%s%c,\n  \"benchmarks\": [", 34, date, 34 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ","
+  printf "\n    {\"name\": %c%s%c, \"iterations\": %s", 34, name, 34, $2
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/[%\/]/, "_per_", unit)
+    gsub(/[^A-Za-z0-9_.-]/, "_", unit)
+    printf ", %c%s%c: %s", 34, unit, 34, $i
+  }
+  printf "}"
+}
+END {
+  printf "\n  ],\n"
+  printf "  \"goos\": %c%s%c,\n", 34, goos, 34
+  printf "  \"goarch\": %c%s%c,\n", 34, goarch, 34
+  printf "  \"cpu\": %c%s%c\n}\n", 34, cpu, 34
+}' "$txt" > "$json"
+
+echo "wrote $txt and $json"
