@@ -96,6 +96,7 @@ func main() {
 	sizes := flag.Bool("sizes", false, "print the request-size histogram instead of per-allocator stats")
 	jsonOut := flag.Bool("json", false, "print a JSON array of versioned per-allocator run reports")
 	metrics := flag.String("metrics-out", "", "also write the JSON run reports to this file")
+	check := flag.Bool("check", false, "run every allocator under the shadow heap auditor; exit 3 on contract violations")
 	flag.Parse()
 
 	prog, ok := workload.ByName(*progName)
@@ -136,6 +137,7 @@ func main() {
 				Seed:        *seed,
 				Recorder:    rec,
 				Attribution: true,
+				CheckHeap:   *check,
 			})
 			outs[i] = runOut{rec: rec, res: res, err: err}
 		}(i, name)
@@ -202,6 +204,25 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			log.Fatalf("allocstats: close %s: %v", *metrics, err)
+		}
+	}
+
+	if *check {
+		var violations uint64
+		for i, name := range all.Extended {
+			s := outs[i].res.Shadow
+			if s == nil {
+				continue
+			}
+			violations += s.Violations
+			for _, v := range s.First {
+				fmt.Fprintf(os.Stderr, "allocstats:   %s: %s\n", name, v.String())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "allocstats: heap auditor: %d runs checked, %d violations\n",
+			len(all.Extended), violations)
+		if violations > 0 {
+			os.Exit(3)
 		}
 	}
 }

@@ -15,7 +15,10 @@
 // on simulated memory, and reports the same rows/series the paper does.
 // -json replaces the text output with a versioned JSON array of table
 // documents; -metrics-out writes that JSON to a file while the chosen
-// -format still goes to stdout.
+// -format still goes to stdout. -check additionally runs every
+// simulation under the shadow heap auditor (internal/alloc/shadow) and
+// exits with status 3 if any allocator contract violation is detected;
+// the auditor is host-side only, so all reported numbers are unchanged.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mallocsim/internal/paper"
@@ -37,6 +41,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv, markdown or plot (ASCII chart for curve experiments)")
 		jsonOut = flag.Bool("json", false, "print a versioned JSON array of table documents instead of -format")
 		metrics = flag.String("metrics-out", "", "also write the JSON table documents to this file")
+		check   = flag.Bool("check", false, "run every simulation under the shadow heap auditor; exit 3 on contract violations")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -44,6 +49,7 @@ func main() {
 	r := paper.NewRunner(*scale)
 	r.Seed = *seed
 	r.Workers = *workers
+	r.CheckHeap = *check
 
 	if *list {
 		for _, e := range r.Experiments() {
@@ -117,6 +123,25 @@ func main() {
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "locality: close %s: %v\n", *metrics, err)
 			os.Exit(1)
+		}
+	}
+
+	if *check {
+		snaps, violations := r.ShadowSnapshots()
+		fmt.Fprintf(os.Stderr, "locality: heap auditor: %d runs checked, %d violations\n",
+			len(snaps), violations)
+		if violations > 0 {
+			keys := make([]string, 0, len(snaps))
+			for k := range snaps {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				for _, v := range snaps[k].First {
+					fmt.Fprintf(os.Stderr, "locality:   %s: %s\n", k, v.String())
+				}
+			}
+			os.Exit(3)
 		}
 	}
 }

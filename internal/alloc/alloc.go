@@ -37,13 +37,45 @@ var (
 // ALU work to the memory's cost meter; the caller (the simulation
 // driver) is responsible for switching the meter into the Malloc/Free
 // domain around calls and for charging the fixed call overhead.
+//
+// The shared contract, enforced by every registered implementation and
+// audited by package shadow:
+//
+//   - Malloc(0) is legal and behaves as Malloc of one word
+//     (mem.WordSize): it returns a distinct, word-aligned, non-null
+//     address with at least one usable word.
+//   - Malloc failures are ErrTooLarge (the request exceeds the
+//     algorithm's structural limits) or an error wrapping
+//     mem.ErrOutOfMemory (the region limit was hit mid-run). Running
+//     out of backing store must not panic once construction succeeded.
+//   - Free returns ErrBadFree — without corrupting allocator state —
+//     for null addresses, addresses never returned by Malloc, addresses
+//     already freed (double free), and pointers into the interior of a
+//     live block, to the extent the algorithm's metadata can detect
+//     them. Detection is exact for double frees of the patterns the
+//     alloctest battery exercises; adversarially constructed interior
+//     pointers may evade tag checks on some algorithms, which is what
+//     the shadow oracle exists to catch.
 type Allocator interface {
 	// Name returns the registry name, e.g. "firstfit".
 	Name() string
-	// Malloc allocates n bytes (n > 0) and returns its address.
+	// Malloc allocates n bytes (n == 0 is read as one word) and
+	// returns its address.
 	Malloc(n uint32) (uint64, error)
 	// Free releases a previously allocated address.
 	Free(addr uint64) error
+}
+
+// Checker is an optional interface implemented by allocators that can
+// audit their own heap structure (boundary-tag tiling, freelist
+// consistency — see HeapCheck). The shadow wrapper runs Check
+// periodically when the wrapped allocator implements it. Check performs
+// counted references on the simulated memory, so audited runs charge
+// more instructions than unaudited ones.
+type Checker interface {
+	// Check walks the heap and returns an error describing the first
+	// inconsistency found, if any.
+	Check() (HeapStats, error)
 }
 
 // SiteAllocator is implemented by allocators that can exploit

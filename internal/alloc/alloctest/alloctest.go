@@ -7,11 +7,13 @@
 package alloctest
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
 
 	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/shadow"
 	"mallocsim/internal/cost"
 	"mallocsim/internal/mem"
 	"mallocsim/internal/rng"
@@ -49,7 +51,11 @@ func RunOpts(t *testing.T, f Factory, o Options) {
 	t.Run("PayloadIntegrity", func(t *testing.T) { testPayloadIntegrity(t, f) })
 	t.Run("BoundedChurn", func(t *testing.T) { testBoundedChurn(t, f) })
 	t.Run("BadFree", func(t *testing.T) { testBadFree(t, f) })
+	t.Run("ZeroSize", func(t *testing.T) { testZeroSize(t, f) })
+	t.Run("DoubleFree", func(t *testing.T) { testDoubleFree(t, f) })
+	t.Run("InteriorFree", func(t *testing.T) { testInteriorFree(t, f) })
 	t.Run("OutOfMemory", func(t *testing.T) { testOutOfMemory(t, f) })
+	t.Run("ShadowOracle", func(t *testing.T) { testShadowOracle(t, f, o) })
 	if !o.SkipSteadyState {
 		t.Run("SawtoothPattern", func(t *testing.T) { testSawtooth(t, f) })
 	}
@@ -224,6 +230,119 @@ func testBadFree(t *testing.T, f Factory) {
 	}
 }
 
+// testZeroSize checks the Malloc(0) contract: a distinct, word-aligned,
+// freeable block of at least one usable word per call.
+func testZeroSize(t *testing.T, f Factory) {
+	a, m := newAlloc(f)
+	var ptrs []uint64
+	for i := 0; i < 8; i++ {
+		p, err := a.Malloc(0)
+		if err != nil {
+			t.Fatalf("Malloc(0) #%d: %v", i, err)
+		}
+		if p == 0 {
+			t.Fatalf("Malloc(0) #%d returned null", i)
+		}
+		if p%mem.WordSize != 0 {
+			t.Errorf("Malloc(0) #%d = %#x: not word-aligned", i, p)
+		}
+		for _, q := range ptrs {
+			if p < q+mem.WordSize && q < p+mem.WordSize {
+				t.Fatalf("Malloc(0) blocks overlap: %#x vs %#x", p, q)
+			}
+		}
+		// The one usable word must hold app data (and survive until the
+		// integrity pass below).
+		m.WriteWord(p, (p*2654435761)&0xffffffff)
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if got := m.ReadWord(p); got != (p*2654435761)&0xffffffff {
+			t.Errorf("zero-size payload at %#x corrupted: got %#x", p, got)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatalf("Free of zero-size block %#x: %v", p, err)
+		}
+	}
+}
+
+// testDoubleFree checks that a second free of the same base is rejected
+// with alloc.ErrBadFree and corrupts nothing — including when the first
+// free coalesced the block into a neighbour.
+func testDoubleFree(t *testing.T, f Factory) {
+	a, _ := newAlloc(f)
+
+	// Immediate double free, isolated block.
+	p, err := a.Malloc(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("first Free: %v", err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Fatal("double free accepted")
+	} else if !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("double free rejected with %v, want alloc.ErrBadFree", err)
+	}
+
+	// Coalescing patterns: three adjacent-ish blocks, freed so that the
+	// middle and left merge where the allocator coalesces at all; every
+	// re-free must still be rejected.
+	var blocks [3]uint64
+	for i := range blocks {
+		if blocks[i], err = a.Malloc(48); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Free(blocks[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range blocks[:2] {
+		if err := a.Free(q); err == nil {
+			t.Fatalf("double free of %#x after coalescing accepted", q)
+		} else if !errors.Is(err, alloc.ErrBadFree) {
+			t.Errorf("double free of %#x rejected with %v, want alloc.ErrBadFree", q, err)
+		}
+	}
+	// State must be intact: the survivor frees cleanly and churn works.
+	if err := a.Free(blocks[2]); err != nil {
+		t.Fatalf("Free of untouched neighbour after double frees: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		q, err := a.Malloc(48)
+		if err != nil {
+			t.Fatalf("Malloc after double frees: %v", err)
+		}
+		if err := a.Free(q); err != nil {
+			t.Fatalf("Free after double frees: %v", err)
+		}
+	}
+}
+
+// testInteriorFree checks that word-aligned pointers strictly inside a
+// live block are rejected without disturbing the block.
+func testInteriorFree(t *testing.T, f Factory) {
+	a, _ := newAlloc(f)
+	p, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []uint64{mem.WordSize, 2 * mem.WordSize, 32} {
+		if err := a.Free(p + off); err == nil {
+			t.Errorf("Free(%#x): interior pointer (base+%d) accepted", p+off, off)
+		} else if !errors.Is(err, alloc.ErrBadFree) {
+			t.Errorf("Free(%#x) rejected with %v, want alloc.ErrBadFree", p+off, err)
+		}
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("Free of base after interior-free attempts: %v", err)
+	}
+}
+
 // testOutOfMemory exhausts a memory-capped allocator: the failure must
 // surface as an error (never a panic), and the allocator must remain
 // usable — frees succeed and create room for further allocations.
@@ -236,6 +355,9 @@ func testOutOfMemory(t *testing.T, f Factory) {
 	for i := 0; i < 100000; i++ {
 		p, err := a.Malloc(64)
 		if err != nil {
+			if !errors.Is(err, mem.ErrOutOfMemory) && !errors.Is(err, alloc.ErrTooLarge) {
+				t.Errorf("exhaustion surfaced with the wrong error class: %v", err)
+			}
 			oom = true
 			break
 		}
@@ -257,6 +379,67 @@ func testOutOfMemory(t *testing.T, f Factory) {
 		if _, err := a.Malloc(64); err != nil {
 			t.Fatalf("allocation %d after recovery: %v", i, err)
 		}
+	}
+}
+
+// testShadowOracle runs a random churn through the shadow heap auditor
+// (internal/alloc/shadow) with a tight audit cadence: the oracle's
+// independent live-set model and the allocator must agree on every
+// operation, including deliberate double frees and interior pointers the
+// allocator is expected to reject.
+func testShadowOracle(t *testing.T, f Factory, o Options) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	s := shadow.Wrap(f(m), m, shadow.Options{AuditEvery: 512})
+	r := rng.New(31)
+	var live []uint64
+	for op := 0; op < 4000; op++ {
+		if len(live) > 0 && (r.Bool(0.45) || len(live) > 400) {
+			i := r.Intn(len(live))
+			if err := s.Free(live[i]); err != nil {
+				t.Fatalf("op %d: Free(%#x) of live block: %v", op, live[i], err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		var n uint32
+		switch r.Intn(8) {
+		case 0:
+			n = 0 // Malloc(0) contract path
+		case 1:
+			n = o.clamp(uint32(1024 + r.Intn(8192)))
+		default:
+			n = uint32(1 + r.Intn(256))
+		}
+		p, err := s.Malloc(n)
+		if err != nil {
+			t.Fatalf("op %d: Malloc(%d): %v", op, n, err)
+		}
+		live = append(live, p)
+	}
+	// Adversarial frees. The allocator must reject them; the oracle
+	// flags a violation only if one is *accepted*.
+	if len(live) > 2 {
+		p := live[0]
+		live = live[1:]
+		_ = s.Free(p)          // valid
+		_ = s.Free(p)          // immediate double free
+		_ = s.Free(live[0] + mem.WordSize) // interior pointer
+	}
+	for _, p := range live {
+		if err := s.Free(p); err != nil {
+			t.Fatalf("final Free(%#x): %v", p, err)
+		}
+	}
+	s.Audit()
+	if n := s.ViolationCount(); n != 0 {
+		for _, v := range s.Violations() {
+			t.Errorf("%s", v.String())
+		}
+		t.Fatalf("shadow oracle recorded %d violations", n)
+	}
+	if s.LiveBlocks() != 0 {
+		t.Errorf("oracle live set not empty at exit: %d blocks", s.LiveBlocks())
 	}
 }
 

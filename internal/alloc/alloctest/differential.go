@@ -1,0 +1,170 @@
+package alloctest
+
+// Differential replay: drive one recorded operation trace through many
+// allocator implementations and compare their *error behaviour*. The
+// allocator contract (see alloc.Allocator) pins down not just success
+// cases but failure classes — zero-size requests succeed, invalid frees
+// are alloc.ErrBadFree, capacity failures are alloc.ErrTooLarge or wrap
+// mem.ErrOutOfMemory — so two conforming allocators replaying the same
+// trace must produce the same outcome class at every operation, even
+// though their addresses, layouts and exact capacity limits differ.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/optrace"
+	"mallocsim/internal/trace"
+)
+
+// Outcome is the contract-level classification of one operation's
+// result. Capacity merges alloc.ErrTooLarge with wrapped
+// mem.ErrOutOfMemory: where an allocator's direct-service limit falls
+// (the buddy arena order, a size-class table) is policy, but that an
+// oversized or unsatisfiable request fails with a capacity-class error
+// is contract.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the operation succeeded.
+	OutcomeOK Outcome = iota
+	// OutcomeBadFree: rejected with alloc.ErrBadFree.
+	OutcomeBadFree
+	// OutcomeCapacity: failed with alloc.ErrTooLarge or an error
+	// wrapping mem.ErrOutOfMemory.
+	OutcomeCapacity
+	// OutcomeOther: any other error — always a contract breach.
+	OutcomeOther
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeBadFree:
+		return "bad-free"
+	case OutcomeCapacity:
+		return "capacity"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps an operation error to its Outcome class.
+func Classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, alloc.ErrBadFree):
+		return OutcomeBadFree
+	case errors.Is(err, alloc.ErrTooLarge), errors.Is(err, mem.ErrOutOfMemory):
+		return OutcomeCapacity
+	default:
+		return OutcomeOther
+	}
+}
+
+// ReplayOutcomes drives ops through a fresh allocator built by f on a
+// fresh Memory (with DefaultRegionLimit set to limit when non-zero) and
+// returns one Outcome per op. Unlike optrace.Replay it is deliberately
+// tolerant — errors are recorded, not fatal — so traces may contain
+// adversarial operations:
+//
+//   - a free of an ID whose malloc failed, or never appeared, replays as
+//     Free(0) (a null free every allocator must reject);
+//   - a free of an already-freed ID replays as a Free of the former
+//     address — a deliberate double free.
+func ReplayOutcomes(f Factory, ops []optrace.Op, limit uint64) []Outcome {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	if limit != 0 {
+		m.DefaultRegionLimit = limit
+	}
+	a := f(m)
+	live := map[uint64]uint64{}     // id → address while allocated
+	lastAddr := map[uint64]uint64{} // id → last address, surviving free
+	out := make([]Outcome, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case optrace.OpMalloc:
+			var p uint64
+			var err error
+			if sa, ok := a.(alloc.SiteAllocator); ok {
+				p, err = sa.MallocSite(op.Size, op.Site)
+			} else {
+				p, err = a.Malloc(op.Size)
+			}
+			if err == nil {
+				live[op.ID] = p
+				lastAddr[op.ID] = p
+			}
+			out = append(out, Classify(err))
+		case optrace.OpFree:
+			var target uint64
+			if p, ok := live[op.ID]; ok {
+				target = p
+				delete(live, op.ID)
+			} else if p, ok := lastAddr[op.ID]; ok {
+				target = p
+			}
+			out = append(out, Classify(a.Free(target)))
+		}
+	}
+	return out
+}
+
+// Mismatch reports one operation where two allocators' outcome classes
+// diverged.
+type Mismatch struct {
+	// Index is the op's position in the trace.
+	Index int
+	// Op is the diverging operation.
+	Op optrace.Op
+	// Reference names the baseline allocator and Got the diverging one,
+	// with their outcome classes.
+	Reference, Got string
+}
+
+func (d Mismatch) String() string {
+	kind := "malloc"
+	if d.Op.Kind == optrace.OpFree {
+		kind = "free"
+	}
+	return fmt.Sprintf("op %d (%s id=%d size=%d): %s vs %s",
+		d.Index, kind, d.Op.ID, d.Op.Size, d.Reference, d.Got)
+}
+
+// DiffReplay replays ops through every factory and compares outcome
+// classes op-by-op. The first name in sorted order is the reference;
+// each divergence from it is reported once per (allocator, op). A nil
+// result means every allocator exhibited identical error behaviour.
+func DiffReplay(factories map[string]Factory, ops []optrace.Op, limit uint64) []Mismatch {
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	ref := names[0]
+	refOut := ReplayOutcomes(factories[ref], ops, limit)
+	var diffs []Mismatch
+	for _, name := range names[1:] {
+		got := ReplayOutcomes(factories[name], ops, limit)
+		for i := range ops {
+			if got[i] != refOut[i] {
+				diffs = append(diffs, Mismatch{
+					Index:     i,
+					Op:        ops[i],
+					Reference: fmt.Sprintf("%s=%s", ref, refOut[i]),
+					Got:       fmt.Sprintf("%s=%s", name, got[i]),
+				})
+			}
+		}
+	}
+	return diffs
+}

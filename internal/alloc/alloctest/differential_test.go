@@ -1,0 +1,156 @@
+package alloctest
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	_ "mallocsim/internal/alloc/all"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/optrace"
+	"mallocsim/internal/trace"
+	"mallocsim/internal/workload"
+)
+
+// registryFactories builds one Factory per registered allocator.
+func registryFactories(t *testing.T) map[string]Factory {
+	t.Helper()
+	out := map[string]Factory{}
+	for _, name := range alloc.Names() {
+		name := name
+		out[name] = func(m *mem.Memory) alloc.Allocator {
+			a, err := alloc.New(name, m)
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			return a
+		}
+	}
+	return out
+}
+
+// recordWorkload snapshots one synthetic program's op stream through an
+// optrace.Recorder, returning the decoded ops and the highest ID used.
+func recordWorkload(t *testing.T, program string, scale uint64) ([]optrace.Op, uint64) {
+	t.Helper()
+	prog, ok := workload.ByName(program)
+	if !ok {
+		t.Fatalf("unknown program %q", program)
+	}
+	var buf bytes.Buffer
+	w, err := optrace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(trace.Discard, &cost.Meter{})
+	inner, err := alloc.New("firstfit", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := optrace.NewRecorder(inner, w)
+	if _, err := workload.Run(m, rec, workload.Config{Program: prog, Scale: scale, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := optrace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []optrace.Op
+	var maxID uint64
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clamp request sizes so the whole trace is within every
+		// allocator's direct-service range (the buddy arena caps out at
+		// 64 KB): the differential compares error *classes*, and where a
+		// capacity limit falls is per-allocator policy, not contract.
+		if op.Kind == optrace.OpMalloc && op.Size > 32768 {
+			op.Size = 32768
+		}
+		if op.ID > maxID {
+			maxID = op.ID
+		}
+		ops = append(ops, op)
+	}
+	return ops, maxID
+}
+
+// TestDifferentialWorkloadTrace records one synthetic workload's op
+// stream, appends adversarial zero-size and double-free operations, and
+// replays it through every registered allocator: all of them must
+// produce identical outcome classes at every operation.
+func TestDifferentialWorkloadTrace(t *testing.T) {
+	ops, maxID := recordWorkload(t, "espresso", 512)
+	if len(ops) < 100 {
+		t.Fatalf("recorded only %d ops", len(ops))
+	}
+	id := maxID + 1
+	ops = append(ops,
+		// Zero-size malloc, freed once (ok) and again (double free).
+		optrace.Op{Kind: optrace.OpMalloc, ID: id, Size: 0},
+		optrace.Op{Kind: optrace.OpFree, ID: id},
+		optrace.Op{Kind: optrace.OpFree, ID: id},
+		// Zero-size malloc left live across further traffic.
+		optrace.Op{Kind: optrace.OpMalloc, ID: id + 1, Size: 0},
+		optrace.Op{Kind: optrace.OpMalloc, ID: id + 2, Size: 128},
+		optrace.Op{Kind: optrace.OpFree, ID: id + 2},
+		// Free of an ID no malloc ever defined: replays as Free(0).
+		optrace.Op{Kind: optrace.OpFree, ID: id + 1000},
+	)
+	diffs := DiffReplay(registryFactories(t), ops, 0)
+	for _, d := range diffs {
+		t.Errorf("%s", d.String())
+	}
+	if len(diffs) == 0 {
+		t.Logf("replayed %d ops through %d allocators: identical error behaviour",
+			len(ops), len(alloc.Names()))
+	}
+}
+
+// TestDifferentialExhaustion replays a synthetic exhaustion stream under
+// a tight region limit: a prefix every allocator can satisfy, one
+// unsatisfiable request (capacity class for all — OOM for the
+// sequential fits, ErrTooLarge for the bounded buddy systems), recovery
+// traffic, then teardown with a deliberate mid-stream double free and
+// an unknown-ID free.
+func TestDifferentialExhaustion(t *testing.T) {
+	var ops []optrace.Op
+	malloc := func(id uint64, size uint32) {
+		ops = append(ops, optrace.Op{Kind: optrace.OpMalloc, ID: id, Size: size})
+	}
+	free := func(id uint64) {
+		ops = append(ops, optrace.Op{Kind: optrace.OpFree, ID: id})
+	}
+	for id := uint64(1); id <= 100; id++ {
+		malloc(id, 64)
+	}
+	malloc(101, 8<<20) // unsatisfiable under the 256 KB region cap
+	for id := uint64(102); id <= 121; id++ {
+		malloc(id, 64) // recovery: the failure must not wedge the allocator
+	}
+	for id := uint64(1); id <= 100; id++ {
+		free(id)
+		if id == 50 {
+			free(id) // immediate double free mid-teardown
+		}
+	}
+	free(101) // its malloc failed: replays as Free(0)
+	free(999) // never allocated: replays as Free(0)
+	for id := uint64(102); id <= 121; id++ {
+		free(id)
+	}
+	diffs := DiffReplay(registryFactories(t), ops, 256*1024)
+	for _, d := range diffs {
+		t.Errorf("%s", d.String())
+	}
+}

@@ -70,6 +70,9 @@ func (a *Allocator) ScanSteps() uint64 { return a.scanSteps }
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 8)
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	need := alloc.BlockSizeFor(n)
 
 	// Exhaustive scan for the tightest fit; an exact fit ends early
@@ -144,6 +147,17 @@ func (a *Allocator) Free(p uint64) error {
 	if !allocated || size < alloc.MinBlock || b+size > a.h.R.Brk() {
 		return alloc.ErrBadFree
 	}
+	// Both boundary tags must agree: a lone header can be a stale word
+	// inside a since-coalesced free block (double free) or arbitrary
+	// payload bits (interior pointer).
+	if fsize, falloc := a.h.FooterBefore(b + size); fsize != size || !falloc {
+		return alloc.ErrBadFree
+	}
+	// Mark the block free before coalescing, so its own header never
+	// survives inside a merged free area still reading "allocated" (the
+	// double-free hole the footer check alone cannot close when both
+	// neighbours are free).
+	a.h.SetTags(b, size, false)
 	if next := b + size; next < a.h.R.Brk() {
 		if nsize, nalloc := a.h.Header(next); !nalloc {
 			a.h.Remove(next)
@@ -168,7 +182,11 @@ func (a *Allocator) Stats() (allocs, frees, scanSteps uint64) {
 	return a.allocs, a.frees, a.scanSteps
 }
 
-// Check audits the heap representation. Test use only.
+// Allocator can audit its own heap (shadow wrapper hook).
+var _ alloc.Checker = (*Allocator)(nil)
+
+// Check audits the heap representation. The walk performs counted
+// references; meant for tests and explicit audits.
 func (a *Allocator) Check() (alloc.HeapStats, error) {
 	hc := alloc.HeapCheck{
 		H:               &a.h,

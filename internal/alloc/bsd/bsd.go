@@ -35,6 +35,15 @@ const (
 	// bucket index (Kingsley's ov_magic/ov_index pair).
 	allocMagic = 0xa500
 
+	// freeMagic marks a header word as free, again with the bucket index
+	// in the low byte. Keeping the header word distinctive in both states
+	// (the free-list link lives in word 1 instead of overwriting the
+	// header) makes double frees deterministically detectable; with the
+	// link in word 0, a link value that happened to fall in allocMagic's
+	// range was accepted as a live header and re-linked, cycling the
+	// freelist.
+	freeMagic = 0xf4ee00
+
 	// PageAlloc is the carving granularity when a class is empty.
 	PageAlloc = 4096
 )
@@ -102,6 +111,9 @@ func (a *Allocator) headSlot(bucket int) uint64 {
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 10) // bucket computation: a few shifts and compares
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	bucket := bucketFor(n)
 	if bucket > maxBucket {
 		return 0, alloc.ErrTooLarge
@@ -115,7 +127,7 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 		head = a.m.ReadWord(slot)
 	}
 	b := a.r.DecodePtr(head)
-	next := a.m.ReadWord(b) // free block word 0 holds the next link
+	next := a.m.ReadWord(b + mem.WordSize) // free block word 1 holds the next link
 	a.m.WriteWord(slot, next)
 	a.m.WriteWord(b, allocMagic|uint64(bucket))
 	return b + headerSize, nil
@@ -143,7 +155,8 @@ func (a *Allocator) morecore(bucket int) error {
 		if i+1 < nblks {
 			next = a.r.EncodePtr(b + size)
 		}
-		a.m.WriteWord(b, next)
+		a.m.WriteWord(b, freeMagic|uint64(bucket))
+		a.m.WriteWord(b+mem.WordSize, next)
 		alloc.Charge(a.m, 2)
 	}
 	a.m.WriteWord(slot, a.r.EncodePtr(addr))
@@ -159,13 +172,17 @@ func (a *Allocator) Free(p uint64) error {
 	}
 	b := p - headerSize
 	hdr := a.m.ReadWord(b)
-	bucket := int(hdr &^ allocMagic)
+	bucket := int(hdr & 0xff)
 	if hdr&^0xff != allocMagic || bucket < minBucket || bucket > maxBucket {
+		// A freeMagic header here is a double free; anything else is an
+		// unknown or interior pointer. Both are rejected without
+		// touching the freelists.
 		return alloc.ErrBadFree
 	}
 	slot := a.headSlot(bucket)
 	head := a.m.ReadWord(slot)
-	a.m.WriteWord(b, head)
+	a.m.WriteWord(b, freeMagic|uint64(bucket))
+	a.m.WriteWord(b+mem.WordSize, head)
 	a.m.WriteWord(slot, a.r.EncodePtr(b))
 	return nil
 }

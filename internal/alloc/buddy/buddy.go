@@ -177,6 +177,9 @@ func (a *Allocator) unlink(b uint64, order int) {
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 8)
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	order := orderFor(n)
 	if order > maxOrder {
 		return 0, alloc.ErrTooLarge
@@ -227,6 +230,12 @@ func (a *Allocator) Free(p uint64) error {
 	if (b-a.arenaBase)%(uint64(1)<<order) != 0 {
 		return alloc.ErrBadFree
 	}
+	// Mark the block free before merging. When it merges into its lower
+	// buddy, only the merged base gets a fresh header; without this
+	// write the freed block's own header still read allocMagic|order, so
+	// a double free passed every check above and re-linked a block
+	// sitting inside a larger free one.
+	a.m.WriteWord(b, uint64(order))
 
 	for order < maxOrder {
 		buddy := a.arenaBase + ((b - a.arenaBase) ^ (uint64(1) << order))

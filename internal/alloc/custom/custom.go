@@ -160,6 +160,15 @@ type Allocator struct {
 	infoChunks uint64 // host-side descriptor capacity bookkeeping
 	nchunks    uint64 // chunks in the data region (incl. guard)
 
+	// freeFrags is a host-side validation table of currently-free
+	// fragment addresses. The §4.4 design is deliberately tagless — no
+	// per-object allocated bit exists in simulated memory — so a double
+	// free is undetectable from the algorithm's own state and used to
+	// re-link the fragment, cycling its class list. The side table
+	// costs no simulated references or instructions — the equivalent of
+	// a debug-build assertion, not part of the measured algorithm.
+	freeFrags map[uint64]bool
+
 	allocs uint64
 	frees  uint64
 }
@@ -177,12 +186,13 @@ func New(m *mem.Memory, cfg Config) *Allocator {
 		cfg = DefaultConfig()
 	}
 	a := &Allocator{
-		m:       m,
-		general: gnufit.New(m),
-		data:    m.NewRegion("custom-heap", 0),
-		info:    m.NewRegion("custom-info", 0),
-		state:   m.NewRegion("custom-state", 0),
-		cfg:     cfg,
+		m:         m,
+		general:   gnufit.New(m),
+		data:      m.NewRegion("custom-heap", 0),
+		info:      m.NewRegion("custom-info", 0),
+		state:     m.NewRegion("custom-state", 0),
+		cfg:       cfg,
+		freeFrags: map[uint64]bool{},
 	}
 	prev := uint32(0)
 	for _, c := range cfg.Classes {
@@ -288,7 +298,7 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 8)
 	if n == 0 {
-		n = 1
+		n = mem.WordSize // Malloc(0) contract: one usable word
 	}
 	if n > a.maxSmall {
 		return a.general.Malloc(n)
@@ -312,6 +322,7 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 		idx := a.chunkIndex(p)
 		a.m.WriteWord(a.desc(idx)+dAux, a.m.ReadWord(a.desc(idx)+dAux)-1)
 	}
+	delete(a.freeFrags, p)
 	return p, nil
 }
 
@@ -324,14 +335,18 @@ func (a *Allocator) newChunk(class int) error {
 		idx = pool
 		a.m.WriteWord(a.stateBase+a.offChunkPool, a.m.ReadWord(a.desc(idx)+dAux))
 	} else {
-		if _, err := a.data.Sbrk(ChunkSize); err != nil {
-			return err
-		}
+		// Grow the descriptor table before the chunk storage: spare
+		// descriptor capacity after a failed data Sbrk is harmless,
+		// whereas a chunk without a descriptor would be invisible to
+		// Free.
 		for a.infoChunks < a.nchunks+1 {
 			if _, err := a.info.Sbrk(descSize); err != nil {
 				return err
 			}
 			a.infoChunks++
+		}
+		if _, err := a.data.Sbrk(ChunkSize); err != nil {
+			return err
 		}
 		idx = a.nchunks
 		a.nchunks++
@@ -352,6 +367,7 @@ func (a *Allocator) newChunk(class int) error {
 		a.m.WriteWord(fa, old)
 		old = a.fragOff(fa)
 		alloc.Charge(a.m, 2)
+		a.freeFrags[fa] = true
 	}
 	a.m.WriteWord(slot, old)
 	return nil
@@ -378,10 +394,16 @@ func (a *Allocator) Free(p uint64) error {
 	if (p-a.chunkAddr(idx))%size != 0 {
 		return alloc.ErrBadFree
 	}
+	if a.freeFrags[p] {
+		// Double free of a fragment (zero-cost side-table check; see
+		// the freeFrags field comment).
+		return alloc.ErrBadFree
+	}
 	slot := a.headSlot(class)
 	head := a.m.ReadWord(slot)
 	a.m.WriteWord(p, head)
 	a.m.WriteWord(slot, a.fragOff(p))
+	a.freeFrags[p] = true
 	if !a.cfg.Reclaim {
 		return nil
 	}
@@ -413,6 +435,11 @@ func (a *Allocator) reclaim(idx uint64, class int) {
 			prevAddr = fa
 		}
 		cur = next
+	}
+	size := uint64(a.classes[class])
+	base := a.chunkAddr(idx)
+	for off := uint64(0); off < ChunkSize; off += size {
+		delete(a.freeFrags, base+off)
 	}
 	a.m.WriteWord(a.desc(idx)+dClass, 0)
 	a.m.WriteWord(a.desc(idx)+dAux, a.m.ReadWord(a.stateBase+a.offChunkPool))

@@ -184,6 +184,9 @@ func hdrLBC(h uint64) uint64 { return (h & lbcMask) >> lbcShift }
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 10)
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	order, err := orderFor(n)
 	if err != nil {
 		return 0, err
@@ -239,6 +242,12 @@ func (a *Allocator) Free(p uint64) error {
 	if order > MaxOrder {
 		return alloc.ErrBadFree
 	}
+	// Clear the alloc bit before merging. When this block merges into a
+	// left buddy at a lower address, only the merged base gets a fresh
+	// header; without this write the freed block's own header kept its
+	// alloc bit, so a double free passed the checks above and re-linked
+	// a block interior to a larger free one.
+	a.m.WriteWord(b, packHdr(order, lbc, false, root))
 
 	for !root {
 		alloc.Charge(a.m, 5)

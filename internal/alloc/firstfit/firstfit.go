@@ -125,6 +125,9 @@ func (a *Allocator) ScanSteps() uint64 { return a.scanSteps }
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 12) // size rounding, list setup
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	need := alloc.BlockSizeFor(n)
 
 	start := a.rover
@@ -256,6 +259,20 @@ func (a *Allocator) Free(p uint64) error {
 	if !allocated || size < alloc.MinBlock || b+size > a.h.R.Brk() {
 		return alloc.ErrBadFree
 	}
+	// Boundary tags must agree. A header alone can be stale — after
+	// this block's neighbourhood coalesced, the old header word survives
+	// inside the merged free block — so a double free (or an interior
+	// pointer landing on plausible bits) passes the header test. The
+	// footer of a live block is always in sync with its header.
+	if fsize, falloc := a.h.FooterBefore(b + size); fsize != size || !falloc {
+		return alloc.ErrBadFree
+	}
+	// Mark the block free before coalescing. When it merges into a
+	// neighbour, only the merged extent gets fresh tags; this block's own
+	// header word would otherwise survive inside the free area still
+	// reading "allocated", letting a later double free pass the checks
+	// above.
+	a.h.SetTags(b, size, false)
 
 	if a.coalesce {
 		alloc.Charge(a.m, 4)
@@ -292,8 +309,13 @@ func (a *Allocator) Stats() (allocs, frees, scanSteps uint64) {
 	return a.allocs, a.frees, a.scanSteps
 }
 
+// Allocator can audit its own heap (shadow wrapper hook).
+var _ alloc.Checker = (*Allocator)(nil)
+
 // Check audits the heap representation (tags, tiling, freelist
-// consistency). Test use only: the walk performs counted references.
+// consistency). The walk performs counted references, so it is meant
+// for tests and explicitly requested audits (shadow wrapper), not for
+// measured hot paths.
 func (a *Allocator) Check() (alloc.HeapStats, error) {
 	hc := alloc.HeapCheck{
 		H:               &a.h,

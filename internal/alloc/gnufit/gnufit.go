@@ -104,6 +104,9 @@ func binIndex(size uint64) int {
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 16) // rounding + log2 bin computation
+	if n == 0 {
+		n = mem.WordSize // Malloc(0) contract: one usable word
+	}
 	need := alloc.BlockSizeFor(n)
 	start := binIndex(need)
 
@@ -203,6 +206,17 @@ func (a *Allocator) Free(p uint64) error {
 	if !allocated || size < alloc.MinBlock || b+size > a.h.R.Brk() {
 		return alloc.ErrBadFree
 	}
+	// Both boundary tags must agree: a lone header can be a stale word
+	// inside a since-coalesced free block (double free) or arbitrary
+	// payload bits (interior pointer).
+	if fsize, falloc := a.h.FooterBefore(b + size); fsize != size || !falloc {
+		return alloc.ErrBadFree
+	}
+	// Mark the block free before coalescing, so its own header never
+	// survives inside a merged free area still reading "allocated" (the
+	// double-free hole the footer check alone cannot close when both
+	// neighbours are free).
+	a.h.SetTags(b, size, false)
 
 	// Constant-time coalescing via boundary tags; the doubly-linked
 	// bins allow neighbours to be unlinked without knowing their bin.
@@ -231,8 +245,12 @@ func (a *Allocator) Stats() (allocs, frees, scanSteps uint64) {
 	return a.allocs, a.frees, a.scanSteps
 }
 
+// Allocator can audit its own heap (shadow wrapper hook).
+var _ alloc.Checker = (*Allocator)(nil)
+
 // Check audits the heap representation (tags, tiling, bin consistency).
-// Test use only: the walk performs counted references.
+// The walk performs counted references; meant for tests and explicit
+// audits.
 func (a *Allocator) Check() (alloc.HeapStats, error) {
 	heads := make([]uint64, 0, NumBins)
 	for i := minBin; i < NumBins; i++ {

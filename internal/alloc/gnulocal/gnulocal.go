@@ -28,6 +28,8 @@
 package gnulocal
 
 import (
+	"fmt"
+
 	"mallocsim/internal/alloc"
 	"mallocsim/internal/mem"
 )
@@ -93,6 +95,16 @@ type Allocator struct {
 	// capacity (in blocks); the simulated count lives at sNBlocks.
 	infoBlocks uint64
 
+	// freeFrags is a host-side validation table of currently-free
+	// fragment addresses. The algorithm itself keeps no per-fragment
+	// allocated bit (that tagless-ness is its design point), so a double
+	// free of a fragment is undetectable from simulated state alone and
+	// used to re-link the fragment, cycling its class list. The side
+	// table costs no simulated references or instructions — it is the
+	// equivalent of a debug-build assertion, not part of the measured
+	// algorithm.
+	freeFrags map[uint64]bool
+
 	padTags bool
 	allocs  uint64
 	frees   uint64
@@ -101,10 +113,11 @@ type Allocator struct {
 // New creates a GNU LOCAL allocator with its own regions on m.
 func New(m *mem.Memory, opts ...Option) *Allocator {
 	a := &Allocator{
-		m:     m,
-		data:  m.NewRegion("gnulocal-heap", 0),
-		info:  m.NewRegion("gnulocal-info", 0),
-		state: m.NewRegion("gnulocal-state", 0),
+		m:         m,
+		data:      m.NewRegion("gnulocal-heap", 0),
+		info:      m.NewRegion("gnulocal-info", 0),
+		state:     m.NewRegion("gnulocal-state", 0),
+		freeFrags: map[uint64]bool{},
 	}
 	for _, o := range opts {
 		o(a)
@@ -189,7 +202,7 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	a.allocs++
 	alloc.Charge(a.m, 70)
 	if n == 0 {
-		n = 1
+		n = mem.WordSize // Malloc(0) contract: one usable word
 	}
 	if a.padTags {
 		n += TagPad
@@ -234,6 +247,7 @@ func (a *Allocator) mallocFrag(log int) (uint64, error) {
 	nfree := a.readDesc(idx, dLink)
 	a.writeDesc(idx, dLink, nfree-1)
 	alloc.Charge(a.m, 4)
+	delete(a.freeFrags, fa)
 	return fa, nil
 }
 
@@ -265,6 +279,7 @@ func (a *Allocator) newFragBlock(log int) error {
 		a.m.WriteWord(fa+4, prevOff)
 		prevOff = off
 		alloc.Charge(a.m, 2)
+		a.freeFrags[fa] = true
 	}
 	a.m.WriteWord(headSlot, a.fragOff(base))
 	return nil
@@ -303,7 +318,10 @@ func (a *Allocator) allocRun(blocks uint64) (uint64, error) {
 			cur = next
 		}
 		if pass > 0 {
-			panic("gnulocal: grown run not found on free list")
+			// grow reported success but the run is not findable — a
+			// free-run list inconsistency. Surface it as an allocation
+			// failure instead of tearing down the whole simulation.
+			return 0, fmt.Errorf("gnulocal: grown %d-block run not found on free list", blocks)
 		}
 		if err := a.grow(blocks); err != nil {
 			return 0, err
@@ -346,14 +364,19 @@ func (a *Allocator) setRunLink(prev, idx uint64) {
 // descriptor table to match) and inserts the new run on the free list.
 func (a *Allocator) grow(blocks uint64) error {
 	nblocks := a.m.ReadWord(a.stateBase + sNBlocks)
-	if _, err := a.data.Sbrk(blocks * BlockSize); err != nil {
-		return err
-	}
+	// Grow the descriptor table before the data region: if the data
+	// Sbrk fails afterwards the spare descriptor capacity is harmless,
+	// whereas data pages without descriptors would be unreachable to
+	// every later operation (a Free into that gap walked off the end of
+	// the info region).
 	for a.infoBlocks < nblocks+blocks {
 		if _, err := a.info.Sbrk(descSize * blocks); err != nil {
 			return err
 		}
 		a.infoBlocks += blocks
+	}
+	if _, err := a.data.Sbrk(blocks * BlockSize); err != nil {
+		return err
 	}
 	a.m.WriteWord(a.stateBase+sNBlocks, nblocks+blocks)
 	a.freeRun(nblocks, blocks)
@@ -372,6 +395,11 @@ func (a *Allocator) freeRun(idx, blocks uint64) {
 		prev = cur
 		cur = a.readDesc(cur, dLink)
 	}
+	// The head block is free from here on, whichever list shape results.
+	// The merge-into-prev path used to skip this write, leaving the
+	// descriptor claiming statusLargeHead — so a double free of that
+	// object passed validation and corrupted the free-run list.
+	a.writeDesc(idx, dStatus, statusFree)
 	// Try to merge into the preceding run.
 	if prev != 0 {
 		plen := a.readDesc(prev, dInfo)
@@ -390,7 +418,6 @@ func (a *Allocator) freeRun(idx, blocks uint64) {
 			return
 		}
 	}
-	a.writeDesc(idx, dStatus, statusFree)
 	if idx+blocks == cur && cur != 0 {
 		// Merge with the following run: idx becomes its new head.
 		a.writeDesc(idx, dInfo, blocks+a.readDesc(cur, dInfo))
@@ -455,6 +482,11 @@ func (a *Allocator) freeFrag(p, idx uint64) error {
 	if (p-a.blockAddr(idx))%fragSize != 0 {
 		return alloc.ErrBadFree
 	}
+	if a.freeFrags[p] {
+		// Double free of a fragment (zero-cost side-table check; see
+		// the freeFrags field comment).
+		return alloc.ErrBadFree
+	}
 	headSlot := a.fragHeadAddr(log)
 	head := a.m.ReadWord(headSlot)
 	off := a.fragOff(p)
@@ -466,6 +498,7 @@ func (a *Allocator) freeFrag(p, idx uint64) error {
 	}
 	a.m.WriteWord(headSlot, off)
 
+	a.freeFrags[p] = true
 	nfree := a.readDesc(idx, dLink) + 1
 	a.writeDesc(idx, dLink, nfree)
 	alloc.Charge(a.m, 4)
@@ -495,6 +528,7 @@ func (a *Allocator) reclaimFragBlock(idx uint64, log int) {
 			if next != 0 {
 				a.m.WriteWord(a.fragAddr(next)+4, prev)
 			}
+			delete(a.freeFrags, fa)
 		}
 		cur = next
 	}

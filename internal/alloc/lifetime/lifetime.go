@@ -83,7 +83,8 @@ func init() {
 func (a *Allocator) Name() string { return "lifetime" }
 
 // Malloc implements alloc.Allocator: without site information, objects
-// are attributed to site 0.
+// are attributed to site 0. The Malloc(0) and bad-free contract is
+// inherited from the custom arenas that serve every request.
 func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	return a.MallocSite(n, 0)
 }

@@ -33,9 +33,16 @@ const (
 
 	headerSize = mem.WordSize
 
-	// qfMagic marks a header word as a quickfit small block; the low
-	// bits hold the payload size.
+	// qfMagic marks a header word as a live quickfit small block; the
+	// low bits hold the payload size.
 	qfMagic = 0x80000000
+
+	// qfFree marks a header word as a freed quickfit small block
+	// (same low-bits size encoding). Without a distinct freed state the
+	// header kept qfMagic after free — the freelist link lives in the
+	// payload — so a double free passed the tag check and re-linked the
+	// block, cycling its exact-size list.
+	qfFree = 0x40000000
 
 	// TailChunk is the payload size of the chunks obtained from the
 	// general allocator and carved into small blocks.
@@ -103,16 +110,16 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 	}
 	size := mem.AlignUp(uint64(n), mem.WordSize)
 	if size == 0 {
-		size = mem.WordSize
+		size = mem.WordSize // Malloc(0) contract: one usable word
 	}
 	slot := a.listSlot(size)
 	head := a.m.ReadWord(slot)
 	if head != 0 {
-		// The fast path the paper praises: index, pop, done. The header
-		// written at carve time is still valid.
+		// The fast path the paper praises: index, pop, restamp, done.
 		b := a.heap().DecodePtr(head)
 		next := a.m.ReadWord(b + headerSize)
 		a.m.WriteWord(slot, next)
+		a.m.WriteWord(b, qfMagic|size)
 		return b + headerSize, nil
 	}
 	return a.carve(size)
@@ -150,15 +157,21 @@ func (a *Allocator) Free(p uint64) error {
 	}
 	hdr := a.m.ReadWord(p - headerSize)
 	if hdr&qfMagic == 0 {
+		if fsize := hdr &^ uint64(qfFree); hdr&qfFree != 0 &&
+			fsize > 0 && fsize <= MaxSmall && fsize%mem.WordSize == 0 {
+			// A freed small block's tag: double free.
+			return alloc.ErrBadFree
+		}
 		// Not a quickfit tag: the general allocator owns this block.
 		return a.general.Free(p)
 	}
-	size := hdr &^ qfMagic
+	size := hdr &^ uint64(qfMagic)
 	if size == 0 || size > MaxSmall || size%mem.WordSize != 0 {
 		return alloc.ErrBadFree
 	}
 	slot := a.listSlot(size)
 	head := a.m.ReadWord(slot)
+	a.m.WriteWord(p-headerSize, qfFree|size)
 	a.m.WriteWord(p, head) // link lives in the payload's first word
 	a.m.WriteWord(slot, a.heap().EncodePtr(p-headerSize))
 	return nil

@@ -1,0 +1,291 @@
+package shadow_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/shadow"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// fake is a bump allocator with switchable contract bugs, for proving
+// the oracle notices each class of misbehaviour.
+type fake struct {
+	m *mem.Memory
+	r *mem.Region
+
+	returnNull    bool // Malloc: nil error, address 0
+	misalign      bool // Malloc: word-misaligned address
+	replayLast    bool // Malloc: hand out the previous block again
+	escapeRegion  bool // Malloc: address in the region's reserved prefix
+	wrongMallocEr bool // Malloc: fail with an unclassified error
+	acceptAnyFree bool // Free: always succeed
+	rejectFrees   bool // Free: always fail
+	wrongFreeErr  bool // Free: reject invalid frees with a non-ErrBadFree error
+
+	last uint64
+	live map[uint64]bool
+}
+
+func newFake(m *mem.Memory) *fake {
+	return &fake{m: m, r: m.NewRegion("fake-heap", 0), live: map[uint64]bool{}}
+}
+
+func (f *fake) Name() string { return "fake" }
+
+func (f *fake) Malloc(n uint32) (uint64, error) {
+	if f.wrongMallocEr {
+		return 0, errors.New("fake: unclassified failure")
+	}
+	if f.returnNull {
+		return 0, nil
+	}
+	if f.replayLast && f.last != 0 {
+		return f.last, nil
+	}
+	if n == 0 {
+		n = mem.WordSize
+	}
+	p, err := f.r.Sbrk(mem.AlignUp(uint64(n), mem.WordSize))
+	if err != nil {
+		return 0, err
+	}
+	if f.misalign {
+		p++
+	}
+	if f.escapeRegion {
+		p = f.r.Base() + 4 // inside the reserved prefix
+	}
+	f.last = p
+	f.live[p] = true
+	return p, nil
+}
+
+func (f *fake) Free(p uint64) error {
+	if f.acceptAnyFree {
+		delete(f.live, p)
+		return nil
+	}
+	if f.rejectFrees {
+		return alloc.ErrBadFree
+	}
+	if !f.live[p] {
+		if f.wrongFreeErr {
+			return errors.New("fake: not allocated")
+		}
+		return alloc.ErrBadFree
+	}
+	delete(f.live, p)
+	return nil
+}
+
+func wrapFake(mutate func(*fake)) (*shadow.Allocator, *fake) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	f := newFake(m)
+	if mutate != nil {
+		mutate(f)
+	}
+	return shadow.Wrap(f, m, shadow.Options{}), f
+}
+
+func expectInvariant(t *testing.T, s *shadow.Allocator, inv string) {
+	t.Helper()
+	snap := s.Snapshot()
+	if snap.ByInvariant[inv] == 0 {
+		t.Fatalf("expected a %q violation; snapshot: %+v first=%v", inv, snap, snap.First)
+	}
+}
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	s, _ := wrapFake(nil)
+	var ptrs []uint64
+	for i := 0; i < 200; i++ {
+		p, err := s.Malloc(uint32(i % 97))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if i%2 == 0 {
+			if err := s.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := s.ViolationCount(); n != 0 {
+		t.Fatalf("clean run produced %d violations: %v", n, s.Violations())
+	}
+	if got := s.LiveBlocks(); got != 100 {
+		t.Fatalf("oracle live count = %d, want 100", got)
+	}
+}
+
+func TestDetectsNullReturn(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.returnNull = true })
+	_, _ = s.Malloc(16)
+	expectInvariant(t, s, shadow.InvNullReturn)
+}
+
+func TestDetectsMisalignment(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.misalign = true })
+	_, _ = s.Malloc(16)
+	expectInvariant(t, s, shadow.InvMisaligned)
+}
+
+func TestDetectsOverlap(t *testing.T) {
+	s, _ := wrapFake(nil)
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	// Switch on the bug mid-run: the next block replays the previous
+	// address while the first is still live.
+	sf := s.Unwrap().(*fake)
+	sf.replayLast = true
+	_, _ = s.Malloc(64)
+	expectInvariant(t, s, shadow.InvOverlap)
+}
+
+func TestDetectsRegionEscape(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.escapeRegion = true })
+	_, _ = s.Malloc(16)
+	expectInvariant(t, s, shadow.InvOutOfRegion)
+}
+
+func TestDetectsMallocErrorClass(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.wrongMallocEr = true })
+	_, _ = s.Malloc(16)
+	expectInvariant(t, s, shadow.InvMallocErrClass)
+}
+
+func TestDetectsDoubleFreeAccepted(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.acceptAnyFree = true })
+	p, _ := s.Malloc(32)
+	_ = s.Free(p)
+	_ = s.Free(p)
+	expectInvariant(t, s, shadow.InvDoubleFree)
+}
+
+func TestDetectsInteriorFreeAccepted(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.acceptAnyFree = true })
+	p, _ := s.Malloc(64)
+	_ = s.Free(p + mem.WordSize)
+	expectInvariant(t, s, shadow.InvInteriorFree)
+}
+
+func TestDetectsUnknownFreeAccepted(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.acceptAnyFree = true })
+	if _, err := s.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Free(1 << 20)
+	expectInvariant(t, s, shadow.InvUnknownFree)
+}
+
+func TestDetectsLiveFreeRejected(t *testing.T) {
+	s, _ := wrapFake(nil)
+	p, _ := s.Malloc(32)
+	s.Unwrap().(*fake).rejectFrees = true
+	_ = s.Free(p)
+	expectInvariant(t, s, shadow.InvFreeLiveRejected)
+	if s.LiveBlocks() != 1 {
+		t.Fatalf("oracle dropped a block the allocator claims is still live")
+	}
+}
+
+func TestDetectsFreeErrorClass(t *testing.T) {
+	s, _ := wrapFake(func(f *fake) { f.wrongFreeErr = true })
+	if _, err := s.Malloc(32); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Free(1 << 20)
+	expectInvariant(t, s, shadow.InvFreeErrClass)
+}
+
+// failingChecker implements alloc.Checker and always reports corruption.
+type failingChecker struct {
+	*fake
+}
+
+func (c failingChecker) Check() (alloc.HeapStats, error) {
+	return alloc.HeapStats{}, fmt.Errorf("boundary tags disagree")
+}
+
+func TestAuditHookViaUnwrapChain(t *testing.T) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	inner := failingChecker{newFake(m)}
+	s := shadow.Wrap(inner, m, shadow.Options{AuditEvery: 1})
+	if _, err := s.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	expectInvariant(t, s, shadow.InvAudit)
+	if !s.Audit() {
+		t.Fatal("Audit() reported no checker")
+	}
+}
+
+func TestOnViolationCallbackAndRecordCap(t *testing.T) {
+	var seen int
+	m := mem.New(trace.Discard, &cost.Meter{})
+	f := newFake(m)
+	f.returnNull = true
+	s := shadow.Wrap(f, m, shadow.Options{
+		MaxRecorded: 2,
+		OnViolation: func(v shadow.Violation) { seen++ },
+	})
+	for i := 0; i < 5; i++ {
+		_, _ = s.Malloc(8)
+	}
+	if seen != 5 {
+		t.Errorf("OnViolation fired %d times, want 5", seen)
+	}
+	if got := len(s.Violations()); got != 2 {
+		t.Errorf("recorded %d violations verbatim, want cap of 2", got)
+	}
+	if s.ViolationCount() != 5 {
+		t.Errorf("total count = %d, want 5", s.ViolationCount())
+	}
+}
+
+// TestOracleModelStress drives a large random-shaped churn through the
+// oracle's treap (insert/remove/floor/ceil) against a map-based
+// reference: the clean bump allocator never violates, and the live set
+// matches exactly throughout.
+func TestOracleModelStress(t *testing.T) {
+	s, _ := wrapFake(nil)
+	ref := map[uint64]bool{}
+	var order []uint64
+	x := uint64(0x1234567)
+	for i := 0; i < 5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if len(order) > 0 && x%3 == 0 {
+			idx := int(x/3) % len(order)
+			p := order[idx]
+			if err := s.Free(p); err != nil {
+				t.Fatalf("free(%#x): %v", p, err)
+			}
+			delete(ref, p)
+			order[idx] = order[len(order)-1]
+			order = order[:len(order)-1]
+			continue
+		}
+		p, err := s.Malloc(uint32(x%512) + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[p] = true
+		order = append(order, p)
+	}
+	if s.LiveBlocks() != len(ref) {
+		t.Fatalf("oracle live = %d, reference = %d", s.LiveBlocks(), len(ref))
+	}
+	if n := s.ViolationCount(); n != 0 {
+		t.Fatalf("stress produced %d violations: %v", n, s.Violations())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"mallocsim/internal/alloc/shadow"
 	"mallocsim/internal/cost"
 )
 
@@ -86,6 +87,11 @@ type Report struct {
 
 	Caches []CacheSummary `json:"caches,omitempty"`
 	VM     *VMSummary     `json:"vm,omitempty"`
+
+	// Shadow is the heap auditor's verdict (present when the run was
+	// executed with heap checking): operation totals and any allocator
+	// contract violations, grouped by invariant.
+	Shadow *shadow.Snapshot `json:"shadow,omitempty"`
 }
 
 // NewReport returns an empty report with the version header filled in.

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/alloc/shadow"
 	"mallocsim/internal/cache"
 	"mallocsim/internal/sim"
 	"mallocsim/internal/workload"
@@ -57,6 +58,12 @@ type Runner struct {
 	// 0 means GOMAXPROCS; 1 recovers the fully sequential path. The
 	// results are byte-identical either way — only wall-clock changes.
 	Workers int
+
+	// CheckHeap runs every simulation under the shadow heap auditor
+	// (sim.Config.CheckHeap). The auditor is host-side only, so all
+	// paper metrics stay byte-identical; violations are collected per
+	// pair and aggregated by ShadowSnapshots.
+	CheckHeap bool
 
 	mu       sync.Mutex
 	memo     map[string]*sim.Result
@@ -140,7 +147,26 @@ func (r *Runner) runPair(progName, allocName string) (*sim.Result, error) {
 		Seed:      r.Seed,
 		Caches:    cfgs,
 		PageSim:   pageSimPrograms[progName],
+		CheckHeap: r.CheckHeap,
 	})
+}
+
+// ShadowSnapshots returns the heap-auditor verdicts of every memoized
+// run, keyed "program/allocator" in sorted order, plus the total
+// violation count. Empty unless the Runner was configured with
+// CheckHeap.
+func (r *Runner) ShadowSnapshots() (map[string]*shadow.Snapshot, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]*shadow.Snapshot{}
+	var total uint64
+	for _, k := range r.sortedMemoKeys() {
+		if s := r.memo[k].Shadow; s != nil {
+			out[k] = s
+			total += s.Violations
+		}
+	}
+	return out, total
 }
 
 // Pair names one (program, allocator) simulation.

@@ -38,6 +38,7 @@ func (r *Result) Report() *obs.Report {
 	}
 	rep.Series = r.Series
 	rep.Attribution = r.Attribution
+	rep.Shadow = r.Shadow
 
 	for _, c := range r.Caches {
 		rep.Caches = append(rep.Caches, obs.CacheSummary{

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"mallocsim/internal/alloc/all"
+	"mallocsim/internal/workload"
+)
+
+// TestCheckedPaperMatrix runs the paper's full 5×5 matrix — every paper
+// program through every paper allocator — under the shadow heap auditor
+// with a tight audit cadence, in parallel (the -race CI job covers the
+// checked code paths): every run must finish with zero contract
+// violations and an empty oracle live set left only by design (the
+// workloads leak their final live structures, so LiveBlocks is merely
+// reported, not asserted).
+func TestCheckedPaperMatrix(t *testing.T) {
+	type pair struct{ prog, alloc string }
+	var pairs []pair
+	for _, p := range workload.PaperPrograms() {
+		for _, a := range all.Paper {
+			pairs = append(pairs, pair{p.Name, a})
+		}
+	}
+	var wg sync.WaitGroup
+	for _, pr := range pairs {
+		wg.Add(1)
+		go func(pr pair) {
+			defer wg.Done()
+			prog, _ := workload.ByName(pr.prog)
+			res, err := Run(Config{
+				Program:    prog,
+				Allocator:  pr.alloc,
+				Scale:      512,
+				CheckHeap:  true,
+				AuditEvery: 256,
+			})
+			if err != nil {
+				t.Errorf("%s/%s: %v", pr.prog, pr.alloc, err)
+				return
+			}
+			s := res.Shadow
+			if s == nil {
+				t.Errorf("%s/%s: CheckHeap run produced no shadow snapshot", pr.prog, pr.alloc)
+				return
+			}
+			if s.Violations != 0 {
+				for _, v := range s.First {
+					t.Errorf("%s/%s: %s", pr.prog, pr.alloc, v.String())
+				}
+				t.Errorf("%s/%s: %d contract violations", pr.prog, pr.alloc, s.Violations)
+			}
+			if s.Ops == 0 {
+				t.Errorf("%s/%s: oracle observed no operations", pr.prog, pr.alloc)
+			}
+		}(pr)
+	}
+	wg.Wait()
+}
+
+// TestCheckedRunMatchesUnchecked: the shadow wrapper is host-side only,
+// so a checked run must report byte-identical paper metrics to the
+// unchecked run — except where periodic audits (which walk the heap with
+// counted references) are enabled; this test therefore audits only at
+// the end via cadence larger than the op count.
+func TestCheckedRunMatchesUnchecked(t *testing.T) {
+	prog, _ := workload.ByName("make")
+	base, err := Run(Config{Program: prog, Allocator: "firstfit", Scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := Run(Config{
+		Program:   prog,
+		Allocator: "firstfit",
+		Scale:     64,
+		CheckHeap: true,
+		// One op between audits would perturb counts; push the cadence
+		// beyond the run length so only the end-of-run audit happens
+		// after the workload's metrics are final.
+		AuditEvery: 1 << 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Instr.Total() != checked.Instr.Total() {
+		t.Errorf("instruction counts diverge: %d vs %d", base.Instr.Total(), checked.Instr.Total())
+	}
+	if base.Refs != checked.Refs {
+		t.Errorf("reference counts diverge: %+v vs %+v", base.Refs, checked.Refs)
+	}
+	if base.Footprint != checked.Footprint {
+		t.Errorf("footprints diverge: %d vs %d", base.Footprint, checked.Footprint)
+	}
+	if checked.Shadow == nil || checked.Shadow.Violations != 0 {
+		t.Errorf("checked run not clean: %+v", checked.Shadow)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"mallocsim/internal/alloc"
 	_ "mallocsim/internal/alloc/all" // register all allocator implementations
+	"mallocsim/internal/alloc/shadow"
 	"mallocsim/internal/cache"
 	"mallocsim/internal/cost"
 	"mallocsim/internal/mem"
@@ -65,6 +66,18 @@ type Config struct {
 	// Attribution enables the per-region × cost-domain reference
 	// attribution matrix (Result.Attribution).
 	Attribution bool
+
+	// CheckHeap wraps the allocator in the shadow heap auditor
+	// (internal/alloc/shadow): an independent host-side oracle model of
+	// the live set that validates every malloc/free against the
+	// allocator contract and runs periodic boundary-tag audits. The
+	// wrapper adds no simulated references or instructions, so all
+	// paper metrics are unchanged; violations land in Result.Shadow.
+	CheckHeap bool
+	// AuditEvery overrides the heap-audit cadence (operations between
+	// full heap-walk audits) when CheckHeap is set; 0 uses
+	// shadow.DefaultAuditEvery.
+	AuditEvery uint64
 }
 
 // Result carries everything measured in one run.
@@ -95,6 +108,10 @@ type Result struct {
 	// Attribution is the region × domain reference matrix
 	// (Config.Attribution).
 	Attribution []obs.AttribRow
+
+	// Shadow is the heap auditor's verdict (Config.CheckHeap): operation
+	// counts, live-set totals, and any contract violations detected.
+	Shadow *shadow.Snapshot
 }
 
 // Run executes the configured experiment.
@@ -165,6 +182,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Recorder != nil {
 		a = obs.Instrument(a, meter, cfg.Recorder)
 	}
+	// The shadow auditor wraps outermost so obs.Instrument still sees the
+	// raw allocator (Scanner detection, latency attribution) while the
+	// oracle observes exactly the addresses and errors the workload does.
+	var shw *shadow.Allocator
+	if cfg.CheckHeap {
+		shw = shadow.Wrap(a, m, shadow.Options{AuditEvery: cfg.AuditEvery})
+		a = shw
+	}
 
 	stats, err := workload.Run(m, a, workload.Config{
 		Program: cfg.Program,
@@ -205,6 +230,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if attrib != nil {
 		res.Attribution = attrib.Rows()
+	}
+	if shw != nil {
+		// One final full audit so end-of-run heap corruption is caught
+		// even when the op count never hit the periodic cadence.
+		shw.Audit()
+		res.Shadow = shw.Snapshot()
 	}
 	return res, nil
 }
