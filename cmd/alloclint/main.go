@@ -1,0 +1,96 @@
+// Command alloclint runs the repository's static-analysis suite — the
+// five analyzers that enforce the allocator contract, the single-source
+// machine geometry, run determinism, shadow-oracle purity and registry
+// closure (see internal/analysis/suite and README.md "Static
+// analysis").
+//
+// Usage:
+//
+//	go run ./cmd/alloclint ./...
+//	go run ./cmd/alloclint -list
+//	go run ./cmd/alloclint -only determinism ./...
+//
+// The only supported pattern is "./..." (the whole module, the CI
+// configuration); it is also the default when no pattern is given.
+// alloclint exits 0 when the tree is clean, 1 on any diagnostic, 2 on
+// usage or load errors. Suppress a diagnostic with a justified
+// directive on or directly above the offending line:
+//
+//	//lint:allow <analyzer> <why this is safe>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/load"
+	"mallocsim/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "run a single analyzer by name")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: alloclint [-list] [-only analyzer] [./...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := suite.Analyzers()
+	if *only != "" {
+		a := suite.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "alloclint: unknown analyzer %q (use -list)\n", *only)
+			return 2
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "alloclint: unsupported pattern %q (only ./... is supported)\n", arg)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alloclint:", err)
+		return 2
+	}
+	root, modPath, err := load.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alloclint:", err)
+		return 2
+	}
+	loader := load.NewLoader(modPath, root)
+	pkgs, err := loader.Tree()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alloclint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, loader.Fset(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alloclint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "alloclint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,3 +1,15 @@
 module mallocsim
 
 go 1.22
+
+// Dependency policy: the module is deliberately stdlib-only so every
+// target (tests, simulators, cmd/alloclint) builds in hermetic
+// environments with no module proxy. The static-analysis suite under
+// internal/analysis would normally pin golang.org/x/tools (go/analysis,
+// analysistest); that pin is gated until a vendored or proxied copy is
+// available, and the suite instead ships a small API-compatible
+// framework on go/{ast,build,parser,types} (see internal/analysis and
+// internal/analysis/load). To swap in x/tools later: add the require
+// here, replace the mallocsim/internal/analysis imports in each
+// analyzer with golang.org/x/tools/go/analysis, and drop
+// internal/analysis/{load,analysistest}.

@@ -24,7 +24,7 @@ import (
 // SplitThreshold and ExpandChunk match the other sequential allocators.
 const (
 	SplitThreshold = 24
-	ExpandChunk    = 4096
+	ExpandChunk    = mem.PageSize
 )
 
 // Allocator is a best-fit instance.

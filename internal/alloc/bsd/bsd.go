@@ -45,7 +45,7 @@ const (
 	freeMagic = 0xf4ee00
 
 	// PageAlloc is the carving granularity when a class is empty.
-	PageAlloc = 4096
+	PageAlloc = mem.PageSize
 )
 
 // Allocator is a BSD (Kingsley) instance.

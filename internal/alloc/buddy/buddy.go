@@ -125,10 +125,10 @@ func (a *Allocator) headSlot(order int) uint64 {
 
 // Free-list links live in the payload: next at block+4, prev at
 // block+8 (the 16-byte minimum block just fits header+next+prev).
-func (a *Allocator) next(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 4)) }
-func (a *Allocator) prev(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 8)) }
-func (a *Allocator) setNext(b, v uint64)  { a.m.WriteWord(b+4, a.data.EncodePtr(v)) }
-func (a *Allocator) setPrev(b, v uint64)  { a.m.WriteWord(b+8, a.data.EncodePtr(v)) }
+func (a *Allocator) next(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + mem.WordSize)) }
+func (a *Allocator) prev(b uint64) uint64 { return a.data.DecodePtr(a.m.ReadWord(b + 2*mem.WordSize)) }
+func (a *Allocator) setNext(b, v uint64)  { a.m.WriteWord(b+mem.WordSize, a.data.EncodePtr(v)) }
+func (a *Allocator) setPrev(b, v uint64)  { a.m.WriteWord(b+2*mem.WordSize, a.data.EncodePtr(v)) }
 
 // pushFree adds block b of the given order to its freelist and writes
 // its free header.

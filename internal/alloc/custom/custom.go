@@ -36,7 +36,7 @@ import (
 )
 
 // ChunkSize is the carving granularity for class storage.
-const ChunkSize = 4096
+const ChunkSize = mem.PageSize
 
 const chunkLog = 12
 

@@ -28,7 +28,7 @@ import (
 const SplitThreshold = 24
 
 // ExpandChunk is the minimum sbrk growth when the freelist has no fit.
-const ExpandChunk = 4096
+const ExpandChunk = mem.PageSize
 
 // Option configures the allocator (used for the design-decision
 // ablations in the benchmark suite).

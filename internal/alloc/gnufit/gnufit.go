@@ -32,7 +32,7 @@ const (
 
 	// SplitThreshold and ExpandChunk match FIRSTFIT.
 	SplitThreshold = 24
-	ExpandChunk    = 4096
+	ExpandChunk    = mem.PageSize
 )
 
 // Allocator is a GNU G++ style segregated first-fit instance.

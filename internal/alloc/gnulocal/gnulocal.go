@@ -36,7 +36,7 @@ import (
 
 const (
 	// BlockSize is the heap block granularity (GNU malloc's BLOCKSIZE).
-	BlockSize = 4096
+	BlockSize = mem.PageSize
 	blockLog  = 12
 
 	// MaxFragSize is the largest request served from fragments; larger
@@ -221,7 +221,7 @@ func (a *Allocator) Malloc(n uint32) (uint64, error) {
 		// Emulated boundary tags: a header word pair written before the
 		// payload, read back on free.
 		a.m.WriteWord(addr, uint64(n))
-		a.m.WriteWord(addr+4, uint64(n))
+		a.m.WriteWord(addr+mem.WordSize, uint64(n))
 		addr += TagPad
 	}
 	return addr, nil
@@ -241,7 +241,7 @@ func (a *Allocator) mallocFrag(log int) (uint64, error) {
 	next := a.m.ReadWord(fa) // frag word 0: next link
 	a.m.WriteWord(headSlot, next)
 	if next != 0 {
-		a.m.WriteWord(a.fragAddr(next)+4, 0) // new head's prev = null
+		a.m.WriteWord(a.fragAddr(next)+mem.WordSize, 0) // new head's prev = null
 	}
 	idx := a.blockIndex(fa)
 	nfree := a.readDesc(idx, dLink)
@@ -276,7 +276,7 @@ func (a *Allocator) newFragBlock(log int) error {
 			nextOff = off + fragSize
 		}
 		a.m.WriteWord(fa, nextOff)
-		a.m.WriteWord(fa+4, prevOff)
+		a.m.WriteWord(fa+mem.WordSize, prevOff)
 		prevOff = off
 		alloc.Charge(a.m, 2)
 		a.freeFrags[fa] = true
@@ -321,7 +321,7 @@ func (a *Allocator) allocRun(blocks uint64) (uint64, error) {
 			// grow reported success but the run is not findable — a
 			// free-run list inconsistency. Surface it as an allocation
 			// failure instead of tearing down the whole simulation.
-			return 0, fmt.Errorf("gnulocal: grown %d-block run not found on free list", blocks)
+			return 0, fmt.Errorf("gnulocal: grown %d-block run not found on free list: %w", blocks, mem.ErrOutOfMemory)
 		}
 		if err := a.grow(blocks); err != nil {
 			return 0, err
@@ -458,7 +458,7 @@ func (a *Allocator) Free(p uint64) error {
 	if a.padTags {
 		// Read the emulated tags back, as a real free would.
 		a.m.ReadWord(p)
-		a.m.ReadWord(p + 4)
+		a.m.ReadWord(p + mem.WordSize)
 	}
 	idx := a.blockIndex(p)
 	switch a.readDesc(idx, dStatus) {
@@ -492,9 +492,9 @@ func (a *Allocator) freeFrag(p, idx uint64) error {
 	off := a.fragOff(p)
 	// Push onto the class freelist.
 	a.m.WriteWord(p, head)
-	a.m.WriteWord(p+4, 0)
+	a.m.WriteWord(p+mem.WordSize, 0)
 	if head != 0 {
-		a.m.WriteWord(a.fragAddr(head)+4, off)
+		a.m.WriteWord(a.fragAddr(head)+mem.WordSize, off)
 	}
 	a.m.WriteWord(headSlot, off)
 
@@ -519,14 +519,14 @@ func (a *Allocator) reclaimFragBlock(idx uint64, log int) {
 		fa := a.fragAddr(cur)
 		next := a.m.ReadWord(fa)
 		if a.blockIndex(fa) == idx {
-			prev := a.m.ReadWord(fa + 4)
+			prev := a.m.ReadWord(fa + mem.WordSize)
 			if prev == 0 {
 				a.m.WriteWord(headSlot, next)
 			} else {
 				a.m.WriteWord(a.fragAddr(prev), next)
 			}
 			if next != 0 {
-				a.m.WriteWord(a.fragAddr(next)+4, prev)
+				a.m.WriteWord(a.fragAddr(next)+mem.WordSize, prev)
 			}
 			delete(a.freeFrags, fa)
 		}

@@ -116,6 +116,8 @@ type Options struct {
 }
 
 // DefaultAuditEvery is the default audit cadence, in operations.
+//
+//lint:allow wordaddr 4096 is an op-count cadence (audit every 4096 Malloc/Free calls), not a byte quantity
 const DefaultAuditEvery = 4096
 
 // DefaultMaxRecorded is the default cap on verbatim violation records.

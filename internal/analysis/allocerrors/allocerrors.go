@@ -1,0 +1,204 @@
+// Package allocerrors enforces the allocator error contract documented
+// on alloc.Allocator (see also EXPERIMENTS.md "Correctness"):
+//
+//  1. Sentinel comparison: the shared sentinels (alloc.ErrBadFree,
+//     alloc.ErrTooLarge, mem.ErrOutOfMemory, mem.ErrBadAddress) are
+//     wrapped by conforming allocators, so comparing an error to them
+//     with == or != misclassifies wrapped failures. Callers must use
+//     errors.Is. This is checked in every package.
+//  2. No panic on the hot path: within allocator packages (any package
+//     on or under a path segment "alloc"), nothing reachable from a
+//     Malloc, MallocSite or Free method body through same-package calls
+//     may panic. Constructors may panic (the contract permits failure
+//     at construction); audit helpers (alloc.Checker.Check, CheckList)
+//     are only flagged if a hot-path body reaches them.
+//  3. Wrapped errors only: those same hot paths must not mint fresh
+//     error values with errors.New or a non-%w fmt.Errorf — every
+//     failure must wrap a sentinel so callers and the differential
+//     battery can classify it with errors.Is.
+package allocerrors
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mallocsim/internal/analysis"
+)
+
+// Analyzer is the allocerrors analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocerrors",
+	Doc:  "allocator failures must wrap the shared sentinels, be compared with errors.Is, and never panic on the Malloc/Free hot path",
+	Run:  run,
+}
+
+// sentinelPkgs maps a package (by path-suffix name) to the names of its
+// exported error sentinels.
+var sentinelPkgs = map[string][]string{
+	"alloc": {"ErrBadFree", "ErrTooLarge"},
+	"mem":   {"ErrOutOfMemory", "ErrBadAddress"},
+}
+
+// hotMethods are the allocator-contract entry points whose reachable
+// code must neither panic nor mint unwrapped errors.
+var hotMethods = map[string]bool{"Malloc": true, "MallocSite": true, "Free": true}
+
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	for pkgName, names := range sentinelPkgs {
+		if !analysis.PkgIs(v.Pkg().Path(), pkgName) {
+			continue
+		}
+		for _, n := range names {
+			if v.Name() == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	checkSentinelComparisons(pass)
+	if analysis.PkgIs(pass.Path, "alloc") || analysis.PkgUnder(pass.Path, "alloc") {
+		checkHotPaths(pass)
+	}
+	return nil
+}
+
+// checkSentinelComparisons flags ==/!= against a sentinel anywhere.
+func checkSentinelComparisons(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if obj := usedObject(pass, side); obj != nil && isSentinel(obj) {
+					pass.Reportf(be.Pos(),
+						"sentinel %s compared with %s; allocators wrap sentinels, so use errors.Is(err, %s.%s)",
+						obj.Name(), be.Op, obj.Pkg().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// usedObject resolves an identifier or selector to its object.
+func usedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkHotPaths walks the intra-package call graph from every
+// Malloc/MallocSite/Free method and flags panics and fresh error
+// construction in the visited bodies.
+func checkHotPaths(pass *analysis.Pass) {
+	// Bodies of every function declared in this package.
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[obj] = fd
+			}
+		}
+	}
+	// Seed with the hot methods (methods only: a receiver distinguishes
+	// the contract entry points from free functions of the same name).
+	type item struct {
+		fn    *types.Func
+		entry string // the hot method whose contract applies
+	}
+	var queue []item
+	seen := map[*types.Func]bool{}
+	for fn, fd := range bodies {
+		if fd.Recv != nil && hotMethods[fn.Name()] {
+			queue = append(queue, item{fn, fn.Name()})
+			seen[fn] = true
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fd := bodies[it.fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callee := calleeObject(pass, call).(type) {
+			case *types.Builtin:
+				if callee.Name() == "panic" {
+					pass.Reportf(call.Pos(),
+						"panic reachable from %s: the allocator contract forbids panics on the Malloc/Free hot path once construction succeeded — return an error wrapping a sentinel instead",
+						it.entry)
+				}
+			case *types.Func:
+				checkErrorMint(pass, call, callee, it.entry)
+				if callee.Pkg() == pass.Pkg {
+					if _, local := bodies[callee]; local && !seen[callee] {
+						seen[callee] = true
+						queue = append(queue, item{callee, it.entry})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorMint flags errors.New and non-wrapping fmt.Errorf on a hot
+// path.
+func checkErrorMint(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func, entry string) {
+	if callee.Pkg() == nil {
+		return
+	}
+	switch {
+	case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+		pass.Reportf(call.Pos(),
+			"errors.New on the %s path mints an unclassifiable error; wrap a sentinel with fmt.Errorf(\"...: %%w\", ...) instead",
+			entry)
+	case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return // non-constant format: cannot prove, stay silent
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w on the %s path mints an unclassifiable error; wrap alloc.ErrBadFree, alloc.ErrTooLarge or mem.ErrOutOfMemory",
+				entry)
+		}
+	}
+}
+
+// calleeObject resolves the called function, seeing through parens.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package allocerrors_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/allocerrors"
+	"mallocsim/internal/analysis/analysistest"
+)
+
+func TestAllocErrors(t *testing.T) {
+	analysistest.Run(t, "../testdata", allocerrors.Analyzer, "callers", "alloc/hot")
+}

@@ -1,0 +1,234 @@
+// Package analysis is the stdlib-only analyzer framework behind
+// cmd/alloclint.
+//
+// It mirrors the golang.org/x/tools/go/analysis surface — an Analyzer
+// owns a Run function receiving a *Pass with the package's syntax and
+// type information, and reports position-anchored Diagnostics — but is
+// implemented entirely on go/{ast,build,parser,token,types} so the lint
+// suite works in hermetic build environments where the x/tools module
+// cannot be fetched (see the pinned-dependency note in go.mod). The API
+// shapes match deliberately: if golang.org/x/tools becomes available,
+// each analyzer ports by swapping this import for go/analysis and the
+// local analysistest for its x/tools namesake.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by an allow directive:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed at the end of the offending line or on its own line directly
+// above. The justification is mandatory — a bare //lint:allow name is
+// itself a diagnostic — so every suppression in the tree documents why
+// the invariant does not apply. See README.md "Static analysis".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mallocsim/internal/analysis/load"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives ("allocerrors", "wordaddr", ...).
+	Name string
+	// Doc is the one-paragraph description printed by alloclint -help.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message states the violation and the fix.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the run (shared loader fset).
+	Fset *token.FileSet
+	// Path is the package's import path.
+	Path string
+	// Files are the package's parsed sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo is the type-checker's facts for Files.
+	TypesInfo *types.Info
+	// All lists every package loaded in this run, sorted by import
+	// path, for whole-tree analyzers (registry, puresim).
+	All []*load.Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package, applies //lint:allow
+// suppression, and returns the surviving diagnostics sorted by position
+// then analyzer name. The error reports analyzer failures, not lint
+// findings: a clean run over dirty code returns diagnostics and a nil
+// error.
+func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Path:      pkg.Path,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				All:       pkgs,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	allows, bad := collectAllows(pkgs, fset)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line and the line directly below, so
+	// both trailing comments and own-line comments above the code work.
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}
+
+// AllowPrefix starts a suppression directive comment.
+const AllowPrefix = "lint:allow"
+
+// collectAllows scans every comment for allow directives. Directives
+// without a justification are returned as diagnostics themselves.
+func collectAllows(pkgs []*load.Package, fset *token.FileSet) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), AllowPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					pos := fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "lint:allow needs an analyzer name and a justification: //lint:allow <analyzer> <why this is safe>",
+						})
+						continue
+					}
+					lines := allows[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						allows[pos.Filename] = lines
+					}
+					names := lines[pos.Line]
+					if names == nil {
+						names = map[string]bool{}
+						lines[pos.Line] = names
+					}
+					names[fields[0]] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// WalkStack walks the AST rooted at root, calling fn with each node and
+// the stack of its ancestors (outermost first, root's parent chain not
+// included). Returning false skips the node's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// PkgIs reports whether the import path is, or ends with a path segment
+// equal to, name — the path-suffix convention the analyzers use so that
+// analysistest fixture trees (import path "alloc") and the real module
+// ("mallocsim/internal/alloc") both match.
+func PkgIs(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// PkgUnder reports whether the import path lies strictly below a
+// segment equal to name (e.g. "mallocsim/internal/alloc/bsd" is under
+// "alloc").
+func PkgUnder(path, name string) bool {
+	i := strings.Index(path+"/", "/"+name+"/")
+	if i >= 0 {
+		return len(path) > i+len(name)+1
+	}
+	return strings.HasPrefix(path, name+"/")
+}

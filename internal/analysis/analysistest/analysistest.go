@@ -1,0 +1,147 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture tree lives under <testdata>/src; each package's import path
+// is its directory relative to that root. Expected diagnostics are
+// trailing comments on the offending line:
+//
+//	x := p % 4 // want `raw word-size literal`
+//
+// The string after want is a regular expression (quoted or backquoted
+// Go string literal) that must match a diagnostic message reported on
+// that line; several expectations may follow one want. Diagnostics
+// suppressed by //lint:allow directives are filtered before matching,
+// so fixtures can (and do) prove the suppression mechanism works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/load"
+)
+
+// Run loads the fixture packages at the given import paths (relative to
+// testdata/src) and checks analyzer's diagnostics against the // want
+// expectations in their sources.
+func Run(t *testing.T, testdata string, analyzer *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader("", root)
+	var pkgs []*load.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, loader.Fset(), []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+	wants := collectWants(t, loader, pkgs)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, loader *load.Loader, pkgs []*load.Package) []want {
+	t.Helper()
+	var wants []want
+	fset := loader.Fset()
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					pats, err := splitPatterns(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want expectation: %v", pos.Filename, pos.Line, err)
+					}
+					for _, p := range pats {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of quoted or backquoted Go string
+// literals.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expectation must be a quoted or backquoted string, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[0] && (s[0] == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated string in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %w", s[:end+1], err)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty expectation")
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/analysistest"
+	"mallocsim/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "sim", "outside")
+}

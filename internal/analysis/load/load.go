@@ -1,0 +1,264 @@
+// Package load type-checks Go packages from source with no toolchain
+// downloads and no compiled export data, so the alloclint analyzers can
+// run in hermetic environments (CI containers, offline checkouts).
+//
+// It is the offline stand-in for golang.org/x/tools/go/packages: a
+// Loader maps import paths to directories (the current module's path
+// prefix maps to the module root; for analysistest fixture trees the
+// prefix is empty and import paths are directories relative to the
+// fixture root), parses every buildable non-test file, and type-checks
+// recursively. Standard-library imports are resolved from $GOROOT
+// source via go/importer's "source" compiler, which needs no network
+// and no pre-built .a files.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("mallocsim/internal/mem", or for fixture
+	// trees the directory relative to the fixture root).
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's facts for Files.
+	Info *types.Info
+}
+
+// Loader loads and caches packages for one code tree.
+type Loader struct {
+	// ModulePath is the import-path prefix served from RootDir
+	// ("mallocsim" for the real module, "" for fixture trees where
+	// import paths are RootDir-relative directories).
+	ModulePath string
+	// RootDir is the absolute directory the tree lives in.
+	RootDir string
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+	state map[string]int // 0 unvisited, 1 loading (cycle guard), 2 done
+}
+
+// NewLoader builds a loader for the tree rooted at rootDir. modulePath
+// may be empty (fixture mode, see Loader.ModulePath).
+func NewLoader(modulePath, rootDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modulePath,
+		RootDir:    rootDir,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*Package{},
+		state:      map[string]int{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot walks upward from dir to the directory containing go.mod
+// and returns that directory and the declared module path.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(name), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s has no module directive", gm)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path inside this tree to its directory, or ""
+// when the path is not served from RootDir.
+func (l *Loader) dirFor(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.RootDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.RootDir, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	// Fixture mode: any import whose directory exists under RootDir is
+	// served from the tree; everything else is standard library.
+	dir := filepath.Join(l.RootDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Tree loads every buildable package under RootDir (the "./..."
+// pattern), skipping testdata and hidden directories, and returns them
+// sorted by import path.
+func (l *Loader) Tree() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.RootDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.RootDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(l.RootDir, p)
+			if err != nil {
+				return err
+			}
+			ip := filepath.ToSlash(rel)
+			if ip == "." {
+				ip = ""
+			}
+			if l.ModulePath != "" {
+				if ip == "" {
+					ip = l.ModulePath
+				} else {
+					ip = l.ModulePath + "/" + ip
+				}
+			}
+			if ip != "" {
+				paths = append(paths, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the package at the given import path (which must
+// resolve inside the tree) along with its in-tree dependencies.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	switch l.state[path] {
+	case 1:
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: import path %q is outside the tree rooted at %s", path, l.RootDir)
+	}
+	l.state[path] = 1
+	defer func() { l.state[path] = 2 }()
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*treeImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("load: type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// treeImporter resolves imports during type checking: in-tree paths
+// recurse through the Loader, everything else is standard library
+// served from $GOROOT source.
+type treeImporter Loader
+
+func (t *treeImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(t)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,195 @@
+// Package puresim protects the shadow oracle's zero-perturbation
+// guarantee (PR 3): a run under -check must be byte-identical to an
+// unchecked run, which holds only because the oracle in
+// internal/alloc/shadow is pure host-side bookkeeping — it issues no
+// simulated memory references and charges no instructions.
+//
+// The analyzer computes the static call graph rooted at every function
+// of the shadow package (direct calls, followed across packages into
+// any function whose source is in the loaded tree) and reports paths
+// that reach a reference-emitting or instruction-charging API:
+// (*mem.Memory).ReadWord/WriteWord/Touch/Flush/SetSink/SetBatching,
+// (*mem.Region).Sbrk, (*cost.Meter).Charge/ChargeTo/Enter, and
+// alloc.Charge.
+//
+// Dynamic dispatch is the analysis boundary: calls through interfaces
+// (the wrapped alloc.Allocator, the alloc.Checker audit hook) are not
+// traversed. That boundary is the design, not a blind spot — the
+// forwarded allocator call is the run being measured, and the periodic
+// boundary-tag audit is documented as perturbing (shadow's AuditEvery
+// knob); what must stay pure is the oracle's own bookkeeping, which is
+// exactly the statically reachable code.
+package puresim
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mallocsim/internal/analysis"
+)
+
+// Analyzer is the puresim analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "puresim",
+	Doc:  "code statically reachable from the shadow oracle must not emit simulated references or charge instructions (-check runs must stay byte-identical)",
+	Run:  run,
+}
+
+// banned maps package name (path-suffix matched) to receiver-qualified
+// or plain function names that emit references or charge instructions.
+type bannedFunc struct {
+	pkg  string // package path suffix
+	recv string // receiver type name, "" for plain functions
+	name string
+}
+
+var bannedFuncs = []bannedFunc{
+	{"mem", "Memory", "ReadWord"},
+	{"mem", "Memory", "WriteWord"},
+	{"mem", "Memory", "Touch"},
+	{"mem", "Memory", "Flush"},
+	{"mem", "Memory", "SetSink"},
+	{"mem", "Memory", "SetBatching"},
+	{"mem", "Region", "Sbrk"},
+	{"cost", "Meter", "Charge"},
+	{"cost", "Meter", "ChargeTo"},
+	{"cost", "Meter", "Enter"},
+	{"alloc", "", "Charge"},
+}
+
+func isBanned(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	for _, b := range bannedFuncs {
+		if b.name == fn.Name() && b.recv == recv && analysis.PkgIs(fn.Pkg().Path(), b.pkg) {
+			qual := fn.Pkg().Name() + "." + fn.Name()
+			if recv != "" {
+				qual = "(*" + fn.Pkg().Name() + "." + recv + ")." + fn.Name()
+			}
+			return qual, true
+		}
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgIs(pass.Path, "shadow") {
+		return nil
+	}
+	// Index every function body in the loaded tree so traversal can
+	// cross package boundaries (shadow → mem.RegionAt → ...).
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	infos := map[*types.Func]*types.Info{}
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[obj] = fd
+					infos[obj] = p.Info
+				}
+			}
+		}
+	}
+
+	// visited[fn] — fn's transitive closure is known clean or already
+	// queued; impure call paths are reported once per offending edge
+	// out of the shadow package.
+	visited := map[*types.Func]bool{}
+	var visit func(fn *types.Func, origin *ast.CallExpr, chain []string)
+	visit = func(fn *types.Func, origin *ast.CallExpr, chain []string) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		fd := bodies[fn]
+		info := infos[fn]
+		if fd == nil || info == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			if qual, bad := isBanned(callee); bad {
+				at := origin
+				if at == nil {
+					at = call // direct call from shadow code itself
+				}
+				pass.Reportf(at.Pos(),
+					"%s is reachable from the shadow oracle via %s: the oracle must not emit references or charge instructions, or -check runs stop being byte-identical",
+					qual, chainString(append(chain, fn.FullName())))
+				return true
+			}
+			next := origin
+			if next == nil {
+				next = call
+			}
+			visit(callee, next, append(chain, fn.FullName()))
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				visit(obj, nil, nil)
+			}
+		}
+	}
+	return nil
+}
+
+func chainString(chain []string) string {
+	out := ""
+	for i, c := range chain {
+		if i > 0 {
+			out += " → "
+		}
+		out += c
+	}
+	return out
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		// Skip interface method calls: dynamic dispatch is the analysis
+		// boundary (see package doc).
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package registry keeps the allocator registry closed under the
+// differential battery: every allocator implementation package under
+// internal/alloc/ must be blank-imported exactly once by
+// internal/alloc/all, so that alloc.Names() — which the alloctest
+// battery, the fuzz harness and every cmd/ front-end enumerate — covers
+// every implementation that exists. A package that registers but is not
+// imported silently vanishes from the paper's comparison matrix and
+// from the contract battery; that is exactly the rot this analyzer
+// exists to stop.
+//
+// Checks, anchored on the package named "all" whose parent path segment
+// is "alloc":
+//
+//  1. Every sibling package (under the same alloc/ prefix) that calls
+//     alloc.Register must be blank-imported by all — exactly once.
+//  2. Every in-tree import of all must point at a package that actually
+//     registers an allocator (no dead imports).
+//  3. A registry name must be registered by exactly one package
+//     (duplicates panic at init time; this catches them at lint time).
+//  4. Every name in all's curated Paper/Extended lists must be a name
+//     some package registers (catches typos in the lists).
+package registry
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mallocsim/internal/analysis"
+)
+
+// Analyzer is the registry analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "registry",
+	Doc:  "every allocator package under internal/alloc must be registered exactly once in internal/alloc/all, with list names matching registrations, so the alloctest battery covers it",
+	Run:  run,
+}
+
+// regSite is one alloc.Register call.
+type regSite struct {
+	pkg string
+	pos ast.Node
+}
+
+func run(pass *analysis.Pass) error {
+	// Anchor on alloc/all so the whole-tree check runs exactly once.
+	if !analysis.PkgIs(pass.Path, "all") || !strings.HasSuffix(parentPath(pass.Path), "alloc") {
+		return nil
+	}
+	prefix := parentPath(pass.Path) + "/"
+
+	// Registrations across the tree: name literal → registering sites.
+	registered := map[string][]regSite{}
+	registeringPkgs := map[string]bool{}
+	firstReg := map[string]regSite{}
+	var regPkgList []string
+	for _, p := range pass.All {
+		if !strings.HasPrefix(p.Path, prefix) || p.Path == pass.Path {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil ||
+					!analysis.PkgIs(fn.Pkg().Path(), "alloc") || len(call.Args) < 1 {
+					return true
+				}
+				name, ok := stringLit(p.Info, call.Args[0])
+				if !ok {
+					return true
+				}
+				registered[name] = append(registered[name], regSite{pkg: p.Path, pos: call})
+				if !registeringPkgs[p.Path] {
+					registeringPkgs[p.Path] = true
+					regPkgList = append(regPkgList, p.Path)
+					firstReg[p.Path] = regSite{pkg: p.Path, pos: call}
+				}
+				return true
+			})
+		}
+	}
+
+	// Imports of the all package.
+	importCount := map[string]int{}
+	importPos := map[string]ast.Node{}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			importCount[path]++
+			importPos[path] = imp
+		}
+	}
+
+	// 1. Registering package never imported, or imported more than once.
+	sort.Strings(regPkgList)
+	for _, pkgPath := range regPkgList {
+		switch importCount[pkgPath] {
+		case 0:
+			// Report at the package's first Register call: that is where
+			// the fix (adding the blank import) is motivated.
+			pass.Reportf(firstReg[pkgPath].pos.Pos(),
+				"package %s registers an allocator but is not blank-imported by %s: it is invisible to alloc.Names(), the alloctest battery and every front-end",
+				pkgPath, pass.Path)
+		case 1:
+			// Registered and imported exactly once: the contract.
+		default:
+			pass.Reportf(importPos[pkgPath].Pos(),
+				"package %s is blank-imported %d times by %s; import it exactly once",
+				pkgPath, importCount[pkgPath], pass.Path)
+		}
+	}
+
+	// 2. Dead imports: an in-tree import that registers nothing.
+	var importPaths []string
+	for path := range importCount {
+		importPaths = append(importPaths, path)
+	}
+	sort.Strings(importPaths)
+	for _, path := range importPaths {
+		if strings.HasPrefix(path, prefix) && !registeringPkgs[path] {
+			pass.Reportf(importPos[path].Pos(),
+				"package %s is imported by %s but registers no allocator; drop the dead import or add the missing alloc.Register call",
+				path, pass.Path)
+		}
+	}
+
+	// 3. Duplicate registrations of one name across packages.
+	var names []string
+	for name := range registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := registered[name]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pkg < sites[j].pkg })
+		for _, dup := range sites[1:] {
+			pass.Reportf(dup.pos.Pos(),
+				"allocator name %q is already registered by %s; duplicate registrations panic at init time",
+				name, sites[0].pkg)
+		}
+	}
+
+	// 4. Curated list names must resolve to registrations.
+	checkCuratedLists(pass, registered)
+	return nil
+}
+
+// checkCuratedLists verifies every string literal in the all package's
+// package-level variables (the Paper/Extended curated lists) names a
+// registered allocator.
+func checkCuratedLists(pass *analysis.Pass, registered map[string][]regSite) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					ast.Inspect(v, func(n ast.Node) bool {
+						lit, ok := n.(*ast.BasicLit)
+						if !ok {
+							return true
+						}
+						name, ok := stringLit(pass.TypesInfo, lit)
+						if !ok {
+							return true
+						}
+						if _, exists := registered[name]; !exists {
+							pass.Reportf(lit.Pos(),
+								"list entry %q names no registered allocator (typo, or its package was never registered)", name)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return ""
+	}
+	return path[:i]
+}
+
+func stringLit(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

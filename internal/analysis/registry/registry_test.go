@@ -1,0 +1,16 @@
+package registry_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/analysistest"
+	"mallocsim/internal/analysis/registry"
+)
+
+func TestRegistry(t *testing.T) {
+	// The whole fixture tree is loaded: the analyzer anchors on
+	// reg/alloc/all and scans its siblings for registrations.
+	analysistest.Run(t, "../testdata", registry.Analyzer,
+		"reg/alloc/all", "reg/alloc/good", "reg/alloc/zdup",
+		"reg/alloc/orphan", "reg/alloc/empty")
+}

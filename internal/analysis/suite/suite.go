@@ -1,0 +1,38 @@
+// Package suite assembles the alloclint analyzer suite: the five
+// repo-specific invariant checkers that mechanise the allocator
+// contract (allocerrors), the single-source machine geometry
+// (wordaddr), the byte-identical-run guarantees (determinism), the
+// shadow oracle's zero-perturbation property (puresim) and the
+// registry/battery closure (registry). cmd/alloclint runs them all;
+// the meta-test in this package keeps the repository itself clean.
+package suite
+
+import (
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/allocerrors"
+	"mallocsim/internal/analysis/determinism"
+	"mallocsim/internal/analysis/puresim"
+	"mallocsim/internal/analysis/registry"
+	"mallocsim/internal/analysis/wordaddr"
+)
+
+// Analyzers returns the full alloclint suite, in reporting-name order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		allocerrors.Analyzer,
+		determinism.Analyzer,
+		puresim.Analyzer,
+		registry.Analyzer,
+		wordaddr.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package suite_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/load"
+	"mallocsim/internal/analysis/suite"
+)
+
+// TestRepositoryClean is the meta-test: the repository itself must lint
+// clean under the full suite, so a change that trips an analyzer fails
+// go test ./... as well as the CI lint job.
+func TestRepositoryClean(t *testing.T) {
+	root, modPath, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader(modPath, root)
+	pkgs, err := loader.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, loader.Fset(), suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if got := suite.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if got := suite.ByName("nosuch"); got != nil {
+		t.Errorf("ByName(nosuch) = %v, want nil", got)
+	}
+}

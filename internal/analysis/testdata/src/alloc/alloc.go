@@ -1,0 +1,22 @@
+// Package alloc is a minimal fixture stand-in for the real
+// internal/alloc: the shared sentinels, the registry entry point and
+// the instruction-charging helper, matched by the analyzers via the
+// path-suffix convention.
+package alloc
+
+import (
+	"errors"
+
+	"mem"
+)
+
+var (
+	ErrBadFree  = errors.New("alloc: bad free")
+	ErrTooLarge = errors.New("alloc: request too large")
+)
+
+// Register mirrors the real registry entry point.
+func Register(name string, mk func(m *mem.Memory) any) {}
+
+// Charge mirrors the instruction-charging helper (impure for puresim).
+func Charge(m *mem.Memory, n uint64) {}

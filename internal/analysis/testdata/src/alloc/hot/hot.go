@@ -1,0 +1,60 @@
+// Package hot exercises the allocerrors hot-path rules: nothing
+// reachable from a Malloc/MallocSite/Free method through same-package
+// calls may panic or mint a fresh, unwrapped error.
+package hot
+
+import (
+	"errors"
+	"fmt"
+
+	"alloc"
+	"mem"
+)
+
+// A is an allocator-shaped type.
+type A struct{}
+
+// New may panic: the contract permits failure at construction.
+func New(ok bool) *A {
+	if !ok {
+		panic("hot: bad config") // ok: constructors are not on the hot path
+	}
+	return &A{}
+}
+
+func (a *A) Malloc(n uint32) (uint64, error) {
+	if n == 0 {
+		panic("hot: zero") // want `panic reachable from Malloc`
+	}
+	if n > 1<<20 {
+		return 0, fmt.Errorf("hot: %d bytes: %w", n, alloc.ErrTooLarge) // ok: wraps a sentinel
+	}
+	return a.grow(n)
+}
+
+// grow is reached from Malloc, so the contract applies here too.
+func (a *A) grow(n uint32) (uint64, error) {
+	if n == 1 {
+		panic("hot: one") // want `panic reachable from Malloc`
+	}
+	if n == 2 {
+		return 0, errors.New("hot: two") // want `errors.New on the Malloc path`
+	}
+	return 0, nil
+}
+
+func (a *A) Free(addr uint64) error {
+	if addr == 0 {
+		return fmt.Errorf("hot: free of null") // want `fmt.Errorf without %w on the Free path`
+	}
+	return fmt.Errorf("hot: %#x gone: %w", addr, mem.ErrOutOfMemory) // ok: wraps a sentinel
+}
+
+// Malloc the free function is not a contract entry point: only methods
+// (a receiver) are seeded.
+func Malloc(n uint32) uint64 {
+	if n == 0 {
+		panic("hot: free function") // ok: not a method
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+// Package callers exercises the allocerrors sentinel-comparison rule,
+// which applies in every package, not just allocator packages.
+package callers
+
+import (
+	"errors"
+
+	"alloc"
+	"mem"
+)
+
+// Classify sorts allocator failures into buckets.
+func Classify(err error) string {
+	if err == alloc.ErrBadFree { // want `sentinel ErrBadFree compared with ==`
+		return "badfree"
+	}
+	if alloc.ErrTooLarge != err { // want `sentinel ErrTooLarge compared with !=`
+		_ = err
+	}
+	if err == mem.ErrOutOfMemory { // want `sentinel ErrOutOfMemory compared with ==`
+		return "oom"
+	}
+	if errors.Is(err, alloc.ErrTooLarge) { // ok: the blessed comparison
+		return "toolarge"
+	}
+	//lint:allow allocerrors this fixture proves a justified suppression silences the diagnostic
+	if err == mem.ErrBadAddress {
+		return "badaddr"
+	}
+	return "other"
+}

@@ -1,0 +1,10 @@
+// Package cost is a minimal fixture stand-in for the real
+// internal/cost: the Meter methods puresim bans.
+package cost
+
+// Meter mirrors the instruction meter.
+type Meter struct{}
+
+func (m *Meter) Charge(n uint64)          {}
+func (m *Meter) ChargeTo(d int, n uint64) {}
+func (m *Meter) Enter(d int) func()       { return func() {} }

@@ -1,0 +1,10 @@
+// Package oraclehelp is a helper the shadow fixture reaches through a
+// cross-package call; its impurity is reported at the call in shadow.
+package oraclehelp
+
+import "cost"
+
+// Note charges the meter: impure.
+func Note(m *cost.Meter, n uint64) {
+	m.Charge(n)
+}

@@ -1,0 +1,11 @@
+// Package outside is not in the determinism scope: wall-clock reads
+// are allowed here, as they are in the cmd/ front-ends that time real
+// executions.
+package outside
+
+import "time"
+
+// Stamp is fine here.
+func Stamp() int64 {
+	return time.Now().Unix() // ok: not a scoped package
+}

@@ -1,0 +1,13 @@
+// Package all mirrors the real internal/alloc/all: blank imports pull
+// in every allocator's init-time registration, and the curated lists
+// name the paper's comparison set.
+package all
+
+import (
+	_ "reg/alloc/empty" // want `package reg/alloc/empty is imported by reg/alloc/all but registers no allocator`
+	_ "reg/alloc/good"
+	_ "reg/alloc/zdup"
+)
+
+// Paper is the curated list; "typo" names nothing.
+var Paper = []string{"good", "typo"} // want `list entry "typo" names no registered allocator`

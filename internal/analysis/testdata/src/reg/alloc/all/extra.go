@@ -1,0 +1,6 @@
+// A second file re-importing a package already imported by all.go.
+package all
+
+import (
+	_ "reg/alloc/good" // want `package reg/alloc/good is blank-imported 2 times`
+)

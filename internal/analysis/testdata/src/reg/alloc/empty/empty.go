@@ -1,0 +1,5 @@
+// Package empty registers nothing; all's import of it is dead.
+package empty
+
+// placeholder gives the package content.
+const placeholder = 0

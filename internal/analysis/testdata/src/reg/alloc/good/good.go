@@ -1,0 +1,10 @@
+// Package good registers allocators and is blank-imported by all:
+// the contract shape.
+package good
+
+import "alloc"
+
+func init() {
+	alloc.Register("good", nil)
+	alloc.Register("shared", nil)
+}

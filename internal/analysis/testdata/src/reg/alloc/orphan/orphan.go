@@ -1,0 +1,9 @@
+// Package orphan registers an allocator but is never imported by all,
+// so its allocator silently vanishes from the battery and the matrix.
+package orphan
+
+import "alloc"
+
+func init() {
+	alloc.Register("orphan", nil) // want `package reg/alloc/orphan registers an allocator but is not blank-imported`
+}

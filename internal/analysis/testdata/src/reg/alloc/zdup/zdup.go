@@ -1,0 +1,10 @@
+// Package zdup re-registers a name another package owns: a panic
+// waiting for init time, caught at lint time instead.
+package zdup
+
+import "alloc"
+
+func init() {
+	alloc.Register("zdup", nil)
+	alloc.Register("shared", nil) // want `allocator name "shared" is already registered by reg/alloc/good`
+}

@@ -1,0 +1,50 @@
+// Package shadow exercises the puresim purity rules: nothing statically
+// reachable from the oracle package may emit simulated references or
+// charge instructions.
+package shadow
+
+import (
+	"alloc"
+	"cost"
+	"mem"
+	"oraclehelp"
+)
+
+// Oracle is the fixture stand-in for the shadow oracle.
+type Oracle struct {
+	m     *mem.Memory
+	r     *mem.Region
+	meter *cost.Meter
+}
+
+// Audit reads simulated memory directly.
+func (o *Oracle) Audit(addr uint64) uint64 {
+	return o.m.ReadWord(addr) // want `\(\*mem\.Memory\)\.ReadWord is reachable from the shadow oracle`
+}
+
+// Record charges instructions through a helper package: the traversal
+// crosses the package boundary and reports at this origin call.
+func (o *Oracle) Record(n uint64) {
+	oraclehelp.Note(o.meter, n) // want `\(\*cost\.Meter\)\.Charge is reachable from the shadow oracle`
+}
+
+// Bill uses the allocator charging helper.
+func (o *Oracle) Bill(n uint64) {
+	alloc.Charge(o.m, n) // want `alloc\.Charge is reachable from the shadow oracle`
+}
+
+// Span is pure bookkeeping: region geometry emits nothing.
+func (o *Oracle) Span(addr uint64) bool {
+	return o.r.Contains(addr) // ok: pure geometry
+}
+
+// allocator is the wrapped-allocator shape.
+type allocator interface {
+	Malloc(n uint32) (uint64, error)
+}
+
+// Forward calls through the interface: dynamic dispatch is the analysis
+// boundary — the forwarded call is the run being measured.
+func (o *Oracle) Forward(a allocator, n uint32) (uint64, error) {
+	return a.Malloc(n) // ok: interface calls are the boundary
+}

@@ -1,0 +1,55 @@
+// Package sim exercises the determinism rules inside a scoped package
+// (the analyzer covers sim, paper, obs, cache and vm by path suffix).
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in a determinism-scoped package`
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.Unix()
+}
+
+// Fold iterates a map in randomized order.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// Sorted uses the blessed collect-keys-then-sort idiom.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: the sorted-keys idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Counted justifies an order-insensitive fold.
+func Counted(m map[string]int) int {
+	n := 0
+	//lint:allow determinism a pure commutative count; iteration order cannot affect the result
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Slices are ordered; ranging one is fine.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs { // ok: slice iteration is ordered
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+// Package wa exercises the wordaddr geometry rules: raw 4/32/4096
+// literals in address math, geometry-mirroring declarations, and
+// hand-rolled shift/mask arithmetic on address-named operands.
+package wa
+
+import "mem"
+
+// PageChunk mirrors the page size as a bare literal.
+const PageChunk = 4096 // want `PageChunk re-derives the 4 KB page size`
+
+const shifted = 1 << 12 // want `shifted re-derives the 4 KB page size`
+
+const lineBytes = 32 // want `lineBytes re-derives the 32-byte cache line size`
+
+const wordBytes = 4 // want `wordBytes re-derives the 4-byte word size`
+
+const fanout = 32 // ok: the name says nothing about cache lines
+
+const quadWords = 4 //lint:allow wordaddr counts the words in one object, not the machine word size
+
+// BlockSize is the blessed spelling.
+const BlockSize = mem.PageSize
+
+func links(m *mem.Memory, b uint64) (uint64, uint64) {
+	next := m.ReadWord(b + 4)            // want `raw geometry literal 4 in the address argument of mem.ReadWord`
+	m.WriteWord(b+4096, next)            // want `raw geometry literal 4096 in the address argument of mem.WriteWord`
+	prev := m.ReadWord(b + mem.WordSize) // ok: named geometry
+	return next, prev
+}
+
+func masks(addr uint64, n uint64) (uint64, uint64, uint64) {
+	page := addr / 4096 // want `hand-rolled page size math on "addr"`
+	line := addr >> 5   // want `hand-rolled line shift math on "addr"`
+	off := addr & 3     // want `hand-rolled word mask math on "addr"`
+	count := n / 4      // ok: n is not an address-named operand
+	_ = count
+	return page, line, off
+}
+
+/*lint:allow wordaddr*/ // want `lint:allow needs an analyzer name and a justification`

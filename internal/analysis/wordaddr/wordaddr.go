@@ -1,0 +1,223 @@
+// Package wordaddr keeps the machine geometry — word size 4, cache
+// line size 32, page size 4096 — in one place: package mem. Outside
+// mem, address/line/page arithmetic must spell those quantities as
+// mem.WordSize, mem.LineSize and mem.PageSize (or use the mem helpers
+// AlignUp, PageOf, PageOffset, LineOf, WordOf); a raw 4 or 4096 in
+// address math is a latent bug the paper's geometry-sensitive results
+// cannot tolerate (a simulator disagreeing with the allocators about
+// the word size silently invalidates every locality figure).
+//
+// Three patterns are flagged, everywhere except in a package named mem:
+//
+//  1. Integer literals 4, 32 or 4096 appearing inside the address
+//     argument of a mem access or pointer-translation call
+//     ((*mem.Memory).ReadWord/WriteWord/Touch,
+//     (*mem.Region).EncodePtr/DecodePtr/Contains).
+//  2. Constant or variable declarations initialized to a bare 4096 (or
+//     1<<12) — page-size mirrors — and declarations whose name
+//     mentions "line" or "word" initialized to bare 32 or 4.
+//  3. Shift/mask/modulo arithmetic (%, /, &, &^, <<, >>) combining an
+//     address-named operand (addr, ptr, base, brk, off...) with a bare
+//     geometry literal (2, 3, 4, 5, 12, 31, 32, 4095, 4096).
+package wordaddr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"mallocsim/internal/analysis"
+)
+
+// Analyzer is the wordaddr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wordaddr",
+	Doc:  "address/line/page arithmetic outside internal/mem must use mem.WordSize/LineSize/PageSize and the mem helpers, not raw 4/32/4096 literals",
+	Run:  run,
+}
+
+// geometry maps a magic literal to the mem name that must replace it.
+var geometry = map[int64]string{
+	4:    "mem.WordSize",
+	32:   "mem.LineSize",
+	4096: "mem.PageSize",
+}
+
+// addrCalls lists the mem methods whose first argument is a full
+// virtual address.
+var addrCalls = map[string]bool{
+	"ReadWord": true, "WriteWord": true, "Touch": true,
+	"EncodePtr": true, "DecodePtr": true, "Contains": true,
+}
+
+// addrName matches identifiers that conventionally hold addresses or
+// address offsets.
+var addrName = regexp.MustCompile(`(?i)^(addr|ptr|base|brk|off|offset)[0-9]*$|.*(Addr|Ptr|Base|Brk|Offset)$`)
+
+// maskLits are the bare literals that betray hand-rolled word/line/page
+// shift-mask math when combined with an address operand.
+var maskLits = map[int64]string{
+	2: "word shift", 3: "word mask", 4: "word size",
+	5: "line shift", 31: "line mask", 32: "line size",
+	12: "page shift", 4095: "page mask", 4096: "page size",
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgIs(pass.Path, "mem") {
+		return nil // mem is where the geometry is defined
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := memAddrCall(pass, n); ok && len(n.Args) > 0 {
+				checkAddrExpr(pass, n.Args[0], name)
+			}
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n)
+		case *ast.BinaryExpr:
+			checkMaskMath(pass, n)
+		}
+		return true
+	})
+}
+
+// memAddrCall reports whether call invokes one of the mem methods
+// taking an address first argument, returning the method name.
+func memAddrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !analysis.PkgIs(fn.Pkg().Path(), "mem") {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !addrCalls[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkAddrExpr flags geometry literals anywhere inside an address
+// expression.
+func checkAddrExpr(pass *analysis.Pass, e ast.Expr, method string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+			if v, err := strconv.ParseInt(lit.Value, 0, 64); err == nil {
+				if name, magic := geometry[v]; magic {
+					pass.Reportf(lit.Pos(),
+						"raw geometry literal %s in the address argument of mem.%s; use %s",
+						lit.Value, method, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkValueSpec flags const/var declarations that re-derive geometry.
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	lineName := regexp.MustCompile(`(?i)line`)
+	wordName := regexp.MustCompile(`(?i)word`)
+	for i, name := range spec.Names {
+		if i >= len(spec.Values) {
+			break
+		}
+		v, ok := intValue(spec.Values[i])
+		if !ok {
+			continue
+		}
+		switch {
+		case v == 4096:
+			pass.Reportf(spec.Values[i].Pos(),
+				"%s re-derives the 4 KB page size as a bare literal; use mem.PageSize", name.Name)
+		case v == 32 && lineName.MatchString(name.Name):
+			pass.Reportf(spec.Values[i].Pos(),
+				"%s re-derives the 32-byte cache line size as a bare literal; use mem.LineSize", name.Name)
+		case v == 4 && wordName.MatchString(name.Name):
+			pass.Reportf(spec.Values[i].Pos(),
+				"%s re-derives the 4-byte word size as a bare literal; use mem.WordSize", name.Name)
+		}
+	}
+}
+
+// intValue evaluates a literal or 1<<n shift to an int64.
+func intValue(e ast.Expr) (int64, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.INT {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(e.Value, 0, 64)
+		return v, err == nil
+	case *ast.BinaryExpr:
+		if e.Op != token.SHL {
+			return 0, false
+		}
+		x, okx := intValue(e.X)
+		y, oky := intValue(e.Y)
+		if !okx || !oky || y < 0 || y > 62 {
+			return 0, false
+		}
+		return x << uint(y), true
+	}
+	return 0, false
+}
+
+// checkMaskMath flags shift/mask arithmetic pairing an address-named
+// operand with a bare geometry literal.
+func checkMaskMath(pass *analysis.Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.REM, token.QUO, token.AND, token.AND_NOT, token.SHL, token.SHR:
+	default:
+		return
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		name, ok := addrOperand(pair[0])
+		if !ok {
+			continue
+		}
+		lit, ok := pair[1].(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			continue
+		}
+		v, err := strconv.ParseInt(lit.Value, 0, 64)
+		if err != nil {
+			continue
+		}
+		if what, magic := maskLits[v]; magic {
+			pass.Reportf(be.Pos(),
+				"hand-rolled %s math on %q (%s %s %s); use the mem helpers (mem.AlignUp, mem.PageOf, mem.LineOf, mem.WordOf) or the mem geometry constants",
+				what, name, name, be.Op, lit.Value)
+			return
+		}
+	}
+}
+
+// addrOperand reports whether e is an identifier (or selector leaf)
+// with an address-ish name.
+func addrOperand(e ast.Expr) (string, bool) {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return "", false
+	}
+	return name, addrName.MatchString(name)
+}

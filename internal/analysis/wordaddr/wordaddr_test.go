@@ -1,0 +1,12 @@
+package wordaddr_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/analysistest"
+	"mallocsim/internal/analysis/wordaddr"
+)
+
+func TestWordAddr(t *testing.T) {
+	analysistest.Run(t, "../testdata", wordaddr.Analyzer, "wa")
+}

@@ -101,14 +101,14 @@ func (c *Ctx) PackPtr(addr uint64) uint64 {
 	}
 	for i, r := range c.M.Regions() {
 		if r.Contains(addr) {
-			off := addr - r.Base()
-			if off>>2 >= 1<<28 {
+			word := mem.WordOf(addr - r.Base())
+			if word >= 1<<28 {
 				panic("apps: address offset too large to pack")
 			}
 			if i >= 15 {
 				panic("apps: too many regions to pack")
 			}
-			return uint64(i+1)<<28 | off>>2
+			return uint64(i+1)<<28 | word
 		}
 	}
 	panic(fmt.Sprintf("apps: address %#x outside all regions", addr))
@@ -124,7 +124,7 @@ func (c *Ctx) UnpackPtr(w uint64) uint64 {
 	if idx < 0 || idx >= len(regions) {
 		panic(fmt.Sprintf("apps: bad packed pointer %#x", w))
 	}
-	return regions[idx].Base() + (w&(1<<28-1))<<2
+	return regions[idx].Base() + (w&(1<<28-1))*mem.WordSize
 }
 
 // LoadPtr reads a packed pointer field.

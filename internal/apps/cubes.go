@@ -22,7 +22,8 @@ func (cubes) Description() string {
 	return "logic-cube cover minimization: merge/discard over bit-vector heap objects (ESPRESSO)"
 }
 
-const cubeWords = 4 // 64 variables at 2 bits each
+//lint:allow wordaddr 4 counts the words in a cube object (64 variables at 2 bits each), not the machine word size
+const cubeWords = 4
 
 func popcount32(c *Ctx, v uint64) uint64 {
 	c.Compute(4)

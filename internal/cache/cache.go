@@ -17,11 +17,12 @@ package cache
 import (
 	"fmt"
 
+	"mallocsim/internal/mem"
 	"mallocsim/internal/trace"
 )
 
 // DefaultLineSize is the paper's cache block size (32 bytes).
-const DefaultLineSize = 32
+const DefaultLineSize = mem.LineSize
 
 // Config describes one cache to simulate.
 type Config struct {

@@ -37,6 +37,13 @@ const (
 	// used by the paper's VM experiments (4 KB).
 	PageSize = 4096
 
+	// LineSize is the cache block size of the paper's test vehicle
+	// (32-byte blocks on the DECstation's R3000). The cache simulators
+	// default to it; it lives here, next to WordSize and PageSize, so
+	// the whole tree derives its machine geometry from one place (the
+	// wordaddr analyzer enforces this).
+	LineSize = 32
+
 	// regionSpan is the virtual address spacing between region bases.
 	// 4 GiB keeps all word values (which hold addresses) inside 32 bits
 	// only if a region's *offset* is stored; we instead store full
@@ -292,7 +299,7 @@ func (r *Region) charge(n uint64) {
 }
 
 func (m *Memory) page(addr uint64) *[PageSize]byte {
-	pn := addr / PageSize
+	pn := PageOf(addr)
 	p := m.pages[pn]
 	if p == nil {
 		p = new([PageSize]byte)
@@ -325,7 +332,7 @@ func (m *Memory) ReadWord(addr uint64) uint64 {
 	}
 	m.emit(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Read})
 	p := m.page(addr)
-	off := addr % PageSize
+	off := PageOffset(addr)
 	return uint64(binary.LittleEndian.Uint32(p[off : off+WordSize]))
 }
 
@@ -346,7 +353,7 @@ func (m *Memory) WriteWord(addr, val uint64) {
 	}
 	m.emit(trace.Ref{Addr: addr, Size: WordSize, Kind: trace.Write})
 	p := m.page(addr)
-	off := addr % PageSize
+	off := PageOffset(addr)
 	binary.LittleEndian.PutUint32(p[off:off+WordSize], uint32(val))
 }
 
@@ -395,3 +402,23 @@ func alignUp(n, a uint64) uint64 {
 
 // AlignUp rounds n up to a multiple of a (a power of two).
 func AlignUp(n, a uint64) uint64 { return alignUp(n, a) }
+
+// Geometry helpers: the blessed spellings of address decomposition.
+// Code outside this package must not hand-roll the equivalent
+// shift/mask arithmetic or re-declare the 4/32/4096 magic numbers —
+// the wordaddr analyzer (cmd/alloclint) flags both.
+
+// WordOf returns the word index of an address or offset.
+func WordOf(addr uint64) uint64 { return addr / WordSize }
+
+// LineOf returns the cache-line index of an address.
+func LineOf(addr uint64) uint64 { return addr / LineSize }
+
+// LineOffset returns the byte offset of an address within its line.
+func LineOffset(addr uint64) uint64 { return addr % LineSize }
+
+// PageOf returns the page number of an address.
+func PageOf(addr uint64) uint64 { return addr / PageSize }
+
+// PageOffset returns the byte offset of an address within its page.
+func PageOffset(addr uint64) uint64 { return addr % PageSize }

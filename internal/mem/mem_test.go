@@ -378,3 +378,44 @@ func TestBatchingNoBatchersFallsBack(t *testing.T) {
 		t.Errorf("plain-only pipeline: %d refs, want 1 synchronously", len(rec.Refs))
 	}
 }
+
+func TestGeometryHelpers(t *testing.T) {
+	cases := []struct {
+		addr                               uint64
+		word, line, lineOff, page, pageOff uint64
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{3, 0, 0, 3, 0, 3},
+		{WordSize, 1, 0, WordSize, 0, WordSize},
+		{LineSize, LineSize / WordSize, 1, 0, 0, LineSize},
+		{LineSize + 5, LineSize/WordSize + 1, 1, 5, 0, LineSize + 5},
+		{PageSize, PageSize / WordSize, PageSize / LineSize, 0, 1, 0},
+		{3*PageSize + 2*LineSize + 7, (3*PageSize + 2*LineSize + 7) / WordSize, (3*PageSize + 2*LineSize + 7) / LineSize, 7, 3, 2*LineSize + 7},
+	}
+	for _, c := range cases {
+		if got := WordOf(c.addr); got != c.word {
+			t.Errorf("WordOf(%d) = %d, want %d", c.addr, got, c.word)
+		}
+		if got := LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.line)
+		}
+		if got := LineOffset(c.addr); got != c.lineOff {
+			t.Errorf("LineOffset(%d) = %d, want %d", c.addr, got, c.lineOff)
+		}
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+		if got := PageOffset(c.addr); got != c.pageOff {
+			t.Errorf("PageOffset(%d) = %d, want %d", c.addr, got, c.pageOff)
+		}
+	}
+
+	// The helpers must agree with the recomposition identity.
+	if err := quick.Check(func(addr uint64) bool {
+		return LineOf(addr)*LineSize+LineOffset(addr) == addr &&
+			PageOf(addr)*PageSize+PageOffset(addr) == addr &&
+			WordOf(addr)*WordSize+addr%WordSize == addr
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

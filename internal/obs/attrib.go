@@ -80,8 +80,13 @@ func (a *Attribution) Ref(r trace.Ref) {
 // Cell returns the tallies for one region name and domain (zero if the
 // pair saw no references).
 func (a *Attribution) Cell(region string, d cost.Domain) RefCell {
-	for reg, row := range a.cells {
-		if reg.Name() == region {
+	// Iterate the memory's region slice (creation order), not the cells
+	// map: map order is randomized and this feeds report assembly.
+	for _, reg := range a.mem.Regions() {
+		if reg.Name() != region {
+			continue
+		}
+		if row := a.cells[reg]; row != nil {
 			return row[d]
 		}
 	}
@@ -92,7 +97,11 @@ func (a *Attribution) Cell(region string, d cost.Domain) RefCell {
 // then domain, ready for serialization.
 func (a *Attribution) Rows() []AttribRow {
 	var out []AttribRow
-	for reg, row := range a.cells {
+	for _, reg := range a.mem.Regions() {
+		row := a.cells[reg]
+		if row == nil {
+			continue
+		}
 		for d := 0; d < cost.NumDomains; d++ {
 			c := row[d]
 			if c.Reads == 0 && c.Writes == 0 {

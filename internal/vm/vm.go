@@ -18,11 +18,12 @@ package vm
 import (
 	"fmt"
 
+	"mallocsim/internal/mem"
 	"mallocsim/internal/trace"
 )
 
 // DefaultPageSize matches the paper's 4 KB pages.
-const DefaultPageSize = 4096
+const DefaultPageSize = mem.PageSize
 
 // Curve is the outcome of a stack simulation: everything needed to
 // compute fault counts for any memory size.

@@ -1,0 +1,26 @@
+#!/bin/sh
+# lint.sh — the repository's static-analysis gate: go vet plus the
+# alloclint suite (see internal/analysis and README.md "Static
+# analysis"). CI runs this as the required `lint` job; run it locally
+# before pushing:
+#
+#   scripts/lint.sh
+#
+# The alloclint binary is built once into GOBIN-style cache-friendly
+# form via `go build` so repeated runs (and the CI job, which caches
+# ~/.cache/go-build) pay the compile cost only when the analyzers
+# change. Exits non-zero on any vet finding or alloclint diagnostic.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> alloclint ./..."
+bin="${TMPDIR:-/tmp}/alloclint.$$"
+trap 'rm -f "$bin"' EXIT
+go build -o "$bin" ./cmd/alloclint
+"$bin" ./...
+
+echo "lint: clean"
