@@ -17,6 +17,7 @@ package mallocsim
 // design decisions the paper's §4.3/§4.4 discussion calls out.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -58,7 +59,7 @@ func benchExperiment(b *testing.B, id string) {
 		if !ok {
 			b.Fatalf("unknown experiment %q", id)
 		}
-		tab, err := e.Run()
+		tab, err := e.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +274,7 @@ func BenchmarkTeeBatch(b *testing.B) {
 func BenchmarkRunAllParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := paper.NewRunner(benchScale())
-		if _, err := r.RunAll(); err != nil {
+		if _, err := r.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -283,7 +284,7 @@ func BenchmarkRunAllSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := paper.NewRunner(benchScale())
 		r.Workers = 1
-		if _, err := r.RunAll(); err != nil {
+		if _, err := r.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,15 +18,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"mallocsim/internal/alloc"
 	"mallocsim/internal/alloc/all"
@@ -51,14 +54,14 @@ func (p *sizeProfiler) Malloc(n uint32) (uint64, error) {
 	return p.Allocator.Malloc(n)
 }
 
-func printSizeHistogram(prog workload.Program, scale, seed uint64) {
+func printSizeHistogram(ctx context.Context, prog workload.Program, scale, seed uint64) {
 	m := mem.New(trace.Discard, &cost.Meter{})
 	base, err := alloc.New("bsd", m)
 	if err != nil {
 		log.Fatal(err)
 	}
 	prof := &sizeProfiler{Allocator: base, sizes: map[uint32]uint64{}}
-	stats, err := workload.Run(m, prof, workload.Config{Program: prog, Scale: scale, Seed: seed})
+	stats, err := workload.RunContext(ctx, m, prof, workload.Config{Program: prog, Scale: scale, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,14 +100,25 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print a JSON array of versioned per-allocator run reports")
 	metrics := flag.String("metrics-out", "", "also write the JSON run reports to this file")
 	check := flag.Bool("check", false, "run every allocator under the shadow heap auditor; exit 3 on contract violations")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels in-flight simulations; -timeout bounds
+	// the whole run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	prog, ok := workload.ByName(*progName)
 	if !ok {
 		log.Fatalf("allocstats: unknown program %q", *progName)
 	}
 	if *sizes {
-		printSizeHistogram(prog, *scale, *seed)
+		printSizeHistogram(ctx, prog, *scale, *seed)
 		return
 	}
 
@@ -130,7 +144,7 @@ func main() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			rec := &obs.Recorder{}
-			res, err := sim.Run(sim.Config{
+			res, err := sim.RunContext(ctx, sim.Config{
 				Program:     prog,
 				Allocator:   name,
 				Scale:       *scale,

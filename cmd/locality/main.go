@@ -22,12 +22,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"mallocsim/internal/paper"
 )
@@ -42,9 +45,20 @@ func main() {
 		jsonOut = flag.Bool("json", false, "print a versioned JSON array of table documents instead of -format")
 		metrics = flag.String("metrics-out", "", "also write the JSON table documents to this file")
 		check   = flag.Bool("check", false, "run every simulation under the shadow heap auditor; exit 3 on contract violations")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the in-flight simulations instead of
+	// killing the process mid-write; -timeout bounds the whole run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	r := paper.NewRunner(*scale)
 	r.Seed = *seed
@@ -72,7 +86,7 @@ func main() {
 	// pool up front; the per-experiment loop below then assembles tables
 	// from memoized results in order. Unknown ids are diagnosed in the
 	// loop, and prefetch errors resurface there too.
-	_ = r.Prefetch(r.PairsFor(ids...))
+	_ = r.Prefetch(ctx, r.PairsFor(ids...))
 
 	var tables []*paper.Table
 	for _, id := range ids {
@@ -81,7 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "locality: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
-		t, err := e.Run()
+		t, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "locality: %s: %v\n", e.ID, err)
 			os.Exit(1)

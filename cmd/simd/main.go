@@ -1,0 +1,89 @@
+// Command simd serves mallocsim experiments over HTTP.
+//
+// It accepts (program, allocator, cache/VM config) job specs, runs
+// them on a bounded worker pool with per-job deadlines, and serves the
+// versioned JSON run reports content-addressed by the SHA-256 of the
+// canonicalized spec. Simulations are deterministic, so resubmitting a
+// spec is answered from the result cache with byte-identical output.
+//
+// Usage:
+//
+//	simd -addr :8377 -workers 4 -job-timeout 2m
+//
+// API:
+//
+//	POST /v1/jobs            submit a job spec, returns the job document
+//	GET  /v1/jobs/{id}       poll a job
+//	GET  /v1/reports/{hash}  fetch a finished report by content hash
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metrics            job and cache counters, one "name value" per line
+//
+// On SIGINT/SIGTERM the server drains: submissions are refused,
+// accepted jobs run to completion (bounded by -drain-timeout), then
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mallocsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8377", "listen address")
+		workers      = flag.Int("workers", 2, "simulation worker-pool size (results are identical at any setting)")
+		queueDepth   = flag.Int("queue", 64, "max accepted-but-unstarted jobs before submissions get 503")
+		cacheEntries = flag.Int("cache", 128, "result-cache capacity (reports, LRU-evicted)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none; specs may override)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to let in-flight jobs finish on shutdown")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("simd: listening on %s (%d workers)", *addr, *workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("simd: %v: draining", sig)
+	case err := <-errc:
+		log.Fatalf("simd: listen: %v", err)
+	}
+
+	// Drain: stop accepting HTTP first, then let the worker pool
+	// finish what it accepted, aborting in-flight simulations through
+	// their contexts only if the drain budget runs out.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("simd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("simd: drain budget exceeded; aborted in-flight jobs")
+		} else {
+			log.Printf("simd: drain: %v", err)
+		}
+		os.Exit(1)
+	}
+	log.Printf("simd: drained cleanly")
+}

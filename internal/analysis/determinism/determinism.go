@@ -20,11 +20,23 @@
 //     the same block. Anything else must either iterate a slice, sort
 //     first, or carry a //lint:allow determinism justification proving
 //     the fold is order-insensitive.
+//
+// The experiment service (internal/serve, PR 5) is also in scope: a
+// served report must be the same bytes the locality CLI writes. serve
+// does legitimately need wall time — job timestamps and per-job
+// deadlines — so the rules gain one blessed escape hatch: a file named
+// clock.go may read the clock; everything else must go through the
+// Clock interface it defines. context.WithTimeout and
+// context.WithDeadline are banned in scoped packages outside clock.go
+// for the same reason — they arm an unmockable wall-clock timer; arm
+// the deadline on the injected clock and cancel with
+// context.WithCancelCause(…)(context.DeadlineExceeded) instead.
 package determinism
 
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 
 	"mallocsim/internal/analysis"
 )
@@ -38,7 +50,7 @@ var Analyzer = &analysis.Analyzer{
 
 // scopedPkgs are the package names (path-suffix matched) the guarantees
 // cover.
-var scopedPkgs = []string{"sim", "paper", "obs", "cache", "vm"}
+var scopedPkgs = []string{"sim", "paper", "obs", "cache", "vm", "serve"}
 
 // clockFuncs are the time package functions that read the wall clock or
 // schedule against it.
@@ -83,14 +95,31 @@ func checkImports(pass *analysis.Pass, f *ast.File) {
 	}
 }
 
+// isClockFile reports whether f is the package's blessed clock shim —
+// the one file allowed to touch the wall clock, which must confine it
+// behind an injected interface (internal/serve's Clock).
+func isClockFile(pass *analysis.Pass, f *ast.File) bool {
+	return filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "clock.go"
+}
+
 func checkClockAndMaps(pass *analysis.Pass, f *ast.File) {
+	clockFile := isClockFile(pass, f)
 	analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if fn, ok := calleeFunc(pass, n); ok && fn.Pkg() != nil &&
-				fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] {
+			fn, ok := calleeFunc(pass, n)
+			if !ok || fn.Pkg() == nil {
+				break
+			}
+			switch {
+			case fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] && !clockFile:
 				pass.Reportf(n.Pos(),
-					"time.%s reads the wall clock in a determinism-scoped package; simulated time is instruction counts (cost.Meter)",
+					"time.%s reads the wall clock in a determinism-scoped package; simulated time is instruction counts (cost.Meter), and service wall time goes through the injected Clock (clock.go)",
+					fn.Name())
+			case fn.Pkg().Path() == "context" &&
+				(fn.Name() == "WithTimeout" || fn.Name() == "WithDeadline") && !clockFile:
+				pass.Reportf(n.Pos(),
+					"context.%s arms an unmockable wall-clock timer in a determinism-scoped package; arm the deadline on the injected Clock and cancel with context.WithCancelCause",
 					fn.Name())
 			}
 		case *ast.RangeStmt:

@@ -1,0 +1,36 @@
+// Package serve exercises the service-package determinism rules: wall
+// time and wall-clock timers are allowed only in clock.go.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// Stamp reads the wall clock outside the clock shim.
+func Stamp() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.Unix()
+}
+
+// Deadline arms an unmockable timer.
+func Deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout arms an unmockable wall-clock timer`
+}
+
+// DeadlineAt is the absolute-time variant.
+func DeadlineAt(ctx context.Context, t time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(ctx, t) // want `context\.WithDeadline arms an unmockable wall-clock timer`
+}
+
+// CancelCause is the blessed replacement: the deadline fires on the
+// injected clock, and the cause makes errors.Is report
+// DeadlineExceeded.
+func CancelCause(ctx context.Context, deadline <-chan time.Time) context.Context {
+	ctx, cancel := context.WithCancelCause(ctx)
+	go func() {
+		<-deadline
+		cancel(context.DeadlineExceeded)
+	}()
+	return ctx
+}

@@ -76,6 +76,33 @@ func sizeStr(n uint64) string {
 	}
 }
 
+// Validate checks the configuration's geometry — the same invariants
+// New enforces by panicking — and returns a descriptive error for the
+// first violation. Use it to reject externally supplied configurations
+// (job specs arriving over the network) before they reach New, where a
+// bad geometry is treated as a programmer error.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity must be >= 1")
+	}
+	lines := c.Size / c.LineSize
+	if lines == 0 || c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.Size, c.LineSize)
+	}
+	sets := lines / uint64(c.Assoc)
+	if sets == 0 || lines%uint64(c.Assoc) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
 // Cache simulates a single cache configuration. It implements
 // trace.Sink. The zero value is not usable; call New.
 type Cache struct {
@@ -100,26 +127,15 @@ const (
 )
 
 // New builds a cache simulator for cfg. It panics on invalid geometry
-// (these are programmer errors in experiment setup).
+// (these are programmer errors in experiment setup); validate untrusted
+// configurations with Config.Validate first.
 func New(cfg Config) *Cache {
 	cfg = cfg.withDefaults()
-	if cfg.LineSize == 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
-		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineSize))
-	}
-	if cfg.Assoc < 1 {
-		panic("cache: associativity must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	lines := cfg.Size / cfg.LineSize
-	if lines == 0 || cfg.Size%cfg.LineSize != 0 {
-		panic(fmt.Sprintf("cache: size %d not a multiple of line size %d", cfg.Size, cfg.LineSize))
-	}
 	sets := lines / uint64(cfg.Assoc)
-	if sets == 0 || lines%uint64(cfg.Assoc) != 0 {
-		panic(fmt.Sprintf("cache: %d lines not divisible by associativity %d", lines, cfg.Assoc))
-	}
-	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
-	}
 	shift := uint(0)
 	for l := cfg.LineSize; l > 1; l >>= 1 {
 		shift++

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 
@@ -109,4 +111,18 @@ func (r *Report) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Hash returns the hex SHA-256 of the report's canonical (Encode) JSON
+// form. Simulation runs are deterministic, so two runs of the same
+// job spec yield byte-identical reports and therefore equal hashes;
+// consumers use this to content-address results and to assert that
+// re-running an experiment reproduced the published numbers.
+func (r *Report) Hash() (string, error) {
+	b, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }

@@ -1,0 +1,65 @@
+package paper
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestResultPreCancelled: the memo layer checks the context before
+// consulting or populating the cache.
+func TestResultPreCancelled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(4) // coarse scale is irrelevant; it must not run
+	if _, err := r.Result(ctx, "make", "bsd"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is context.Canceled", err)
+	}
+}
+
+// TestRunAllCancelledMidway cancels a full paper run (8 workers, under
+// -race in CI) and requires RunAll to return the cancellation cause
+// within seconds, not after finishing the remaining matrix.
+func TestRunAllCancelledMidway(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(8) // fine enough that a full run takes much longer than the budget
+	r.Workers = 8
+	ctx, cancel := context.WithCancelCause(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.RunAll(ctx)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel(context.DeadlineExceeded)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want errors.Is context.DeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunAll did not return within 10s of cancellation")
+	}
+}
+
+// TestPrefetchCancelledMidway: the worker pool stops promptly too.
+func TestPrefetchCancelledMidway(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(8)
+	r.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- r.Prefetch(ctx, r.PaperPairs()) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want errors.Is context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Prefetch did not return within 10s of cancellation")
+	}
+}

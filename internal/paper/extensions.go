@@ -22,6 +22,7 @@ package paper
 //     fit / address-ordered / head-scan) compared on equal footing.
 
 import (
+	"context"
 	"fmt"
 
 	"mallocsim/internal/apps"
@@ -58,7 +59,7 @@ func (r *Runner) extensions() []Experiment {
 // needed no averaging; our synthetic workloads are deterministic too,
 // but parameterized by a seed — this experiment shows the paper-shape
 // conclusions are not artifacts of one draw.
-func (r *Runner) ExtSeedSensitivity() (*Table, error) {
+func (r *Runner) ExtSeedSensitivity(ctx context.Context) (*Table, error) {
 	allocs := []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit"}
 	seeds := []uint64{1, 2, 3, 4, 5}
 	t := &Table{
@@ -72,7 +73,7 @@ func (r *Runner) ExtSeedSensitivity() (*Table, error) {
 	for _, seed := range seeds {
 		for _, a := range allocs {
 			prog, _ := workload.ByName("gs-small")
-			res, err := sim.Run(sim.Config{
+			res, err := sim.RunContext(ctx, sim.Config{
 				Program:   prog,
 				Allocator: a,
 				Scale:     r.Scale,
@@ -117,7 +118,7 @@ func (r *Runner) ExtSeedSensitivity() (*Table, error) {
 // requested from the OS per live payload byte — over the course of an
 // espresso run, quantifying the paper's §4.1 space-efficiency axis as
 // a time series: does fragmentation converge or keep growing?
-func (r *Runner) ExtFragmentation() (*Table, error) {
+func (r *Runner) ExtFragmentation(ctx context.Context) (*Table, error) {
 	allocs := []string{"firstfit", "firstfit-addrorder", "bsd", "buddy", "fibbuddy", "quickfit", "custom"}
 	t := &Table{
 		ID:     "ext-frag",
@@ -135,7 +136,7 @@ func (r *Runner) ExtFragmentation() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := workload.Run(m, inst, workload.Config{
+		stats, err := workload.RunContext(ctx, m, inst, workload.Config{
 			Program:     prog,
 			Scale:       r.Scale,
 			Seed:        r.Seed,
@@ -163,7 +164,7 @@ func (r *Runner) ExtFragmentation() (*Table, error) {
 // malloc+free instruction share, heap footprint and 16 K miss rate.
 // The checksum column is the end-to-end correctness oracle: it must be
 // identical down each app's row.
-func (r *Runner) ExtApps() (*Table, error) {
+func (r *Runner) ExtApps(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "ext-apps",
 		Title:  "Pointer-chasing kernels (simulated-memory programs): per allocator malloc+free % / heap KB / 16K miss %",
@@ -175,6 +176,9 @@ func (r *Runner) ExtApps() (*Table, error) {
 		size = 200
 	}
 	for _, appName := range apps.Names() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ext-apps: %w", context.Cause(ctx))
+		}
 		app, _ := apps.Get(appName)
 		row := []string{appName}
 		var want uint64
@@ -212,7 +216,7 @@ func (r *Runner) ExtApps() (*Table, error) {
 // write-back traffic, and estimated time under the deep-hierarchy
 // stall model — the future regime the paper argues will reward GNU
 // LOCAL's locality engineering.
-func (r *Runner) ExtHierarchy() (*Table, error) {
+func (r *Runner) ExtHierarchy(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "ext-hierarchy",
 		Title:  "GS-Small on a two-level hierarchy (16K direct L1, 256K 2-way L2, 12/200-cycle service): L1 miss % / global miss % / writebacks per Kref / est. sec",
@@ -224,7 +228,7 @@ func (r *Runner) ExtHierarchy() (*Table, error) {
 			cache.Config{Size: 16 << 10},
 			cache.Config{Size: 256 << 10, Assoc: 2},
 		)
-		meter, err := r.extRun("gs-small", a, h)
+		meter, err := r.extRun(ctx, "gs-small", a, h)
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +249,7 @@ func (r *Runner) ExtHierarchy() (*Table, error) {
 // contain multiple words — referencing one word automatically brings
 // other words into the cache" (Smith); longer lines reward allocators
 // that pack related data densely and punish metadata pollution.
-func (r *Runner) ExtLineSize() (*Table, error) {
+func (r *Runner) ExtLineSize(ctx context.Context) (*Table, error) {
 	lineSizes := []uint64{16, 32, 64, 128}
 	t := &Table{
 		ID:     "ext-linesize",
@@ -260,7 +264,7 @@ func (r *Runner) ExtLineSize() (*Table, error) {
 			caches[i] = cache.New(cache.Config{Size: 16 << 10, LineSize: ls})
 			sinks[i] = caches[i]
 		}
-		if _, err := r.extRun("gs-small", a, trace.NewTee(sinks...)); err != nil {
+		if _, err := r.extRun(ctx, "gs-small", a, trace.NewTee(sinks...)); err != nil {
 			return nil, err
 		}
 		row := []string{a}
@@ -277,7 +281,7 @@ func (r *Runner) ExtLineSize() (*Table, error) {
 // segregated storage — plus the paper's recommended architecture, on
 // the paper's metrics. The paper evaluates only the first and third
 // families; the binary buddy implementation completes the picture.
-func (r *Runner) ExtTaxonomy() (*Table, error) {
+func (r *Runner) ExtTaxonomy(ctx context.Context) (*Table, error) {
 	allocs := []string{"firstfit", "buddy", "fibbuddy", "quickfit", "custom"}
 	labels := []string{"sequential (firstfit)", "buddy (binary)", "buddy (Fibonacci)", "segregated (quickfit)", "recommended (custom)"}
 	t := &Table{
@@ -289,7 +293,7 @@ func (r *Runner) ExtTaxonomy() (*Table, error) {
 	results := map[string]*sim.Result{}
 	for _, a := range allocs {
 		prog, _ := workload.ByName("espresso")
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(ctx, sim.Config{
 			Program:   prog,
 			Allocator: a,
 			Scale:     r.Scale,
@@ -325,7 +329,7 @@ func (r *Runner) ExtTaxonomy() (*Table, error) {
 // ExtPenaltySweep recomputes the paper's execution-time model across
 // miss penalties. It reuses the memoized runs: the penalty enters only
 // the analytical T = I + M·P·D step.
-func (r *Runner) ExtPenaltySweep() (*Table, error) {
+func (r *Runner) ExtPenaltySweep(ctx context.Context) (*Table, error) {
 	const cacheSize = 64 << 10
 	allocs := []string{"firstfit", "bsd", "quickfit", "gnulocal"}
 	penalties := []uint64{10, 25, 50, 100, 200, 400}
@@ -339,7 +343,7 @@ func (r *Runner) ExtPenaltySweep() (*Table, error) {
 		row := []string{fmt.Sprintf("%d", p)}
 		best, bestTime := "", 0.0
 		for _, a := range allocs {
-			res, err := r.Result("gs", a)
+			res, err := r.Result(ctx, "gs", a)
 			if err != nil {
 				return nil, err
 			}
@@ -360,7 +364,7 @@ func (r *Runner) ExtPenaltySweep() (*Table, error) {
 // expressible as a cache.Config list. References are batched (all the
 // locality simulators implement trace.BatchSink) and flushed before
 // returning, so callers may read sink state immediately.
-func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Meter, error) {
+func (r *Runner) extRun(ctx context.Context, progName, allocName string, sink trace.Sink) (*cost.Meter, error) {
 	prog, ok := workload.ByName(progName)
 	if !ok {
 		return nil, fmt.Errorf("paper: unknown program %q", progName)
@@ -372,7 +376,7 @@ func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Mete
 	if err != nil {
 		return nil, err
 	}
-	if _, err := workload.Run(m, a, workload.Config{Program: prog, Scale: r.Scale, Seed: r.Seed}); err != nil {
+	if _, err := workload.RunContext(ctx, m, a, workload.Config{Program: prog, Scale: r.Scale, Seed: r.Seed}); err != nil {
 		return nil, err
 	}
 	m.Flush()
@@ -382,7 +386,7 @@ func (r *Runner) extRun(progName, allocName string, sink trace.Sink) (*cost.Mete
 // ExtVictimCache compares a plain 16 K direct-mapped cache against the
 // same cache with a 4-entry victim buffer and against a 2-way cache of
 // equal size, per allocator.
-func (r *Runner) ExtVictimCache() (*Table, error) {
+func (r *Runner) ExtVictimCache(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "ext-victim",
 		Title:  "GS-Small 16K cache: plain vs +4-entry victim buffer vs 2-way (miss %)",
@@ -393,7 +397,7 @@ func (r *Runner) ExtVictimCache() (*Table, error) {
 		plain := cache.New(cache.Config{Size: 16 << 10})
 		victim := cache.NewVictim(cache.Config{Size: 16 << 10}, 4)
 		twoWay := cache.New(cache.Config{Size: 16 << 10, Assoc: 2})
-		if _, err := r.extRun("gs-small", a, trace.NewTee(plain, victim, twoWay)); err != nil {
+		if _, err := r.extRun(ctx, "gs-small", a, trace.NewTee(plain, victim, twoWay)); err != nil {
 			return nil, err
 		}
 		rescued := 0.0
@@ -411,7 +415,7 @@ func (r *Runner) ExtVictimCache() (*Table, error) {
 
 // ExtCacheFlush adds periodic whole-cache invalidations, modelling the
 // context-switch interference the paper excluded.
-func (r *Runner) ExtCacheFlush() (*Table, error) {
+func (r *Runner) ExtCacheFlush(ctx context.Context) (*Table, error) {
 	intervals := []uint64{0, 1 << 20, 1 << 17, 1 << 14}
 	t := &Table{
 		ID:     "ext-flush",
@@ -426,7 +430,7 @@ func (r *Runner) ExtCacheFlush() (*Table, error) {
 			caches[i] = cache.New(cache.Config{Size: 64 << 10, FlushInterval: iv})
 			sinks[i] = caches[i]
 		}
-		if _, err := r.extRun("gs-small", a, trace.NewTee(sinks...)); err != nil {
+		if _, err := r.extRun(ctx, "gs-small", a, trace.NewTee(sinks...)); err != nil {
 			return nil, err
 		}
 		row := []string{a}
@@ -440,7 +444,7 @@ func (r *Runner) ExtCacheFlush() (*Table, error) {
 
 // ExtTLB measures TLB locality: a fully-associative LRU TLB is a cache
 // with page-sized lines, simulated with the existing machinery.
-func (r *Runner) ExtTLB() (*Table, error) {
+func (r *Runner) ExtTLB(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "ext-tlb",
 		Title:  "TLB miss rate (%) per allocator, espresso (fully associative, 4 KB pages)",
@@ -459,7 +463,7 @@ func (r *Runner) ExtTLB() (*Table, error) {
 			})
 			sinks[i] = tlbs[i]
 		}
-		if _, err := r.extRun("espresso", a, trace.NewTee(sinks...)); err != nil {
+		if _, err := r.extRun(ctx, "espresso", a, trace.NewTee(sinks...)); err != nil {
 			return nil, err
 		}
 		row := []string{a}
@@ -474,7 +478,7 @@ func (r *Runner) ExtTLB() (*Table, error) {
 // ExtLifetime compares the lifetime-segregated allocator against the
 // plain recommended architecture and BSD on footprint, paging and
 // cache behaviour.
-func (r *Runner) ExtLifetime() (*Table, error) {
+func (r *Runner) ExtLifetime(ctx context.Context) (*Table, error) {
 	allocs := []string{"bsd", "custom", "lifetime"}
 	t := &Table{
 		ID:     "ext-lifetime",
@@ -490,7 +494,7 @@ func (r *Runner) ExtLifetime() (*Table, error) {
 	rows := map[string]row{}
 	for _, a := range allocs {
 		prog, _ := workload.ByName("espresso")
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(ctx, sim.Config{
 			Program:   prog,
 			Allocator: a,
 			Scale:     r.Scale,
@@ -526,7 +530,7 @@ func (r *Runner) ExtLifetime() (*Table, error) {
 
 // ExtSequentialFits compares the sequential-fit family the paper's §2.1
 // taxonomy names, on espresso.
-func (r *Runner) ExtSequentialFits() (*Table, error) {
+func (r *Runner) ExtSequentialFits(ctx context.Context) (*Table, error) {
 	allocs := []string{"firstfit", "firstfit-norover", "firstfit-addrorder", "firstfit-nocoalesce", "bestfit"}
 	t := &Table{
 		ID:     "ext-seqfit",
@@ -537,7 +541,7 @@ func (r *Runner) ExtSequentialFits() (*Table, error) {
 	results := map[string]*sim.Result{}
 	for _, a := range allocs {
 		prog, _ := workload.ByName("espresso")
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(ctx, sim.Config{
 			Program:   prog,
 			Allocator: a,
 			Scale:     r.Scale,

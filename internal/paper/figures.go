@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 
 	"mallocsim/internal/vm"
@@ -10,7 +11,7 @@ import (
 // Figure1 reproduces "Percent of Time in Malloc and Free": the fraction
 // of all instructions spent inside the allocator, per program and
 // allocator, ignoring the memory hierarchy.
-func (r *Runner) Figure1() (*Table, error) {
+func (r *Runner) Figure1(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "figure1",
 		Title:  "Percent of Time in Malloc and Free (as % of Execution Time)",
@@ -20,7 +21,7 @@ func (r *Runner) Figure1() (*Table, error) {
 	for _, p := range workload.PaperPrograms() {
 		row := []string{p.Name}
 		for _, a := range Allocators {
-			res, err := r.Result(p.Name, a)
+			res, err := r.Result(ctx, p.Name, a)
 			if err != nil {
 				return nil, err
 			}
@@ -36,7 +37,7 @@ func (r *Runner) Figure1() (*Table, error) {
 // The paper plots faults per memory reference on a log axis; we report
 // faults per million references at a grid of memory sizes, plus each
 // allocator's total memory request (the symbols on the paper's x-axis).
-func (r *Runner) faultFigure(id, progName string) (*Table, error) {
+func (r *Runner) faultFigure(ctx context.Context, id, progName string) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("Page fault rate for %s as a function of physical memory size (faults per million references)", progName),
@@ -46,7 +47,7 @@ func (r *Runner) faultFigure(id, progName string) (*Table, error) {
 	curves := map[string]*vm.Curve{}
 	maxPages := uint64(0)
 	for _, a := range Allocators {
-		res, err := r.Result(progName, a)
+		res, err := r.Result(ctx, progName, a)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +81,7 @@ func (r *Runner) faultFigure(id, progName string) (*Table, error) {
 	// Total memory requested per allocator: the paper's x-axis symbols.
 	row := []string{"mem requested (KB)"}
 	for _, a := range Allocators {
-		res, _ := r.Result(progName, a)
+		res, _ := r.Result(ctx, progName, a)
 		row = append(row, kb(res.TotalFootprint))
 	}
 	t.AddRow(row...)
@@ -88,16 +89,20 @@ func (r *Runner) faultFigure(id, progName string) (*Table, error) {
 }
 
 // Figure2 reproduces the GhostScript paging curves.
-func (r *Runner) Figure2() (*Table, error) { return r.faultFigure("figure2", "gs") }
+func (r *Runner) Figure2(ctx context.Context) (*Table, error) {
+	return r.faultFigure(ctx, "figure2", "gs")
+}
 
 // Figure3 reproduces the PTC paging curves.
-func (r *Runner) Figure3() (*Table, error) { return r.faultFigure("figure3", "ptc") }
+func (r *Runner) Figure3(ctx context.Context) (*Table, error) {
+	return r.faultFigure(ctx, "figure3", "ptc")
+}
 
 // normTimeFigure builds Figure 4 (16 K) or Figure 5 (64 K): program
 // execution time normalized to FIRSTFIT's no-cache time, both ignoring
 // the memory hierarchy ("base") and including cache miss delays at the
 // configured penalty ("+cache").
-func (r *Runner) normTimeFigure(id string, cacheSize uint64) (*Table, error) {
+func (r *Runner) normTimeFigure(ctx context.Context, id string, cacheSize uint64) (*Table, error) {
 	t := &Table{
 		ID: id,
 		Title: fmt.Sprintf("Normalized execution time with %dK direct-mapped cache, %d-cycle miss penalty (base / with cache)",
@@ -106,14 +111,14 @@ func (r *Runner) normTimeFigure(id string, cacheSize uint64) (*Table, error) {
 		Header: append([]string{"Program"}, Allocators...),
 	}
 	for _, p := range workload.PaperPrograms() {
-		ff, err := r.Result(p.Name, "firstfit")
+		ff, err := r.Result(ctx, p.Name, "firstfit")
 		if err != nil {
 			return nil, err
 		}
 		denom := float64(ff.BaseCycles())
 		row := []string{p.Name}
 		for _, a := range Allocators {
-			res, err := r.Result(p.Name, a)
+			res, err := r.Result(ctx, p.Name, a)
 			if err != nil {
 				return nil, err
 			}
@@ -127,14 +132,18 @@ func (r *Runner) normTimeFigure(id string, cacheSize uint64) (*Table, error) {
 }
 
 // Figure4 reproduces the 16 K normalized execution times.
-func (r *Runner) Figure4() (*Table, error) { return r.normTimeFigure("figure4", 16<<10) }
+func (r *Runner) Figure4(ctx context.Context) (*Table, error) {
+	return r.normTimeFigure(ctx, "figure4", 16<<10)
+}
 
 // Figure5 reproduces the 64 K normalized execution times.
-func (r *Runner) Figure5() (*Table, error) { return r.normTimeFigure("figure5", 64<<10) }
+func (r *Runner) Figure5(ctx context.Context) (*Table, error) {
+	return r.normTimeFigure(ctx, "figure5", 64<<10)
+}
 
 // missRateFigure builds Figures 6–8: data cache miss rate versus cache
 // size for one GhostScript input set.
-func (r *Runner) missRateFigure(id, progName, label string) (*Table, error) {
+func (r *Runner) missRateFigure(ctx context.Context, id, progName, label string) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("Data cache miss rate for GhostScript (%s), direct-mapped, 32-byte lines (%%)", label),
@@ -144,7 +153,7 @@ func (r *Runner) missRateFigure(id, progName, label string) (*Table, error) {
 	for _, size := range CacheSizes {
 		row := []string{fmt.Sprintf("%d", size>>10)}
 		for _, a := range Allocators {
-			res, err := r.Result(progName, a)
+			res, err := r.Result(ctx, progName, a)
 			if err != nil {
 				return nil, err
 			}
@@ -160,24 +169,26 @@ func (r *Runner) missRateFigure(id, progName, label string) (*Table, error) {
 }
 
 // Figure6 reproduces the GS-Small miss-rate sweep.
-func (r *Runner) Figure6() (*Table, error) {
-	return r.missRateFigure("figure6", "gs-small", "GS-Small")
+func (r *Runner) Figure6(ctx context.Context) (*Table, error) {
+	return r.missRateFigure(ctx, "figure6", "gs-small", "GS-Small")
 }
 
 // Figure7 reproduces the GS-Medium miss-rate sweep.
-func (r *Runner) Figure7() (*Table, error) {
-	return r.missRateFigure("figure7", "gs-medium", "GS-Medium")
+func (r *Runner) Figure7(ctx context.Context) (*Table, error) {
+	return r.missRateFigure(ctx, "figure7", "gs-medium", "GS-Medium")
 }
 
 // Figure8 reproduces the GS-Large miss-rate sweep.
-func (r *Runner) Figure8() (*Table, error) { return r.missRateFigure("figure8", "gs", "GS-Large") }
+func (r *Runner) Figure8(ctx context.Context) (*Table, error) {
+	return r.missRateFigure(ctx, "figure8", "gs", "GS-Large")
+}
 
 // Figure9 turns the paper's size-mapping-array architecture sketch into
 // a measurable ablation: BSD's power-of-two rounding versus the
 // recommended architecture with power-of-two classes, with
 // bounded-fragmentation classes, and with chunk reclamation, all on the
 // allocation-heaviest small-object program (gawk) and on espresso.
-func (r *Runner) Figure9() (*Table, error) {
+func (r *Runner) Figure9(ctx context.Context) (*Table, error) {
 	allocs := []string{"bsd", "quickfit", "custom-pow2", "custom", "custom-reclaim"}
 	t := &Table{
 		ID:     "figure9",
@@ -188,7 +199,7 @@ func (r *Runner) Figure9() (*Table, error) {
 	for _, progName := range []string{"gawk", "espresso"} {
 		row := []string{progName}
 		for _, a := range allocs {
-			res, err := r.Result(progName, a)
+			res, err := r.Result(ctx, progName, a)
 			if err != nil {
 				return nil, err
 			}

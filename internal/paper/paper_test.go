@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,11 +23,11 @@ func parseCell(t *testing.T, s string) float64 {
 
 func TestRunnerMemoizes(t *testing.T) {
 	r := testRunner()
-	a, err := r.Result("make", "bsd")
+	a, err := r.Result(context.Background(), "make", "bsd")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Result("make", "bsd")
+	b, err := r.Result(context.Background(), "make", "bsd")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +37,10 @@ func TestRunnerMemoizes(t *testing.T) {
 	if len(r.sortedMemoKeys()) != 1 {
 		t.Errorf("memo keys: %v", r.sortedMemoKeys())
 	}
-	if _, err := r.Result("nope", "bsd"); err == nil {
+	if _, err := r.Result(context.Background(), "nope", "bsd"); err == nil {
 		t.Error("unknown program must error")
 	}
-	if _, err := r.Result("make", "nope"); err == nil {
+	if _, err := r.Result(context.Background(), "make", "nope"); err == nil {
 		t.Error("unknown allocator must error")
 	}
 }
@@ -75,7 +76,7 @@ func TestExperimentIndex(t *testing.T) {
 
 func TestTable1Static(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Table1()
+	tab, err := r.Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestTable1Static(t *testing.T) {
 
 func TestFigure1Shape(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Figure1()
+	tab, err := r.Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFigure1Shape(t *testing.T) {
 
 func TestFaultCurvesMonotone(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Figure3() // ptc: cheap even with page sim
+	tab, err := r.Figure3(context.Background()) // ptc: cheap even with page sim
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFaultCurvesMonotone(t *testing.T) {
 
 func TestMissRatesDecreaseWithCacheSize(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Figure6()
+	tab, err := r.Figure6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestMissRatesDecreaseWithCacheSize(t *testing.T) {
 
 func TestNormalizedTimes(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Figure4()
+	tab, err := r.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,8 +185,8 @@ func TestNormalizedTimes(t *testing.T) {
 
 func TestExecTimeTables(t *testing.T) {
 	r := testRunner()
-	for _, f := range []func() (*Table, error){r.Table4, r.Table5} {
-		tab, err := f()
+	for _, f := range []func(context.Context) (*Table, error){r.Table4, r.Table5} {
+		tab, err := f(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func TestExecTimeTables(t *testing.T) {
 
 func TestTable6Direction(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Table6()
+	tab, err := r.Table6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestTable6Direction(t *testing.T) {
 
 func TestFigure9(t *testing.T) {
 	r := testRunner()
-	tab, err := r.Figure9()
+	tab, err := r.Figure9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestExtensionsIndex(t *testing.T) {
 
 func TestExtPenaltySweepCrossover(t *testing.T) {
 	r := testRunner()
-	tab, err := r.ExtPenaltySweep()
+	tab, err := r.ExtPenaltySweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestExtPenaltySweepCrossover(t *testing.T) {
 
 func TestExtVictimNeverWorse(t *testing.T) {
 	r := testRunner()
-	tab, err := r.ExtVictimCache()
+	tab, err := r.ExtVictimCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestExtVictimNeverWorse(t *testing.T) {
 
 func TestExtFlushMonotone(t *testing.T) {
 	r := testRunner()
-	tab, err := r.ExtCacheFlush()
+	tab, err := r.ExtCacheFlush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestExtFlushMonotone(t *testing.T) {
 
 func TestExtTLBAndLifetimeAndSeqfit(t *testing.T) {
 	r := testRunner()
-	tlb, err := r.ExtTLB()
+	tlb, err := r.ExtTLB(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,10 +364,10 @@ func TestExtTLBAndLifetimeAndSeqfit(t *testing.T) {
 			t.Errorf("%s: 64-entry TLB worse than 8-entry", row[0])
 		}
 	}
-	if _, err := r.ExtLifetime(); err != nil {
+	if _, err := r.ExtLifetime(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	sf, err := r.ExtSequentialFits()
+	sf, err := r.ExtSequentialFits(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestExtTLBAndLifetimeAndSeqfit(t *testing.T) {
 
 func TestExtHierarchyAndLineSize(t *testing.T) {
 	r := testRunner()
-	h, err := r.ExtHierarchy()
+	h, err := r.ExtHierarchy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func TestExtHierarchyAndLineSize(t *testing.T) {
 			t.Errorf("%s: global miss %.3f above L1 %.3f", row[0], global, l1)
 		}
 	}
-	ls, err := r.ExtLineSize()
+	ls, err := r.ExtLineSize(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

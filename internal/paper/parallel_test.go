@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func renderAll(t *testing.T, workers int, ids []string) string {
 	t.Helper()
 	r := testRunner()
 	r.Workers = workers
-	if err := r.Prefetch(r.PairsFor(ids...)); err != nil {
+	if err := r.Prefetch(context.Background(), r.PairsFor(ids...)); err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
@@ -24,7 +25,7 @@ func renderAll(t *testing.T, workers int, ids []string) string {
 		if !ok {
 			t.Fatalf("unknown experiment %q", id)
 		}
-		tab, err := e.Run()
+		tab, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -60,14 +61,14 @@ func TestPrefetchSharedKey(t *testing.T) {
 		{"make", "bsd"}, {"make", "bsd"}, {"make", "bsd"},
 		{"make", "quickfit"}, {"make", "bsd"},
 	}
-	if err := r.Prefetch(pairs); err != nil {
+	if err := r.Prefetch(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
-	a, err := r.Result("make", "bsd")
+	a, err := r.Result(context.Background(), "make", "bsd")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Result("make", "bsd")
+	b, err := r.Result(context.Background(), "make", "bsd")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestPrefetchPropagatesError(t *testing.T) {
 	r := testRunner()
 	r.Workers = 4
 	pairs := []Pair{{"make", "bsd"}, {"no-such-program", "bsd"}}
-	if err := r.Prefetch(pairs); err == nil {
+	if err := r.Prefetch(context.Background(), pairs); err == nil {
 		t.Fatal("expected error for unknown program")
 	}
 	if got := len(r.sortedMemoKeys()); got != 1 {
@@ -100,11 +101,11 @@ func TestPrefetchPropagatesError(t *testing.T) {
 // to sequential execution during assembly.
 func TestPaperPairsCoverRunAll(t *testing.T) {
 	r := testRunner()
-	if err := r.Prefetch(r.PaperPairs()); err != nil {
+	if err := r.Prefetch(context.Background(), r.PaperPairs()); err != nil {
 		t.Fatal(err)
 	}
 	before := len(r.sortedMemoKeys())
-	if _, err := r.RunAll(); err != nil {
+	if _, err := r.RunAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	after := len(r.sortedMemoKeys())

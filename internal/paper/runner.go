@@ -13,6 +13,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -101,9 +102,16 @@ func (r *Runner) workerCount() int {
 
 // Result returns the memoized fully-instrumented run for the pair,
 // executing it if needed. Safe for concurrent use: duplicate concurrent
-// calls for one key share a single simulation.
-func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
+// calls for one key share a single simulation. A done context aborts
+// promptly — the running simulation polls ctx in its step loop, and a
+// caller waiting on another caller's in-flight run stops waiting when
+// its own ctx is done (the flight itself keeps the context it was
+// started under).
+func (r *Runner) Result(ctx context.Context, progName, allocName string) (*sim.Result, error) {
 	key := progName + "/" + allocName
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paper: %s: %w", key, context.Cause(ctx))
+	}
 	r.mu.Lock()
 	if res, ok := r.memo[key]; ok {
 		r.mu.Unlock()
@@ -111,14 +119,18 @@ func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
 	}
 	if f, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
-		<-f.done
-		return f.res, f.err
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("paper: %s: %w", key, context.Cause(ctx))
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	r.inflight[key] = f
 	r.mu.Unlock()
 
-	f.res, f.err = r.runPair(progName, allocName)
+	f.res, f.err = r.runPair(ctx, progName, allocName)
 
 	r.mu.Lock()
 	if f.err == nil {
@@ -131,7 +143,7 @@ func (r *Runner) Result(progName, allocName string) (*sim.Result, error) {
 }
 
 // runPair executes one fully-instrumented simulation.
-func (r *Runner) runPair(progName, allocName string) (*sim.Result, error) {
+func (r *Runner) runPair(ctx context.Context, progName, allocName string) (*sim.Result, error) {
 	prog, ok := workload.ByName(progName)
 	if !ok {
 		return nil, fmt.Errorf("paper: unknown program %q", progName)
@@ -140,7 +152,7 @@ func (r *Runner) runPair(progName, allocName string) (*sim.Result, error) {
 	for i, s := range CacheSizes {
 		cfgs[i] = cache.Config{Size: s}
 	}
-	return sim.Run(sim.Config{
+	return sim.RunContext(ctx, sim.Config{
 		Program:   prog,
 		Allocator: allocName,
 		Scale:     r.Scale,
@@ -180,15 +192,18 @@ type Pair struct {
 // pure lookup. Already-memoized pairs cost nothing. It returns the
 // first error encountered after all workers drain; every run is
 // hermetic, so results are byte-identical to executing the pairs
-// sequentially.
-func (r *Runner) Prefetch(pairs []Pair) error {
+// sequentially. A done ctx makes the remaining pairs fail fast (each
+// worker's Result call returns the context error immediately), so a
+// cancelled prefetch drains its pool within one simulation's
+// cancellation latency.
+func (r *Runner) Prefetch(ctx context.Context, pairs []Pair) error {
 	workers := r.workerCount()
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
 	if workers <= 1 {
 		for _, p := range pairs {
-			if _, err := r.Result(p.Program, p.Allocator); err != nil {
+			if _, err := r.Result(ctx, p.Program, p.Allocator); err != nil {
 				return err
 			}
 		}
@@ -203,7 +218,7 @@ func (r *Runner) Prefetch(pairs []Pair) error {
 			defer wg.Done()
 			var first error
 			for p := range work {
-				if _, err := r.Result(p.Program, p.Allocator); err != nil && first == nil {
+				if _, err := r.Result(ctx, p.Program, p.Allocator); err != nil && first == nil {
 					first = err
 				}
 			}
@@ -228,10 +243,12 @@ func (r *Runner) note() string {
 	return fmt.Sprintf("synthetic workloads at scale 1/%d, seed %d, miss penalty %d cycles; absolute values are model estimates — compare shapes with the paper", r.Scale, r.Seed, r.Penalty)
 }
 
-// Experiment pairs an ID with the function producing its table.
+// Experiment pairs an ID with the function producing its table. Run
+// takes the caller's context: assembly aborts between (and, through
+// Result, inside) simulations when it is done.
 type Experiment struct {
 	ID   string
-	Run  func() (*Table, error)
+	Run  func(context.Context) (*Table, error)
 	Desc string
 }
 
@@ -329,14 +346,17 @@ func (r *Runner) PaperPairs() []Pair {
 // prefetched through the Workers-bounded pool first, so independent
 // (program, allocator) runs use all cores; table assembly then proceeds
 // sequentially from the memo, keeping the output byte-identical to a
-// Workers=1 run.
-func (r *Runner) RunAll() ([]*Table, error) {
-	if err := r.Prefetch(r.PaperPairs()); err != nil {
+// Workers=1 run. A done ctx aborts both phases promptly.
+func (r *Runner) RunAll(ctx context.Context) ([]*Table, error) {
+	if err := r.Prefetch(ctx, r.PaperPairs()); err != nil {
 		return nil, err
 	}
 	var out []*Table
 	for _, e := range r.Experiments() {
-		t, err := e.Run()
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, context.Cause(ctx))
+		}
+		t, err := e.Run(ctx)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", e.ID, err)
 		}

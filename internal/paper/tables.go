@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 
 	"mallocsim/internal/workload"
@@ -8,7 +9,7 @@ import (
 
 // Table1 reproduces the program inventory (descriptions only; the
 // paper's Table 1 is prose).
-func (r *Runner) Table1() (*Table, error) {
+func (r *Runner) Table1(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "table1",
 		Title:  "General Information about the Test Programs",
@@ -24,7 +25,7 @@ func (r *Runner) Table1() (*Table, error) {
 // statistics under the FIRSTFIT allocator. Event counts are reported
 // scaled back to full-scale equivalents so they are directly comparable
 // with the paper's columns.
-func (r *Runner) Table2() (*Table, error) {
+func (r *Runner) Table2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "table2",
 		Title: "Test Program Performance Information (FIRSTFIT baseline)",
@@ -33,7 +34,7 @@ func (r *Runner) Table2() (*Table, error) {
 			"Max Heap (KB)", "Objects Alloc'd (1000s)", "Objects Freed (1000s)"},
 	}
 	for _, p := range workload.PaperPrograms() {
-		res, err := r.Result(p.Name, "firstfit")
+		res, err := r.Result(ctx, p.Name, "firstfit")
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +53,7 @@ func (r *Runner) Table2() (*Table, error) {
 
 // Table3 reproduces "Characteristics of Different Input Sets for
 // GhostScript".
-func (r *Runner) Table3() (*Table, error) {
+func (r *Runner) Table3(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "table3",
 		Title: "Characteristics of Different Input Sets for GhostScript (FIRSTFIT)",
@@ -61,7 +62,7 @@ func (r *Runner) Table3() (*Table, error) {
 			"Max Heap (KB)", "Objects Alloc'd (1000s)", "Objects Freed (1000s)"},
 	}
 	for _, p := range workload.GhostScriptInputs() {
-		res, err := r.Result(p.Name, "firstfit")
+		res, err := r.Result(ctx, p.Name, "firstfit")
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func (r *Runner) Table3() (*Table, error) {
 // execTimeTable builds Table 4 (16 K) or Table 5 (64 K): total
 // estimated execution time and the portion attributable to cache
 // misses, in full-scale seconds, for every allocator and program.
-func (r *Runner) execTimeTable(id string, cacheSize uint64) (*Table, error) {
+func (r *Runner) execTimeTable(ctx context.Context, id string, cacheSize uint64) (*Table, error) {
 	t := &Table{
 		ID: id,
 		Title: fmt.Sprintf("Total estimated execution time and time waiting for a %dK direct-mapped cache (sec total / sec miss)",
@@ -96,7 +97,7 @@ func (r *Runner) execTimeTable(id string, cacheSize uint64) (*Table, error) {
 	for _, a := range Allocators {
 		row := []string{a}
 		for _, p := range progs {
-			res, err := r.Result(p.Name, a)
+			res, err := r.Result(ctx, p.Name, a)
 			if err != nil {
 				return nil, err
 			}
@@ -110,14 +111,18 @@ func (r *Runner) execTimeTable(id string, cacheSize uint64) (*Table, error) {
 }
 
 // Table4 reproduces the 16-kilobyte execution-time table.
-func (r *Runner) Table4() (*Table, error) { return r.execTimeTable("table4", 16<<10) }
+func (r *Runner) Table4(ctx context.Context) (*Table, error) {
+	return r.execTimeTable(ctx, "table4", 16<<10)
+}
 
 // Table5 reproduces the 64-kilobyte execution-time table.
-func (r *Runner) Table5() (*Table, error) { return r.execTimeTable("table5", 64<<10) }
+func (r *Runner) Table5(ctx context.Context) (*Table, error) {
+	return r.execTimeTable(ctx, "table5", 64<<10)
+}
 
 // Table6 reproduces the boundary-tag ablation: GNU LOCAL run normally
 // and with eight bytes of per-object tag emulation, on a 64 K cache.
-func (r *Runner) Table6() (*Table, error) {
+func (r *Runner) Table6(ctx context.Context) (*Table, error) {
 	const cacheSize = 64 << 10
 	t := &Table{
 		ID:     "table6",
@@ -134,7 +139,7 @@ func (r *Runner) Table6() (*Table, error) {
 	get := func(allocName string) ([]cell, error) {
 		out := make([]cell, len(progs))
 		for i, p := range progs {
-			res, err := r.Result(p.Name, allocName)
+			res, err := r.Result(ctx, p.Name, allocName)
 			if err != nil {
 				return nil, err
 			}

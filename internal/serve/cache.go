@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"mallocsim/internal/obs"
+)
+
+// ResultCache is a bounded, content-addressed store of finished report
+// documents keyed by JobSpec.Hash. Simulation runs are deterministic,
+// so a hash hit is exactly the report a fresh run would produce;
+// resubmitting a spec costs one map lookup instead of a simulation.
+// Eviction is LRU. All methods are safe for concurrent use; the
+// obs counters (which are not) are guarded by the cache's own mutex.
+type ResultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // hash → element holding *cacheEntry
+
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+}
+
+type cacheEntry struct {
+	hash   string
+	report []byte // encoded JSON report document
+}
+
+// NewResultCache creates a cache holding at most max reports (max <= 0
+// means 128).
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &ResultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached report bytes for hash, if present, promoting
+// the entry to most recently used.
+func (c *ResultCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Contains reports whether hash is cached without touching recency or
+// the hit/miss counters (used by metrics and tests).
+func (c *ResultCache) Contains(hash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[hash]
+	return ok
+}
+
+// Put stores a report under hash, evicting the least recently used
+// entry when full. Storing an existing hash refreshes its recency but
+// keeps the original bytes: content-addressed entries are immutable.
+func (c *ResultCache) Put(hash string, report []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+		c.evictions.Inc()
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, report: report})
+}
+
+// Len returns the number of cached reports.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit/miss/eviction counts.
+func (c *ResultCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits.Value(), c.misses.Value(), c.evictions.Value()
+}

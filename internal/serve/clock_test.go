@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: After timers fire only when
+// the test calls Advance past their deadline, so deadline behaviour is
+// tested without real sleeps.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+		return t.ch
+	}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward and fires every timer whose deadline
+// has passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mallocsim/internal/cache"
+	"mallocsim/internal/workload"
+)
+
+// cancelConfig is a run long enough (at scale 4, with cache and page
+// simulation attached) that a cancelled context must interrupt it: the
+// full run takes well over the budgets asserted below.
+func cancelConfig(t *testing.T) Config {
+	t.Helper()
+	prog, ok := workload.ByName("espresso")
+	if !ok {
+		t.Fatal("espresso workload missing")
+	}
+	return Config{
+		Program:   prog,
+		Allocator: "bsd",
+		Scale:     4,
+		Caches:    []cache.Config{{Size: 64 << 10}},
+		PageSim:   true,
+	}
+}
+
+// TestRunContextPreCancelled covers the entry check: a context that is
+// already done must fail immediately with the cancellation cause, not
+// start simulating.
+func TestRunContextPreCancelled(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name string
+		ctx  func() context.Context
+		want error
+	}{
+		{
+			name: "cancelled",
+			ctx: func() context.Context {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx
+			},
+			want: context.Canceled,
+		},
+		{
+			name: "deadline-exceeded",
+			ctx: func() context.Context {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				_ = cancel // context is already past its deadline
+				return ctx
+			},
+			want: context.DeadlineExceeded,
+		},
+		{
+			name: "cancel-cause-deadline",
+			ctx: func() context.Context {
+				// The experiment service's deadline shape: a plain cancel
+				// whose recorded cause is DeadlineExceeded.
+				ctx, cancel := context.WithCancelCause(context.Background())
+				cancel(context.DeadlineExceeded)
+				return ctx
+			},
+			want: context.DeadlineExceeded,
+		},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			res, err := RunContext(tc.ctx(), cancelConfig(t))
+			if res != nil {
+				t.Fatalf("got a result from a pre-cancelled run")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is %v", err, tc.want)
+			}
+			if d := time.Since(start); d > time.Second {
+				t.Fatalf("pre-cancelled run took %v; the entry check must not simulate", d)
+			}
+		})
+	}
+}
+
+// TestRunContextMidRunCancel cancels while the workload driver is in
+// its step loop and requires the run to stop within a small multiple
+// of the driver's poll cadence, far below the run's natural duration.
+func TestRunContextMidRunCancel(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, cancelConfig(t))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the driver enter its loop
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want errors.Is context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("run still going %v after cancel", time.Since(start))
+	}
+}
+
+// TestRunContextCompletedUnaffected runs to completion under a
+// cancellable context, cancels afterwards, and requires the report to
+// be byte-identical to an uncancellable run: wiring a context through
+// must never perturb results.
+func TestRunContextCompletedUnaffected(t *testing.T) {
+	t.Parallel()
+	prog, _ := workload.ByName("make")
+	cfg := Config{
+		Program:   prog,
+		Allocator: "gnufit",
+		Scale:     512,
+		Caches:    []cache.Config{{Size: 16 << 10}},
+		PageSim:   true,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got, err := RunContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // after completion: must not matter
+
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.Report().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.Report().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Fatal("report from a cancellable (but uncancelled) run differs from a plain run")
+	}
+}

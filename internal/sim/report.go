@@ -56,16 +56,12 @@ func (r *Result) Report() *obs.Report {
 		}
 		// Fault curve at power-of-two memory sizes up to the point where
 		// only cold faults remain — the paper's Figures 2/3 x-axis.
-		max := r.Curve.MinResidentPages()
-		for pages := uint64(1); ; pages *= 2 {
+		for _, p := range r.Curve.Sweep() {
 			v.Curve = append(v.Curve, obs.VMPoint{
-				Pages:     pages,
-				Faults:    r.Curve.Faults(pages),
-				FaultRate: r.Curve.FaultRate(pages),
+				Pages:     p.Pages,
+				Faults:    p.Faults,
+				FaultRate: p.FaultRate,
 			})
-			if pages >= max {
-				break
-			}
 		}
 		rep.VM = v
 	}

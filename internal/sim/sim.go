@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"mallocsim/internal/alloc"
@@ -116,6 +117,20 @@ type Result struct {
 
 // Run executes the configured experiment.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation. The workload driver
+// polls ctx periodically inside its step loop (see workload.RunContext)
+// so a cancelled or expired context stops the simulation — and with it
+// the cache and VM reference sweeps it feeds — within a bounded amount
+// of work; the error then satisfies errors.Is for context.Canceled or
+// context.DeadlineExceeded via context.Cause. A run that completes is
+// byte-identical to one executed without a cancellable context.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, context.Cause(ctx))
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -191,7 +206,7 @@ func Run(cfg Config) (*Result, error) {
 		a = shw
 	}
 
-	stats, err := workload.Run(m, a, workload.Config{
+	stats, err := workload.RunContext(ctx, m, a, workload.Config{
 		Program: cfg.Program,
 		Scale:   cfg.Scale,
 		Seed:    cfg.Seed,
@@ -200,6 +215,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, err)
 	}
 	m.Flush() // deliver the tail of the batched reference stream
+
+	// The run completed; one final poll before the cache-result and
+	// VM-curve assembly sweeps so a deadline that fired during the last
+	// partial batch is still honoured.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, context.Cause(ctx))
+	}
 
 	res := &Result{
 		Program:        cfg.Program.Name,

@@ -73,6 +73,55 @@ func (c *Curve) MinResidentPages() uint64 {
 	return 1
 }
 
+// SweepPoint is one sampled point of the fault curve.
+type SweepPoint struct {
+	Pages     uint64
+	Faults    uint64
+	FaultRate float64
+}
+
+// Sweep samples the fault curve at power-of-two memory sizes, from one
+// page up to the first size at which only cold faults remain — the
+// x-axis of the paper's Figures 2 and 3 and the curve embedded in run
+// reports. The suffix sums of the distance histogram are accumulated in
+// a single reverse pass, so the sweep is O(len(Hist)) total rather than
+// O(len(Hist)) per point.
+func (c *Curve) Sweep() []SweepPoint {
+	max := c.MinResidentPages()
+	var sizes []uint64
+	for pages := uint64(1); ; pages *= 2 {
+		sizes = append(sizes, pages)
+		if pages >= max {
+			break
+		}
+	}
+	// faults[i] = Faults(sizes[i]): walk the histogram once from the
+	// deepest distance down, snapshotting the running suffix sum as each
+	// sampled size's lower bound is crossed.
+	faults := make([]uint64, len(sizes))
+	var suffix uint64
+	i := len(sizes) - 1
+	for d := len(c.Hist) - 1; d >= 0 && i >= 0; d-- {
+		for i >= 0 && uint64(d) < sizes[i] {
+			faults[i] = c.Cold + suffix
+			i--
+		}
+		suffix += c.Hist[d]
+	}
+	for ; i >= 0; i-- {
+		faults[i] = c.Cold + suffix
+	}
+	out := make([]SweepPoint, len(sizes))
+	for j, pages := range sizes {
+		var rate float64
+		if c.Refs > 0 {
+			rate = float64(faults[j]) / float64(c.Refs)
+		}
+		out[j] = SweepPoint{Pages: pages, Faults: faults[j], FaultRate: rate}
+	}
+	return out
+}
+
 // engine is an LRU stack maintaining recency ranks.
 type engine interface {
 	// access returns the 0-based stack distance of page, or -1 when the

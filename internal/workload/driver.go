@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"mallocsim/internal/alloc"
@@ -163,12 +164,30 @@ type driver struct {
 	stats Stats
 }
 
+// cancelCheckEvery is the cancellation-poll cadence of the driver's
+// step loop: every that many allocation steps RunContext checks whether
+// its context is done. One step is a bounded amount of work (one
+// malloc, the scheduled frees, and the step's reference budget), so the
+// poll granularity keeps cancellation latency in the low milliseconds
+// while the check itself — one interface call on a non-cancellable
+// context — stays invisible in profiles.
+const cancelCheckEvery = 1024
+
 // Run drives the program model against allocator a on memory m,
 // creating stack and global regions on m for the application's
 // non-heap references. The allocator must already be constructed on
 // the same memory. References flow to m's sink; instructions to its
 // meter with malloc/free time in the proper cost domains.
 func Run(m *mem.Memory, a alloc.Allocator, cfg Config) (Stats, error) {
+	return RunContext(context.Background(), m, a, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the step loop polls
+// ctx every cancelCheckEvery allocation steps and returns early with
+// context.Cause(ctx) wrapped in the error when the context is done.
+// Cancellation does not perturb determinism — a run that completes
+// produces byte-identical results whether or not ctx is cancellable.
+func RunContext(ctx context.Context, m *mem.Memory, a alloc.Allocator, cfg Config) (Stats, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
@@ -238,6 +257,10 @@ func Run(m *mem.Memory, a alloc.Allocator, cfg Config) (Stats, error) {
 
 	d.stats.Program = p.Name
 	for step := uint64(0); step < nAllocs; step++ {
+		if step%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return d.stats, fmt.Errorf("workload %s: aborted at step %d/%d: %w",
+				p.Name, step, nAllocs, context.Cause(ctx))
+		}
 		// Deaths scheduled at or before this step happen first, so the
 		// allocator sees the recycling opportunity the paper's
 		// segregated-storage designs exploit.

@@ -1,0 +1,67 @@
+#!/bin/sh
+# simd-smoke.sh — end-to-end smoke test of the experiment service
+# (cmd/simd), used by the CI `simd-smoke` job and runnable locally:
+#
+#   scripts/simd-smoke.sh
+#
+# Boots simd on a local port, submits one figure-4-style job (make x
+# bsd on a 16K direct-mapped cache), polls it to completion, fetches
+# the content-addressed report, resubmits the same spec and requires a
+# result-cache hit, then sends SIGTERM and requires a clean drain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:8377
+BASE="http://$ADDR"
+SPEC='{"program":"make","allocator":"bsd","scale":1024,"caches":[{"size":16384}]}'
+
+go build -o /tmp/simd-smoke-bin ./cmd/simd
+/tmp/simd-smoke-bin -addr "$ADDR" -workers 2 -job-timeout 2m &
+SIMD_PID=$!
+trap 'kill "$SIMD_PID" 2>/dev/null || true' EXIT
+
+# Wait for the service to come up.
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz"
+
+echo "==> submit"
+JOB=$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs")
+echo "$JOB"
+ID=$(echo "$JOB" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+HASH=$(echo "$JOB" | sed -n 's/.*"hash": "\([^"]*\)".*/\1/p')
+[ -n "$ID" ] && [ -n "$HASH" ]
+
+echo "==> poll $ID"
+STATE=queued
+for i in $(seq 1 150); do
+    DOC=$(curl -fsS "$BASE/v1/jobs/$ID")
+    STATE=$(echo "$DOC" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$STATE" = done ] && break
+    if [ "$STATE" = failed ]; then
+        echo "job failed: $DOC" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+[ "$STATE" = done ] || { echo "job never finished (state=$STATE)" >&2; exit 1; }
+
+echo "==> fetch report $HASH"
+curl -fsS "$BASE/v1/reports/$HASH" | grep -q '"kind": "mallocsim-run-report"'
+
+echo "==> resubmit must hit the result cache"
+DUP=$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs")
+echo "$DUP" | grep -q '"cached": true' || { echo "resubmission missed the cache: $DUP" >&2; exit 1; }
+curl -fsS "$BASE/metrics" | grep '^simd_cache_hits ' | grep -qv '^simd_cache_hits 0$'
+
+echo "==> SIGTERM drains cleanly"
+kill -TERM "$SIMD_PID"
+wait "$SIMD_PID"
+trap - EXIT
+
+echo "simd smoke: ok"
