@@ -16,6 +16,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +29,7 @@ import (
 	"mallocsim/internal/cache"
 	"mallocsim/internal/obs"
 	"mallocsim/internal/sim"
+	"mallocsim/internal/store"
 	"mallocsim/internal/workload"
 )
 
@@ -42,6 +45,7 @@ func main() {
 		pageSim  = flag.Bool("pagesim", false, "enable LRU stack-distance page-fault simulation")
 		jsonOut  = flag.Bool("json", false, "print the versioned JSON run report instead of a summary")
 		outFile  = flag.String("o", "", "also write the JSON report to this file")
+		storeDir = flag.String("store", "", "also file the report into this durable document store (content-addressed)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,25 @@ func main() {
 	}
 
 	rep := res.Report()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatalf("obsreport: %v", err)
+		}
+		raw, err := rep.Encode()
+		if err != nil {
+			log.Fatalf("obsreport: %v", err)
+		}
+		sum := sha256.Sum256(raw)
+		hash := hex.EncodeToString(sum[:])
+		if err := st.Put(hash, raw, store.Meta{
+			Kind: "run-report", Program: res.Program, Allocator: res.Allocator,
+			Scale: res.Scale, Seed: res.Seed,
+		}); err != nil {
+			log.Fatalf("obsreport: store: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "obsreport: stored %s in %s\n", hash, *storeDir)
+	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {

@@ -10,13 +10,20 @@
 //
 //	simd -addr :8377 -workers 4 -job-timeout 2m
 //
+// With -store DIR, finished reports are also written through to a
+// durable content-addressed store, and the result cache falls through
+// to it on miss — reports survive restarts, and the store becomes
+// queryable over the API.
+//
 // API:
 //
-//	POST /v1/jobs            submit a job spec, returns the job document
-//	GET  /v1/jobs/{id}       poll a job
-//	GET  /v1/reports/{hash}  fetch a finished report by content hash
-//	GET  /healthz            liveness (503 while draining)
-//	GET  /metrics            job and cache counters, one "name value" per line
+//	POST /v1/jobs                submit a job spec, returns the job document
+//	GET  /v1/jobs/{id}           poll a job
+//	GET  /v1/reports/{hash}      fetch a finished report by content hash
+//	GET  /v1/runs                list stored runs (?program=&allocator=&kind=&name=)
+//	GET  /v1/diff/{a}/{b}        diff two stored reports (?threshold=)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text exposition of job/cache/store counters
 //
 // On SIGINT/SIGTERM the server drains: submissions are refused,
 // accepted jobs run to completion (bounded by -drain-timeout), then
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"mallocsim/internal/serve"
+	"mallocsim/internal/store"
 )
 
 func main() {
@@ -45,14 +53,26 @@ func main() {
 		cacheEntries = flag.Int("cache", 128, "result-cache capacity (reports, LRU-evicted)")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none; specs may override)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to let in-flight jobs finish on shutdown")
+		storeDir     = flag.String("store", "", "durable report store directory (empty = memory-only result cache)")
 	)
 	flag.Parse()
+
+	var st store.Store
+	if *storeDir != "" {
+		ds, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatalf("simd: store: %v", err)
+		}
+		st = ds
+		log.Printf("simd: durable store at %s (%d documents)", *storeDir, ds.Len())
+	}
 
 	srv := serve.NewServer(serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *jobTimeout,
+		Store:          st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

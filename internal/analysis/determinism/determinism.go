@@ -44,13 +44,14 @@ import (
 // Analyzer is the determinism analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc:  "internal/{sim,paper,obs,cache,vm} must not read wall clocks, use global math/rand, or iterate maps unsorted — run results must be byte-identical across runs and worker counts",
+	Doc:  "internal/{sim,paper,obs,cache,vm,serve,store} must not read wall clocks, use global math/rand, or iterate maps unsorted — run results must be byte-identical across runs and worker counts",
 	Run:  run,
 }
 
 // scopedPkgs are the package names (path-suffix matched) the guarantees
-// cover.
-var scopedPkgs = []string{"sim", "paper", "obs", "cache", "vm", "serve"}
+// cover. store is scoped so that two processes over one store directory
+// enumerate documents identically (listings, index rewrites).
+var scopedPkgs = []string{"sim", "paper", "obs", "cache", "vm", "serve", "store"}
 
 // clockFuncs are the time package functions that read the wall clock or
 // schedule against it.

@@ -1,0 +1,11 @@
+package store
+
+import "time"
+
+// RealClock mirrors internal/store's blessed clock shim: StoredAt
+// timestamps come from an injected Clock, and clock.go is the one file
+// allowed to read wall time to implement it.
+type RealClock struct{}
+
+// Now is allowed here.
+func (RealClock) Now() time.Time { return time.Now() } // ok: clock.go is the clock shim

@@ -1,0 +1,45 @@
+// Package store exercises the determinism rules in the durable-store
+// package: index timestamps must come from the injected Clock, and
+// listings must never leak map iteration order into what two processes
+// over the same directory would enumerate.
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// Entry is a stub of the store's index entry.
+type Entry struct {
+	Hash     string
+	StoredAt time.Time
+}
+
+// Stamp reads the wall clock outside the clock shim.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// ListUnsorted iterates the index map raw: two loads of the same
+// directory would enumerate entries in different orders.
+func ListUnsorted(byHash map[string]Entry) []Entry {
+	var out []Entry
+	for _, e := range byHash { // want `map iteration order is randomized`
+		out = append(out, e)
+	}
+	return out
+}
+
+// ListSorted is the blessed shape: collect keys, sort, then index.
+func ListSorted(byHash map[string]Entry) []Entry {
+	keys := make([]string, 0, len(byHash))
+	for k := range byHash { // ok: keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byHash[k])
+	}
+	return out
+}

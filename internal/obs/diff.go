@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Report diffing: the query side of the system of record. Two runs —
+// the same spec on two builds, or two allocators on one workload — are
+// compared field by field, and every numeric metric becomes a
+// MetricDelta carrying the absolute and relative change plus a
+// significance verdict against a caller-chosen threshold. The serve
+// layer exposes this as GET /v1/diff/{a}/{b}; the regression sentinel
+// applies the same significance rule to paper tables.
+
+// DiffVersion is the schema version of the diff document.
+const DiffVersion = 1
+
+// DiffKind identifies the diff document type.
+const DiffKind = "mallocsim-report-diff"
+
+// DiffOptions tunes significance.
+type DiffOptions struct {
+	// RelThreshold is the relative-delta significance bar: a metric
+	// whose symmetric relative change exceeds it is flagged. 0 means
+	// any change at all is significant — the right default for a
+	// deterministic simulator, where identical inputs must reproduce
+	// identical outputs.
+	RelThreshold float64
+	// AbsThreshold additionally requires |a-b| to exceed this value
+	// before a metric is flagged; it suppresses noise on metrics that
+	// hover near zero. 0 imposes no floor.
+	AbsThreshold float64
+}
+
+// MetricDelta is one numeric metric's change between two reports.
+type MetricDelta struct {
+	// Metric is the dotted path of the field, e.g. "instr.malloc" or
+	// "cache[16K:32:1].miss_rate".
+	Metric string  `json:"metric"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	// AbsDelta is b - a (signed, so a regression's direction is
+	// visible).
+	AbsDelta float64 `json:"abs_delta"`
+	// RelDelta is |b-a| / max(|a|, |b|): symmetric, bounded, and
+	// JSON-safe even when one side is zero (0 when both are).
+	RelDelta float64 `json:"rel_delta"`
+	// Significant marks deltas beyond the thresholds.
+	Significant bool `json:"significant,omitempty"`
+}
+
+// FieldDiff is one non-numeric field (identity or structure) that
+// differs between the reports.
+type FieldDiff struct {
+	Field string `json:"field"`
+	A     string `json:"a"`
+	B     string `json:"b"`
+}
+
+// Diff is the machine-readable comparison of two run reports.
+type Diff struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	// HashA/HashB are the content addresses of the compared reports
+	// when the caller knows them (the HTTP layer fills them in).
+	HashA string `json:"hash_a,omitempty"`
+	HashB string `json:"hash_b,omitempty"`
+	// Identical is true when every compared field matches exactly.
+	Identical bool `json:"identical"`
+	// Fields lists non-numeric differences: program, allocator, report
+	// version, missing sections, unmatched cache configs.
+	Fields []FieldDiff `json:"fields,omitempty"`
+	// Metrics lists every compared numeric metric, in a fixed order.
+	Metrics []MetricDelta `json:"metrics"`
+	// SignificantCount is the number of metrics beyond threshold.
+	SignificantCount int `json:"significant_count"`
+}
+
+// Significant returns the metrics flagged as beyond threshold.
+func (d *Diff) Significant() []MetricDelta {
+	var out []MetricDelta
+	for _, m := range d.Metrics {
+		if m.Significant {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders a compact human-readable summary: the verdict line,
+// then one line per significant metric.
+func (d *Diff) String() string {
+	var sb strings.Builder
+	if d.Identical {
+		sb.WriteString("reports identical\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "reports differ: %d/%d metrics beyond threshold, %d field differences\n",
+		d.SignificantCount, len(d.Metrics), len(d.Fields))
+	for _, f := range d.Fields {
+		fmt.Fprintf(&sb, "  field %-28s %q -> %q\n", f.Field, f.A, f.B)
+	}
+	for _, m := range d.Metrics {
+		if !m.Significant {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-34s %v -> %v (delta %+g, %.4f%% rel)\n",
+			m.Metric, m.A, m.B, m.AbsDelta, m.RelDelta*100)
+	}
+	return sb.String()
+}
+
+// relDelta is the symmetric relative change |b-a| / max(|a|, |b|).
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / den
+}
+
+// diffBuilder accumulates deltas against one threshold pair.
+type diffBuilder struct {
+	opts DiffOptions
+	d    *Diff
+}
+
+func (b *diffBuilder) metric(name string, a, c float64) {
+	m := MetricDelta{Metric: name, A: a, B: c, AbsDelta: c - a, RelDelta: relDelta(a, c)}
+	if a != c && m.RelDelta >= b.opts.RelThreshold && math.Abs(m.AbsDelta) >= b.opts.AbsThreshold {
+		m.Significant = true
+		b.d.SignificantCount++
+	}
+	b.d.Metrics = append(b.d.Metrics, m)
+}
+
+func (b *diffBuilder) umetric(name string, a, c uint64) {
+	b.metric(name, float64(a), float64(c))
+}
+
+func (b *diffBuilder) field(name, a, c string) {
+	if a != c {
+		b.d.Fields = append(b.d.Fields, FieldDiff{Field: name, A: a, B: c})
+	}
+}
+
+// DiffReports compares two run reports field by field. Identity fields
+// (program, allocator, version) that differ are reported as FieldDiffs
+// — diffing two different experiments is a legitimate query ("compare
+// quickfit to firstfit on gs"), so it is not an error. Numeric metrics
+// are emitted in a fixed order regardless of input, so diff documents
+// for the same report pair are byte-identical across runs.
+func DiffReports(a, b *Report, opts DiffOptions) *Diff {
+	bd := &diffBuilder{opts: opts, d: &Diff{Version: DiffVersion, Kind: DiffKind}}
+	d := bd.d
+
+	bd.field("kind", a.Kind, b.Kind)
+	bd.field("program", a.Program, b.Program)
+	bd.field("allocator", a.Allocator, b.Allocator)
+	bd.field("version", fmt.Sprint(a.Version), fmt.Sprint(b.Version))
+	bd.umetric("scale", a.Scale, b.Scale)
+	bd.umetric("seed", a.Seed, b.Seed)
+
+	bd.umetric("workload.allocs", a.Workload.Allocs, b.Workload.Allocs)
+	bd.umetric("workload.frees", a.Workload.Frees, b.Workload.Frees)
+	bd.umetric("workload.final_live", a.Workload.FinalLive, b.Workload.FinalLive)
+	bd.umetric("workload.live_bytes", a.Workload.LiveBytes, b.Workload.LiveBytes)
+	bd.umetric("workload.req_bytes", a.Workload.ReqBytes, b.Workload.ReqBytes)
+
+	bd.umetric("instr.app", a.Instr.App, b.Instr.App)
+	bd.umetric("instr.malloc", a.Instr.Malloc, b.Instr.Malloc)
+	bd.umetric("instr.free", a.Instr.Free, b.Instr.Free)
+	bd.metric("instr.alloc_fraction", a.Instr.AllocFraction(), b.Instr.AllocFraction())
+
+	bd.umetric("refs.reads", a.Refs.Reads, b.Refs.Reads)
+	bd.umetric("refs.writes", a.Refs.Writes, b.Refs.Writes)
+	bd.umetric("refs.bytes_read", a.Refs.BytesRead, b.Refs.BytesRead)
+	bd.umetric("refs.bytes_wrote", a.Refs.BytesWrote, b.Refs.BytesWrote)
+
+	bd.umetric("footprint_bytes", a.FootprintBytes, b.FootprintBytes)
+	bd.umetric("total_footprint_bytes", a.TotalFootprintBytes, b.TotalFootprintBytes)
+
+	diffCaches(bd, a.Caches, b.Caches)
+	diffVM(bd, a.VM, b.VM)
+	diffAlloc(bd, a.Alloc, b.Alloc)
+
+	d.Identical = len(d.Fields) == 0 && allZero(d.Metrics)
+	return d
+}
+
+// allZero reports whether no metric moved at all (significance aside:
+// a sub-threshold drift still makes reports non-identical).
+func allZero(ms []MetricDelta) bool {
+	for _, m := range ms {
+		if m.AbsDelta != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// diffCaches aligns cache summaries by their config string; configs
+// present on only one side become FieldDiffs.
+func diffCaches(bd *diffBuilder, a, b []CacheSummary) {
+	inB := map[string]CacheSummary{}
+	for _, c := range b {
+		inB[c.Config] = c
+	}
+	matched := map[string]bool{}
+	for _, ca := range a {
+		cb, ok := inB[ca.Config]
+		if !ok {
+			bd.field("cache["+ca.Config+"]", "present", "missing")
+			continue
+		}
+		matched[ca.Config] = true
+		bd.umetric("cache["+ca.Config+"].accesses", ca.Accesses, cb.Accesses)
+		bd.umetric("cache["+ca.Config+"].misses", ca.Misses, cb.Misses)
+		bd.metric("cache["+ca.Config+"].miss_rate", ca.MissRate, cb.MissRate)
+	}
+	for _, cb := range b {
+		if !matched[cb.Config] {
+			bd.field("cache["+cb.Config+"]", "missing", "present")
+		}
+	}
+}
+
+// diffVM compares page-fault summaries; curve points align by pages.
+func diffVM(bd *diffBuilder, a, b *VMSummary) {
+	switch {
+	case a == nil && b == nil:
+		return
+	case a == nil || b == nil:
+		bd.field("vm", presence(a != nil), presence(b != nil))
+		return
+	}
+	bd.umetric("vm.page_size", a.PageSize, b.PageSize)
+	bd.umetric("vm.refs", a.Refs, b.Refs)
+	bd.umetric("vm.distinct_pages", a.DistinctPages, b.DistinctPages)
+	inB := map[uint64]VMPoint{}
+	for _, p := range b.Curve {
+		inB[p.Pages] = p
+	}
+	matched := map[uint64]bool{}
+	for _, pa := range a.Curve {
+		pb, ok := inB[pa.Pages]
+		if !ok {
+			bd.field(fmt.Sprintf("vm.curve[%d]", pa.Pages), "present", "missing")
+			continue
+		}
+		matched[pa.Pages] = true
+		bd.umetric(fmt.Sprintf("vm.curve[%d].faults", pa.Pages), pa.Faults, pb.Faults)
+		bd.metric(fmt.Sprintf("vm.curve[%d].fault_rate", pa.Pages), pa.FaultRate, pb.FaultRate)
+	}
+	for _, pb := range b.Curve {
+		if !matched[pb.Pages] {
+			bd.field(fmt.Sprintf("vm.curve[%d]", pb.Pages), "missing", "present")
+		}
+	}
+}
+
+// diffAlloc compares the per-call allocator metrics when both runs were
+// instrumented; an asymmetric presence is a field difference, not an
+// error, since instrumentation is optional.
+func diffAlloc(bd *diffBuilder, a, b *RecorderSnapshot) {
+	switch {
+	case a == nil && b == nil:
+		return
+	case a == nil || b == nil:
+		bd.field("alloc", presence(a != nil), presence(b != nil))
+		return
+	}
+	bd.umetric("alloc.mallocs", a.Mallocs, b.Mallocs)
+	bd.umetric("alloc.frees", a.Frees, b.Frees)
+	bd.umetric("alloc.err_bad_free", a.BadFree, b.BadFree)
+	bd.umetric("alloc.err_too_large", a.TooLarge, b.TooLarge)
+	bd.umetric("alloc.err_oom", a.OOM, b.OOM)
+	bd.metric("alloc.live_objects", float64(a.LiveObjects), float64(b.LiveObjects))
+	bd.metric("alloc.live_objects_max", float64(a.LiveObjectsMax), float64(b.LiveObjectsMax))
+	bd.metric("alloc.live_bytes", float64(a.LiveBytes), float64(b.LiveBytes))
+	bd.metric("alloc.live_bytes_max", float64(a.LiveBytesMax), float64(b.LiveBytesMax))
+	bd.metric("alloc.footprint_max", float64(a.FootprintMax), float64(b.FootprintMax))
+}
+
+func presence(p bool) string {
+	if p {
+		return "present"
+	}
+	return "missing"
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport()
+	r.Program = "gs"
+	r.Allocator = "quickfit"
+	r.Scale = 256
+	r.Seed = 1
+	r.Workload = WorkloadSummary{Allocs: 1000, Frees: 990, FinalLive: 10, LiveBytes: 4096, ReqBytes: 65536}
+	r.Instr.App = 1_000_000
+	r.Instr.Malloc = 50_000
+	r.Instr.Free = 25_000
+	r.Refs = RefSummary{Reads: 800_000, Writes: 200_000, BytesRead: 3_200_000, BytesWrote: 800_000}
+	r.FootprintBytes = 1 << 20
+	r.TotalFootprintBytes = 2 << 20
+	r.Caches = []CacheSummary{
+		{Config: "16K:32:1", Accesses: 1_000_000, Misses: 40_000, MissRate: 0.04},
+		{Config: "64K:32:1", Accesses: 1_000_000, Misses: 12_000, MissRate: 0.012},
+	}
+	r.VM = &VMSummary{
+		PageSize: 4096, Refs: 1_000_000, DistinctPages: 300,
+		Curve: []VMPoint{{Pages: 100, Faults: 5000, FaultRate: 0.005}, {Pages: 200, Faults: 700, FaultRate: 0.0007}},
+	}
+	return r
+}
+
+func TestDiffIdenticalReports(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	d := DiffReports(a, b, DiffOptions{})
+	if !d.Identical {
+		t.Fatalf("identical reports not identical: %s", d.String())
+	}
+	if d.SignificantCount != 0 || len(d.Significant()) != 0 {
+		t.Fatalf("identical reports flagged %d metrics", d.SignificantCount)
+	}
+	if len(d.Metrics) == 0 {
+		t.Fatal("no metrics compared")
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestDiffFlagsMovedMetric(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Instr.Malloc = 55_000 // +10%
+	b.Caches[0].Misses = 41_000
+	b.Caches[0].MissRate = 0.041
+
+	d := DiffReports(a, b, DiffOptions{})
+	if d.Identical {
+		t.Fatal("moved metrics reported identical")
+	}
+	sig := map[string]MetricDelta{}
+	for _, m := range d.Significant() {
+		sig[m.Metric] = m
+	}
+	m, ok := sig["instr.malloc"]
+	if !ok {
+		t.Fatalf("instr.malloc not flagged; significant = %v", d.Significant())
+	}
+	if m.AbsDelta != 5000 {
+		t.Fatalf("instr.malloc abs delta = %v", m.AbsDelta)
+	}
+	if m.RelDelta < 0.09 || m.RelDelta > 0.1 {
+		t.Fatalf("instr.malloc rel delta = %v", m.RelDelta)
+	}
+	if _, ok := sig["cache[16K:32:1].miss_rate"]; !ok {
+		t.Fatal("cache miss rate change not flagged")
+	}
+	// instr.alloc_fraction moves as a consequence; instr.free must not.
+	if _, ok := sig["instr.free"]; ok {
+		t.Fatal("unmoved metric flagged")
+	}
+}
+
+func TestDiffThresholdSuppressesSmallDrift(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Instr.App = a.Instr.App + 10 // 0.001% drift
+
+	strict := DiffReports(a, b, DiffOptions{})
+	if strict.SignificantCount == 0 {
+		t.Fatal("zero threshold must flag any change")
+	}
+	loose := DiffReports(a, b, DiffOptions{RelThreshold: 0.01})
+	if loose.SignificantCount != 0 {
+		t.Fatalf("1%% threshold flagged a 0.001%% drift: %v", loose.Significant())
+	}
+	if loose.Identical {
+		t.Fatal("sub-threshold drift must still be non-identical")
+	}
+}
+
+func TestDiffStructuralDifferences(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Allocator = "firstfit"
+	b.Caches = b.Caches[:1] // drop 64K config
+	b.VM = nil
+
+	d := DiffReports(a, b, DiffOptions{})
+	if d.Identical {
+		t.Fatal("structurally different reports reported identical")
+	}
+	fields := map[string]FieldDiff{}
+	for _, f := range d.Fields {
+		fields[f.Field] = f
+	}
+	if f, ok := fields["allocator"]; !ok || f.A != "quickfit" || f.B != "firstfit" {
+		t.Fatalf("allocator field diff = %+v (fields %v)", fields["allocator"], d.Fields)
+	}
+	if f, ok := fields["cache[64K:32:1]"]; !ok || f.A != "present" || f.B != "missing" {
+		t.Fatalf("missing cache config not reported: %v", d.Fields)
+	}
+	if f, ok := fields["vm"]; !ok || f.B != "missing" {
+		t.Fatalf("missing vm section not reported: %v", d.Fields)
+	}
+}
+
+func TestDiffRelDeltaZeroSides(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	a.Workload.FinalLive = 0
+	b.Workload.FinalLive = 7
+	d := DiffReports(a, b, DiffOptions{})
+	for _, m := range d.Metrics {
+		if m.Metric == "workload.final_live" {
+			if m.RelDelta != 1 || !m.Significant {
+				t.Fatalf("zero→nonzero delta = %+v", m)
+			}
+			return
+		}
+	}
+	t.Fatal("workload.final_live not compared")
+}
+
+// TestDiffDeterministicDocument pins that the diff of the same pair is
+// byte-identical across calls (fixed metric order, no map leakage).
+func TestDiffDeterministicDocument(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Instr.Malloc++
+	b.Caches = b.Caches[:1]
+	enc := func() []byte {
+		d := DiffReports(a, b, DiffOptions{})
+		out, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := enc()
+	for i := 0; i < 10; i++ {
+		if got := enc(); string(got) != string(first) {
+			t.Fatalf("diff document differs across calls:\n%s\n%s", first, got)
+		}
+	}
+}
+
+// TestDiffAfterJSONRoundTrip mirrors the serve path: reports decoded
+// from their wire JSON must diff exactly like in-memory reports.
+func TestDiffAfterJSONRoundTrip(t *testing.T) {
+	a := sampleReport()
+	raw, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	d := DiffReports(a, &back, DiffOptions{})
+	if !d.Identical {
+		t.Fatalf("round-tripped report differs from itself: %s", d.String())
+	}
+}

@@ -126,7 +126,58 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		Note    string     `json:"note,omitempty"`
 		Header  []string   `json:"header"`
 		Rows    [][]string `json:"rows"`
-	}{TableVersion, "mallocsim-table", t.ID, t.Title, t.Note, t.Header, t.Rows})
+	}{TableVersion, TableKind, t.ID, t.Title, t.Note, t.Header, t.Rows})
+}
+
+// TableKind is the document kind stamped into JSON-encoded tables.
+const TableKind = "mallocsim-table"
+
+// UnmarshalJSON decodes a versioned table document, rejecting payloads
+// of the wrong kind or schema version so a store full of mixed
+// documents cannot be misread as a table.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		Version int        `json:"version"`
+		Kind    string     `json:"kind"`
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Note    string     `json:"note"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Kind != TableKind {
+		return fmt.Errorf("paper: not a table document (kind %q)", doc.Kind)
+	}
+	if doc.Version != TableVersion {
+		return fmt.Errorf("paper: table document version %d, want %d", doc.Version, TableVersion)
+	}
+	t.ID, t.Title, t.Note = doc.ID, doc.Title, doc.Note
+	t.Header, t.Rows = doc.Header, doc.Rows
+	return nil
+}
+
+// DecodeTable parses a JSON table document (the EncodeTable format).
+func DecodeTable(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// EncodeTable renders the canonical byte encoding of a table: indented
+// JSON plus a trailing newline. This is the exact format of the golden
+// fixtures under testdata/golden, so byte-comparing an EncodeTable
+// result against a fixture detects any drift.
+func EncodeTable(t *Table) ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Plottable reports whether the table is curve-shaped: at least two

@@ -1,0 +1,313 @@
+package paper
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mallocsim/internal/store"
+)
+
+func table(id string, header []string, rows ...[]string) *Table {
+	return &Table{ID: id, Title: "t", Header: header, Rows: rows}
+}
+
+func TestDiffTablesIdentical(t *testing.T) {
+	a := table("x", []string{"Program", "v"}, []string{"gs", "1.00"})
+	d := DiffTables(a, a, 0)
+	if d.Status != "ok" || d.Flagged != 0 || len(d.Cells) != 0 {
+		t.Fatalf("self diff = %+v", d)
+	}
+}
+
+func TestDiffTablesNumericCell(t *testing.T) {
+	a := table("x", []string{"Program", "rate"}, []string{"gs", "4.00%"})
+	b := table("x", []string{"Program", "rate"}, []string{"gs", "5.00%"})
+	d := DiffTables(a, b, 0)
+	if d.Status != "regression" || len(d.Cells) != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	c := d.Cells[0]
+	if c.Row != "gs" || c.Column != "rate" || !c.Numeric || !c.Significant {
+		t.Fatalf("cell = %+v", c)
+	}
+	if c.AbsDelta != 1.0 {
+		t.Fatalf("abs delta = %v", c.AbsDelta)
+	}
+	if c.RelDelta < 0.19 || c.RelDelta > 0.21 {
+		t.Fatalf("rel delta = %v", c.RelDelta)
+	}
+}
+
+func TestDiffTablesThreshold(t *testing.T) {
+	a := table("x", []string{"Program", "v"}, []string{"gs", "100.00"})
+	b := table("x", []string{"Program", "v"}, []string{"gs", "100.05"})
+	if d := DiffTables(a, b, 0.01); d.Status != "regression" && d.Flagged != 0 {
+		t.Fatalf("sub-threshold diff flagged: %+v", d)
+	} else if d.Status != "ok" {
+		t.Fatalf("status = %q", d.Status)
+	} else if len(d.Cells) != 1 || d.Cells[0].Significant {
+		t.Fatalf("sub-threshold delta must be recorded but not significant: %+v", d.Cells)
+	}
+	if d := DiffTables(a, b, 0); d.Status != "regression" {
+		t.Fatalf("zero threshold must flag any change: %+v", d)
+	}
+}
+
+func TestDiffTablesStructural(t *testing.T) {
+	a := table("x", []string{"Program", "v"},
+		[]string{"gs", "1"}, []string{"ptc", "2"})
+	b := table("x", []string{"Program", "w"},
+		[]string{"gs", "1"}, []string{"cfrac", "3"})
+	d := DiffTables(a, b, 0)
+	if d.Status != "regression" {
+		t.Fatalf("structural diff not flagged: %+v", d)
+	}
+	joined := strings.Join(d.Structural, "\n")
+	for _, want := range []string{`header[1]: "v" -> "w"`, `row "ptc": missing`, `row "cfrac": not in baseline`} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("structural %q missing from:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffTablesRowReorder(t *testing.T) {
+	a := table("x", []string{"Program", "v"},
+		[]string{"gs", "1"}, []string{"ptc", "2"})
+	b := table("x", []string{"Program", "v"},
+		[]string{"ptc", "2"}, []string{"gs", "1"})
+	d := DiffTables(a, b, 0)
+	if len(d.Cells) != 0 || len(d.Structural) != 0 {
+		t.Fatalf("reordered rows produced deltas: %+v", d)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := table("figure4", []string{"Program", "bsd"}, []string{"gs", "1.23"})
+	orig.Title = "Normalized Execution Time"
+	orig.Note = "a note"
+	raw, err := EncodeTable(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := EncodeTable(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("round trip not byte-stable:\n%s\n%s", raw, raw2)
+	}
+	if _, err := DecodeTable([]byte(`{"version":1,"kind":"something-else"}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := DecodeTable([]byte(`{"version":99,"kind":"mallocsim-table"}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// TestSentinelCleanReplay is the acceptance battery: replaying the full
+// golden matrix at the recorded scale against the committed fixtures
+// must yield zero regressions with every experiment byte-identical.
+func TestSentinelCleanReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden replay in -short mode")
+	}
+	s := &Sentinel{
+		Runner:   NewRunner(GoldenScale),
+		Baseline: DirBaseline{Dir: "testdata/golden"},
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean tree regressed:\n%s", rep.String())
+	}
+	if rep.Checked != 15 || len(rep.Experiments) != 15 {
+		t.Fatalf("checked %d experiments, want 15", rep.Checked)
+	}
+	for _, e := range rep.Experiments {
+		if e.Status != "ok" || !e.Identical {
+			t.Fatalf("%s: status %q identical=%v — golden replay must be byte-identical", e.ID, e.Status, e.Identical)
+		}
+	}
+	if !strings.Contains(rep.String(), "clean — no regressions") {
+		t.Fatalf("text verdict missing: %s", rep.String())
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["kind"] != SentinelKind || doc["regressions"].(float64) != 0 {
+		t.Fatalf("json verdict = %s", raw)
+	}
+}
+
+// tamperedBaseline serves the real golden fixtures except for one
+// experiment, whose table is mutated before encoding — simulating a
+// regression between the tree and its recorded baseline.
+type tamperedBaseline struct {
+	inner  BaselineSource
+	id     string
+	mutate func(*Table)
+}
+
+func (tb tamperedBaseline) Load(id string) (*Table, []byte, error) {
+	tab, raw, err := tb.inner.Load(id)
+	if err != nil || id != tb.id {
+		return tab, raw, err
+	}
+	tb.mutate(tab)
+	raw, err = EncodeTable(tab)
+	return tab, raw, err
+}
+
+// TestSentinelFlagsInjectedRegression perturbs one numeric cell of the
+// table2 baseline and requires the sentinel to attribute the exact
+// experiment, row, column and delta — in the structured report and in
+// the human-readable rendering.
+func TestSentinelFlagsInjectedRegression(t *testing.T) {
+	var row, col string
+	s := &Sentinel{
+		Runner: NewRunner(GoldenScale),
+		Baseline: tamperedBaseline{
+			inner: DirBaseline{Dir: "testdata/golden"},
+			id:    "table2",
+			mutate: func(tab *Table) {
+				row, col = tab.Rows[0][0], tab.Header[1]
+				tab.Rows[0][1] = "999999.0"
+			},
+		},
+		Experiments: []string{"table2", "table3"},
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1:\n%s", rep.Regressions, rep.String())
+	}
+	var d *ExperimentDiff
+	for i := range rep.Experiments {
+		if rep.Experiments[i].ID == "table2" {
+			d = &rep.Experiments[i]
+		} else if rep.Experiments[i].Status != "ok" {
+			t.Fatalf("untampered %s flagged: %+v", rep.Experiments[i].ID, rep.Experiments[i])
+		}
+	}
+	if d == nil || d.Status != "regression" || d.Identical {
+		t.Fatalf("tampered experiment diff = %+v", d)
+	}
+	var hit *CellDelta
+	for i := range d.Cells {
+		if d.Cells[i].Row == row && d.Cells[i].Column == col {
+			hit = &d.Cells[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no cell delta for [%s × %s]: %+v", row, col, d.Cells)
+	}
+	if !hit.Significant || !hit.Numeric || hit.AbsDelta >= 0 {
+		t.Fatalf("cell delta = %+v (current is far below the tampered baseline)", hit)
+	}
+
+	text := rep.String()
+	for _, want := range []string{"table2", "REGRESSION", row, col} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text report missing %q:\n%s", want, text)
+		}
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"table2"`, `"status":"regression"`, `"row":"` + row + `"`, `"abs_delta"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("json report missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+// TestSentinelMissingBaseline: an experiment with no recorded baseline
+// is flagged, not silently skipped.
+func TestSentinelMissingBaseline(t *testing.T) {
+	s := &Sentinel{
+		Runner:      NewRunner(GoldenScale),
+		Baseline:    DirBaseline{Dir: t.TempDir()},
+		Experiments: []string{"table1"},
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Experiments[0].Status != "missing-baseline" {
+		t.Fatalf("missing baseline not flagged: %+v", rep.Experiments)
+	}
+	if !strings.Contains(rep.String(), "MISSING BASELINE") {
+		t.Fatalf("text verdict: %s", rep.String())
+	}
+}
+
+// TestSentinelStoreRoundTrip ingests golden fixtures into a durable
+// store, then replays against the store-backed baseline: the stored
+// documents must serve byte-identically to the files they came from.
+func TestSentinelStoreRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"table1", "table2", "table3"}
+	dir := DirBaseline{Dir: "testdata/golden"}
+	for _, id := range ids {
+		tab, _, err := dir.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, err := RecordTable(st, tab, GoldenScale, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recording the identical table again is idempotent.
+		if again, err := RecordTable(st, tab, GoldenScale, 1); err != nil || again != hash {
+			t.Fatalf("re-record: %v (hash %s vs %s)", err, again, hash)
+		}
+	}
+	if st.Len() != len(ids) {
+		t.Fatalf("store has %d documents, want %d", st.Len(), len(ids))
+	}
+	s := &Sentinel{
+		Runner:      NewRunner(GoldenScale),
+		Baseline:    StoreBaseline{Store: st},
+		Experiments: ids,
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("store-backed replay regressed:\n%s", rep.String())
+	}
+	for _, e := range rep.Experiments {
+		if !e.Identical {
+			t.Fatalf("%s not byte-identical through the store", e.ID)
+		}
+	}
+	// An experiment that was never recorded is missing, not invented.
+	s.Experiments = []string{"figure9"}
+	rep, err = s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiments[0].Status != "missing-baseline" {
+		t.Fatalf("unrecorded experiment = %+v", rep.Experiments[0])
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Prometheus text exposition (version 0.0.4) of the service counters
+// and gauges. Counter names carry the conventional _total suffix — a
+// suffix-compatible rename of the flat names the service exposed
+// before (simd_cache_hits → simd_cache_hits_total), so dashboards
+// update with a rename, not a re-plumb. Gauges keep their names.
+
+// promContentType is the content type Prometheus scrapers negotiate
+// for the text exposition format.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric is one exposed time series.
+type promMetric struct {
+	name  string
+	kind  string // "counter" or "gauge"
+	help  string
+	value uint64
+}
+
+// writeProm renders metrics in exposition order: one # HELP and # TYPE
+// header per metric, then the sample.
+func writeProm(w http.ResponseWriter, metrics []promMetric) {
+	w.Header().Set("Content-Type", promContentType)
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+		fmt.Fprintf(w, "%s %d\n", m.name, m.value)
+	}
+}
+
+// handleMetrics renders the service counters in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions := s.cache.Stats()
+
+	s.storeMu.Lock()
+	storeHits, storeMisses := s.storeHits.Value(), s.storeMisses.Value()
+	storeErrors := s.storeErrors.Value()
+	s.storeMu.Unlock()
+	var storeObjects, storeBytes uint64
+	if s.store != nil {
+		storeObjects = uint64(s.store.Len())
+		storeBytes = uint64(s.store.Bytes())
+	}
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var queued, running, done, failed int
+	for _, id := range ids {
+		switch s.jobs[id].State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	metrics := []promMetric{
+		{"simd_jobs_submitted_total", "counter", "Jobs accepted for execution.", s.submitted.Value()},
+		{"simd_jobs_completed_total", "counter", "Jobs that finished and produced a report.", s.completed.Value()},
+		{"simd_jobs_failed_total", "counter", "Jobs that ended in an error.", s.failed.Value()},
+		{"simd_jobs_deduplicated_total", "counter", "Submissions coalesced onto an in-flight identical job.", s.deduped.Value()},
+		{"simd_jobs_queued", "gauge", "Jobs accepted but not yet running.", uint64(queued)},
+		{"simd_jobs_running", "gauge", "Jobs currently executing.", uint64(running)},
+		{"simd_jobs_done", "gauge", "Tracked jobs in the done state.", uint64(done)},
+		{"simd_jobs_errored", "gauge", "Tracked jobs in the failed state.", uint64(failed)},
+		{"simd_cache_hits_total", "counter", "Report lookups answered by the in-memory result cache.", hits},
+		{"simd_cache_misses_total", "counter", "Report lookups that missed the in-memory result cache.", misses},
+		{"simd_cache_evictions_total", "counter", "Reports evicted from the in-memory result cache (LRU).", evictions},
+		{"simd_cache_entries", "gauge", "Reports currently held in the in-memory result cache.", uint64(s.cache.Len())},
+		{"simd_store_hits_total", "counter", "Cache misses answered by the durable report store.", storeHits},
+		{"simd_store_misses_total", "counter", "Lookups absent from both the cache and the store.", storeMisses},
+		{"simd_store_errors_total", "counter", "Durable store reads or writes that failed (I/O, corruption).", storeErrors},
+		{"simd_store_objects", "gauge", "Documents in the durable report store.", storeObjects},
+		{"simd_store_bytes", "gauge", "Total bytes of stored documents.", storeBytes},
+		{"simd_workers", "gauge", "Simulation worker-pool size.", uint64(s.opts.Workers)},
+	}
+	s.mu.Unlock()
+	writeProm(w, metrics)
+}

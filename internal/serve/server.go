@@ -25,13 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"mallocsim/internal/cache"
 	"mallocsim/internal/obs"
 	"mallocsim/internal/sim"
+	"mallocsim/internal/store"
 	"mallocsim/internal/workload"
 )
 
@@ -60,6 +61,12 @@ type Options struct {
 	// Clock supplies timestamps and deadline timers (nil means the
 	// wall clock). Tests inject a manual clock here.
 	Clock Clock
+	// Store is the durable report store the in-memory result cache
+	// tiers over (nil means memory-only, the pre-store behavior).
+	// Finished reports are written through on job completion; cache
+	// misses fall through to the store, so reports survive restarts
+	// and LRU eviction.
+	Store store.Store
 }
 
 // Job is one tracked submission.
@@ -88,6 +95,7 @@ type Server struct {
 	opts  Options
 	clock Clock
 	cache *ResultCache
+	store store.Store
 	mux   *http.ServeMux
 
 	baseCtx    context.Context
@@ -105,6 +113,13 @@ type Server struct {
 	completed obs.Counter
 	failed    obs.Counter
 	deduped   obs.Counter
+
+	// Store-tier counters get their own mutex so lookupReport can run
+	// both with and without s.mu held.
+	storeMu     sync.Mutex
+	storeHits   obs.Counter
+	storeMisses obs.Counter
+	storeErrors obs.Counter
 
 	wg sync.WaitGroup
 }
@@ -127,6 +142,7 @@ func NewServer(opts Options) *Server {
 		opts:       opts,
 		clock:      clock,
 		cache:      NewResultCache(opts.CacheEntries),
+		store:      opts.Store,
 		mux:        http.NewServeMux(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -137,6 +153,8 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/reports/{hash}", s.handleReport)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/diff/{hashA}/{hashB}", s.handleDiff)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -202,9 +220,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
-	// Content-addressed fast path: a cached result answers the job
-	// without running (and counts a cache hit on /metrics).
-	if report, ok := s.cache.Get(hash); ok {
+	// Content-addressed fast path: a cached or durably stored result
+	// answers the job without running (and counts a cache or store hit
+	// on /metrics).
+	if report, ok := s.lookupReport(hash); ok {
 		j := s.byHash[hash]
 		if j == nil {
 			j = s.newJobLocked(spec, hash)
@@ -279,7 +298,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
-	report, ok := s.cache.Get(hash)
+	report, ok := s.lookupReport(hash)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no report with hash %q", hash))
 		return
@@ -287,6 +306,123 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(report)
+}
+
+// lookupReport resolves a content hash through the tiers: the
+// in-memory LRU first, then the durable store. A store hit re-warms
+// the memory cache so the next lookup is one map access. Store
+// failures (corruption, I/O) count on /metrics and read as a miss —
+// the caller re-runs the simulation rather than serving bad bytes.
+func (s *Server) lookupReport(hash string) ([]byte, bool) {
+	if report, ok := s.cache.Get(hash); ok {
+		return report, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	report, err := s.store.Get(hash)
+	if err != nil {
+		s.storeMu.Lock()
+		if errors.Is(err, store.ErrNotFound) {
+			s.storeMisses.Inc()
+		} else {
+			s.storeErrors.Inc()
+		}
+		s.storeMu.Unlock()
+		return nil, false
+	}
+	s.storeMu.Lock()
+	s.storeHits.Inc()
+	s.storeMu.Unlock()
+	s.cache.Put(hash, report)
+	return report, true
+}
+
+// persistReport writes a finished report through to the durable store.
+// Persistence failures never fail the job — the report is still served
+// from memory — but they are counted, so an operator sees a store
+// going bad before a restart loses history.
+func (s *Server) persistReport(j *Job, report []byte) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.Put(j.Hash, report, store.Meta{
+		Kind:      "run-report",
+		Program:   j.Spec.Program,
+		Allocator: j.Spec.Allocator,
+		Scale:     j.Spec.Scale,
+		Seed:      j.Spec.Seed,
+	})
+	if err != nil {
+		s.storeMu.Lock()
+		s.storeErrors.Inc()
+		s.storeMu.Unlock()
+	}
+}
+
+// handleRuns lists the durable store's contents, newest last, filtered
+// by the kind, program, allocator and name query parameters.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("no durable store configured (start simd with -store)"))
+		return
+	}
+	q := r.URL.Query()
+	entries := store.Select(s.store, store.Filter{
+		Kind:      q.Get("kind"),
+		Name:      q.Get("name"),
+		Program:   q.Get("program"),
+		Allocator: q.Get("allocator"),
+	})
+	if entries == nil {
+		entries = []store.Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(entries),
+		"runs":  entries,
+	})
+}
+
+// handleDiff compares two stored reports field by field. The optional
+// threshold query parameter (a relative delta, e.g. 0.01 for 1%) sets
+// the significance bar; the default 0 flags any change, which is the
+// right bar for a deterministic simulator.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	hashA, hashB := r.PathValue("hashA"), r.PathValue("hashB")
+	var opts obs.DiffOptions
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad threshold %q", t))
+			return
+		}
+		opts.RelThreshold = v
+	}
+	load := func(hash string) (*obs.Report, error) {
+		raw, ok := s.lookupReport(hash)
+		if !ok {
+			return nil, fmt.Errorf("no report with hash %q", hash)
+		}
+		var rep obs.Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return nil, fmt.Errorf("report %s is not a run report: %v", hash, err)
+		}
+		return &rep, nil
+	}
+	repA, err := load(hashA)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	repB, err := load(hashB)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	d := obs.DiffReports(repA, repB, opts)
+	d.HashA, d.HashB = hashA, hashB
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -299,54 +435,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics renders the service counters in a flat text format,
-// one "name value" per line, reusing the obs counter primitives.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses, evictions := s.cache.Stats()
-	s.mu.Lock()
-	ids := make([]string, 0, len(s.jobs))
-	for id := range s.jobs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	var queued, running, done, failed int
-	for _, id := range ids {
-		switch s.jobs[id].State {
-		case StateQueued:
-			queued++
-		case StateRunning:
-			running++
-		case StateDone:
-			done++
-		case StateFailed:
-			failed++
-		}
-	}
-	lines := []struct {
-		name  string
-		value uint64
-	}{
-		{"simd_jobs_submitted", s.submitted.Value()},
-		{"simd_jobs_completed", s.completed.Value()},
-		{"simd_jobs_failed", s.failed.Value()},
-		{"simd_jobs_deduplicated", s.deduped.Value()},
-		{"simd_jobs_queued", uint64(queued)},
-		{"simd_jobs_running", uint64(running)},
-		{"simd_jobs_done", uint64(done)},
-		{"simd_jobs_errored", uint64(failed)},
-		{"simd_cache_hits", hits},
-		{"simd_cache_misses", misses},
-		{"simd_cache_evictions", evictions},
-		{"simd_cache_entries", uint64(s.cache.Len())},
-		{"simd_workers", uint64(s.opts.Workers)},
-	}
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, l := range lines {
-		fmt.Fprintf(w, "%s %d\n", l.name, l.value)
-	}
 }
 
 // --- worker pool ---
@@ -388,6 +476,14 @@ func (s *Server) runJob(j *Job) {
 	report, reportSHA, err := s.execute(ctx, j.Spec)
 	close(finished)
 	cancel(nil)
+
+	if err == nil {
+		// Write-through to the durable store before the job flips to
+		// done, so an observer who sees "done" can rely on the report
+		// having been offered to every tier. Disk I/O stays outside
+		// s.mu.
+		s.persistReport(j, report)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -136,7 +136,7 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatalf("report identity = %v/%v", rep["program"], rep["allocator"])
 	}
 
-	hitsBefore := metric(t, ts, "simd_cache_hits")
+	hitsBefore := metric(t, ts, "simd_cache_hits_total")
 	dup, code := postJob(t, ts, smallSpec())
 	if code != http.StatusOK {
 		t.Fatalf("resubmit: status %d, want 200 (cached)", code)
@@ -147,7 +147,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if dup["hash"] != hash {
 		t.Fatalf("resubmit hash %v != %v", dup["hash"], hash)
 	}
-	if hits := metric(t, ts, "simd_cache_hits"); hits != hitsBefore+1 {
+	if hits := metric(t, ts, "simd_cache_hits_total"); hits != hitsBefore+1 {
 		t.Fatalf("cache hits = %d, want %d", hits, hitsBefore+1)
 	}
 }
@@ -367,7 +367,7 @@ func TestServiceSingleFlight(t *testing.T) {
 	if first["id"] != second["id"] {
 		t.Fatalf("in-flight duplicate got a new job: %v vs %v", first["id"], second["id"])
 	}
-	if n := metric(t, ts, "simd_jobs_deduplicated"); n != 1 {
+	if n := metric(t, ts, "simd_jobs_deduplicated_total"); n != 1 {
 		t.Fatalf("deduplicated = %d, want 1", n)
 	}
 }

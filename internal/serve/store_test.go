@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mallocsim/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.DiskStore {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+// runToDone submits spec and waits for completion, returning the job's
+// content hash.
+func runToDone(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	doc, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: status %d, body %v", code, doc)
+	}
+	if doc["state"] == StateDone { // answered from cache or store
+		return doc["hash"].(string)
+	}
+	done := waitState(t, ts, doc["id"].(string), StateDone, StateFailed)
+	if done["state"] != StateDone {
+		t.Fatalf("job failed: %v", done["error"])
+	}
+	return done["hash"].(string)
+}
+
+// TestReportSurvivesRestart is the acceptance E2E: run a job on one
+// server, tear the server down, start a fresh Server (empty memory
+// cache) over the same store directory, and fetch the report by hash —
+// it must come off disk, recording a cache miss and a store hit on
+// /metrics.
+func TestReportSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1 := NewServer(Options{Workers: 1, Store: openStore(t, dir)})
+	ts1 := httptest.NewServer(srv1)
+	hash := runToDone(t, ts1, smallSpec())
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// "Restart": a new Server over a reopened store on the same dir.
+	_, ts2 := newTestService(t, Options{Workers: 1, Store: openStore(t, dir)})
+	rep, code := getJSON(t, ts2.URL+"/v1/reports/"+hash)
+	if code != http.StatusOK {
+		t.Fatalf("report fetch after restart: status %d", code)
+	}
+	if rep["kind"] != "mallocsim-run-report" || rep["program"] != "make" {
+		t.Fatalf("restarted report = kind %v, program %v", rep["kind"], rep["program"])
+	}
+	if misses := metric(t, ts2, "simd_cache_misses_total"); misses == 0 {
+		t.Fatal("store-served fetch did not record a memory-cache miss")
+	}
+	if hits := metric(t, ts2, "simd_store_hits_total"); hits != 1 {
+		t.Fatalf("simd_store_hits_total = %d, want 1", hits)
+	}
+	if objects := metric(t, ts2, "simd_store_objects"); objects != 1 {
+		t.Fatalf("simd_store_objects = %d, want 1", objects)
+	}
+
+	// The store hit re-warmed the memory cache: the next fetch is a
+	// cache hit, not another disk read.
+	if _, code := getJSON(t, ts2.URL+"/v1/reports/"+hash); code != http.StatusOK {
+		t.Fatalf("second fetch: status %d", code)
+	}
+	if hits := metric(t, ts2, "simd_store_hits_total"); hits != 1 {
+		t.Fatalf("second fetch went to disk again (store hits %d)", hits)
+	}
+	if hits := metric(t, ts2, "simd_cache_hits_total"); hits == 0 {
+		t.Fatal("second fetch did not hit the memory cache")
+	}
+
+	// Resubmitting the spec on the restarted server is answered from
+	// the store without running (cached fast path).
+	dup, code := postJob(t, ts2, smallSpec())
+	if code != http.StatusOK || dup["cached"] != true {
+		t.Fatalf("resubmit after restart not served from store: status %d, %v", code, dup)
+	}
+}
+
+// TestRunsListing exercises GET /v1/runs and its filters.
+func TestRunsListing(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestService(t, Options{Workers: 2, Store: openStore(t, dir)})
+
+	runToDone(t, ts, `{"program":"make","allocator":"bsd","scale":4096,"caches":[{"size":16384}]}`)
+	runToDone(t, ts, `{"program":"make","allocator":"firstfit","scale":4096,"caches":[{"size":16384}]}`)
+
+	list := func(query string) (int, []any) {
+		doc, code := getJSON(t, ts.URL+"/v1/runs"+query)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/runs%s: status %d", query, code)
+		}
+		runs, _ := doc["runs"].([]any)
+		return int(doc["count"].(float64)), runs
+	}
+	count, runs := list("")
+	if count != 2 || len(runs) != 2 {
+		t.Fatalf("unfiltered runs = %d/%d, want 2", count, len(runs))
+	}
+	entry := runs[0].(map[string]any)
+	meta := entry["meta"].(map[string]any)
+	if meta["kind"] != "run-report" || meta["program"] != "make" {
+		t.Fatalf("entry meta = %v", meta)
+	}
+	if entry["sha256"] == "" || entry["hash"] == "" {
+		t.Fatalf("entry lacks integrity fields: %v", entry)
+	}
+
+	if count, _ := list("?allocator=firstfit"); count != 1 {
+		t.Fatalf("allocator filter = %d, want 1", count)
+	}
+	if count, _ := list("?allocator=quickfit"); count != 0 {
+		t.Fatalf("absent allocator filter = %d, want 0", count)
+	}
+	if count, _ := list("?kind=bench-snapshot"); count != 0 {
+		t.Fatalf("kind filter = %d, want 0", count)
+	}
+}
+
+// TestRunsWithoutStore: a memory-only server reports the listing as
+// unavailable rather than silently empty.
+func TestRunsWithoutStore(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1})
+	if _, code := getJSON(t, ts.URL+"/v1/runs"); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/runs without store: status %d, want 503", code)
+	}
+}
+
+// TestDiffEndpoint diffs a report against itself (identical) and
+// against a different allocator's run (allocator field + metric
+// deltas).
+func TestDiffEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestService(t, Options{Workers: 2, Store: openStore(t, dir)})
+
+	hashA := runToDone(t, ts, `{"program":"make","allocator":"bsd","scale":4096,"caches":[{"size":16384}]}`)
+	hashB := runToDone(t, ts, `{"program":"make","allocator":"firstfit","scale":4096,"caches":[{"size":16384}]}`)
+
+	self, code := getJSON(t, fmt.Sprintf("%s/v1/diff/%s/%s", ts.URL, hashA, hashA))
+	if code != http.StatusOK {
+		t.Fatalf("self diff: status %d", code)
+	}
+	if self["identical"] != true {
+		t.Fatalf("self diff not identical: %v", self)
+	}
+	if self["hash_a"] != hashA || self["hash_b"] != hashA {
+		t.Fatalf("self diff hashes = %v/%v", self["hash_a"], self["hash_b"])
+	}
+
+	cross, code := getJSON(t, fmt.Sprintf("%s/v1/diff/%s/%s", ts.URL, hashA, hashB))
+	if code != http.StatusOK {
+		t.Fatalf("cross diff: status %d", code)
+	}
+	if cross["identical"] == true {
+		t.Fatal("different allocators' reports reported identical")
+	}
+	raw, _ := json.Marshal(cross["fields"])
+	if !jsonContains(raw, "allocator") {
+		t.Fatalf("cross diff fields lack allocator: %s", raw)
+	}
+	if cross["significant_count"].(float64) == 0 {
+		t.Fatal("cross diff flagged no metrics at zero threshold")
+	}
+
+	// A loose threshold suppresses significance but not the deltas.
+	loose, code := getJSON(t, fmt.Sprintf("%s/v1/diff/%s/%s?threshold=0.999999", ts.URL, hashA, hashB))
+	if code != http.StatusOK {
+		t.Fatalf("loose diff: status %d", code)
+	}
+	if loose["identical"] == true {
+		t.Fatal("loose diff reported identical")
+	}
+
+	if _, code := getJSON(t, ts.URL+"/v1/diff/"+hashA+"/deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("diff with unknown hash: status %d, want 404", code)
+	}
+	if _, code := getJSON(t, fmt.Sprintf("%s/v1/diff/%s/%s?threshold=nope", ts.URL, hashA, hashB)); code != http.StatusBadRequest {
+		t.Fatalf("diff with bad threshold: status %d, want 400", code)
+	}
+}
+
+func jsonContains(raw []byte, substr string) bool {
+	return len(raw) > 0 && string(raw) != "null" && containsStr(string(raw), substr)
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStoreWriteThroughOnCompletion: the report lands in the store the
+// moment the job is done, not lazily on first read.
+func TestStoreWriteThroughOnCompletion(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	_, ts := newTestService(t, Options{Workers: 1, Store: st})
+	hash := runToDone(t, ts, smallSpec())
+	if st.Len() != 1 {
+		t.Fatalf("store Len = %d after completion, want 1", st.Len())
+	}
+	e, err := st.Stat(hash)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if e.Meta.Kind != "run-report" || e.Meta.Program != "make" || e.Meta.Allocator != "bsd" {
+		t.Fatalf("stored meta = %+v", e.Meta)
+	}
+	if got, err := st.Get(hash); err != nil || len(got) == 0 {
+		t.Fatalf("stored report unreadable: %v", err)
+	}
+}
+
+// TestContainsDoesNotPerturbRecency pins the dedupe-path contract: a
+// Contains probe must neither promote an entry (saving it from
+// eviction) nor touch the hit/miss counters the capacity planner
+// reads. Get is the only recency-bearing read.
+func TestContainsDoesNotPerturbRecency(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put("old", []byte("r-old"))
+	c.Put("young", []byte("r-young"))
+
+	h0, m0, e0 := c.Stats()
+	for i := 0; i < 3; i++ {
+		if !c.Contains("old") {
+			t.Fatal("old missing")
+		}
+		if c.Contains("ghost") {
+			t.Fatal("ghost present")
+		}
+	}
+	if h, m, e := c.Stats(); h != h0 || m != m0 || e != e0 {
+		t.Fatalf("Contains moved the counters: %d/%d/%d -> %d/%d/%d", h0, m0, e0, h, m, e)
+	}
+
+	// "old" is still the LRU entry despite the probes: the next Put
+	// evicts it, not "young".
+	c.Put("new", []byte("r-new"))
+	if c.Contains("old") {
+		t.Fatal("Contains promoted the probed entry; LRU order must be Get-only")
+	}
+	if !c.Contains("young") || !c.Contains("new") {
+		t.Fatal("wrong entry evicted")
+	}
+
+	// Get, by contrast, does promote.
+	c2 := NewResultCache(2)
+	c2.Put("a", []byte("ra"))
+	c2.Put("b", []byte("rb"))
+	c2.Get("a")
+	c2.Put("c", []byte("rc"))
+	if c2.Contains("b") || !c2.Contains("a") {
+		t.Fatal("Get failed to promote")
+	}
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// On-disk layout, rooted at the directory passed to Open:
+//
+//	index.json             versioned listing of every object
+//	objects/<h[:2]>/<h>    raw document bytes, fanned out by hash prefix
+//	quarantine/<h>.<n>     objects that failed digest verification
+//
+// Both the index and every object are written via temp+rename in the
+// destination directory, so readers of the same tree never observe a
+// torn file.
+const (
+	indexFile     = "index.json"
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+)
+
+// IndexVersion is the schema version of the on-disk index document;
+// bump on field renames.
+const IndexVersion = 1
+
+// IndexKind identifies the index document type.
+const IndexKind = "mallocsim-store-index"
+
+// indexDoc is the serialized form of the index.
+type indexDoc struct {
+	Version int     `json:"version"`
+	Kind    string  `json:"kind"`
+	Entries []Entry `json:"entries"`
+}
+
+// Options configures a DiskStore.
+type Options struct {
+	// Clock supplies Entry.StoredAt timestamps (nil means the wall
+	// clock). Tests inject a manual clock here.
+	Clock Clock
+}
+
+// DiskStore is the production Store: a content-addressed object tree
+// plus a JSON index, safe for concurrent use within one process.
+// (Cross-process writers are not coordinated; the service owns its
+// store directory exclusively.)
+type DiskStore struct {
+	dir   string
+	clock Clock
+
+	mu      sync.Mutex
+	entries []Entry        // insertion order; List sorts a copy
+	byHash  map[string]int // hash → index into entries
+	bytes   int64          // sum of entry sizes
+	quarN   int            // quarantine filename disambiguator
+}
+
+// Open creates or reopens a store rooted at dir, loading the index. A
+// missing directory or index starts empty; an unreadable or
+// syntactically corrupt index is a loud ErrCorrupt — losing the
+// listing silently would amputate history the sentinel depends on.
+func Open(dir string, opts Options) (*DiskStore, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &DiskStore{dir: dir, clock: clock, byHash: map[string]int{}}
+
+	raw, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+	var doc indexDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("store: %w: index is not valid JSON: %v", ErrCorrupt, err)
+	}
+	if doc.Kind != IndexKind || doc.Version != IndexVersion {
+		return nil, fmt.Errorf("store: %w: index kind/version %q/%d, want %q/%d",
+			ErrCorrupt, doc.Kind, doc.Version, IndexKind, IndexVersion)
+	}
+	for _, e := range doc.Entries {
+		if !validHash(e.Hash) {
+			return nil, fmt.Errorf("store: %w: index entry with malformed hash %q", ErrCorrupt, e.Hash)
+		}
+		if _, dup := s.byHash[e.Hash]; dup {
+			return nil, fmt.Errorf("store: %w: index lists hash %s twice", ErrCorrupt, e.Hash)
+		}
+		s.byHash[e.Hash] = len(s.entries)
+		s.entries = append(s.entries, e)
+		s.bytes += e.Size
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) objectPath(hash string) string {
+	return filepath.Join(s.dir, objectsDir, hash[:2], hash)
+}
+
+// Put implements Store. The object lands before the index entry, so a
+// crash between the two leaves an orphan object (invisible, re-put
+// heals it), never a dangling index entry.
+func (s *DiskStore) Put(hash string, data []byte, meta Meta) error {
+	if !validHash(hash) {
+		return fmt.Errorf("store: put %q: %w", hash, ErrBadHash)
+	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byHash[hash]; ok {
+		if s.entries[i].SHA256 == digest {
+			return nil // idempotent re-put of identical content
+		}
+		return fmt.Errorf("store: put %s: %w (stored sha256 %s, new %s)",
+			hash, ErrConflict, s.entries[i].SHA256, digest)
+	}
+	path := s.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	e := Entry{
+		Hash:     hash,
+		SHA256:   digest,
+		Size:     int64(len(data)),
+		StoredAt: s.clock.Now().UTC(),
+		Meta:     meta,
+	}
+	s.entries = append(s.entries, e)
+	s.byHash[hash] = len(s.entries) - 1
+	s.bytes += e.Size
+	if err := s.writeIndexLocked(); err != nil {
+		// Roll the registration back: the orphan object stays on disk
+		// (harmless; a retry re-puts over it), but the store's view must
+		// match the index that is actually persisted.
+		s.entries = s.entries[:len(s.entries)-1]
+		delete(s.byHash, hash)
+		s.bytes -= e.Size
+		return fmt.Errorf("store: put %s: index: %w", hash, err)
+	}
+	return nil
+}
+
+// Get implements Store. Verification is unconditional: size first,
+// then SHA-256. A mismatch quarantines the object, drops its index
+// entry (so a re-put can heal the store) and returns ErrCorrupt.
+func (s *DiskStore) Get(hash string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byHash[hash]
+	if !ok {
+		return nil, fmt.Errorf("store: get %s: %w", hash, ErrNotFound)
+	}
+	e := s.entries[i]
+	data, err := os.ReadFile(s.objectPath(hash))
+	if os.IsNotExist(err) {
+		// The index promises an object the tree no longer has.
+		s.dropLocked(hash)
+		return nil, fmt.Errorf("store: get %s: object file missing: %w", hash, ErrCorrupt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", hash, err)
+	}
+	if int64(len(data)) != e.Size {
+		s.quarantineLocked(hash)
+		return nil, fmt.Errorf("store: get %s: %w: size %d, recorded %d",
+			hash, ErrCorrupt, len(data), e.Size)
+	}
+	sum := sha256.Sum256(data)
+	if digest := hex.EncodeToString(sum[:]); digest != e.SHA256 {
+		s.quarantineLocked(hash)
+		return nil, fmt.Errorf("store: get %s: %w: sha256 %s, recorded %s",
+			hash, ErrCorrupt, digest, e.SHA256)
+	}
+	return data, nil
+}
+
+// Stat implements Store.
+func (s *DiskStore) Stat(hash string) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byHash[hash]
+	if !ok {
+		return Entry{}, fmt.Errorf("store: stat %s: %w", hash, ErrNotFound)
+	}
+	return s.entries[i], nil
+}
+
+// List implements Store: a sorted copy, stable across processes.
+func (s *DiskStore) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].StoredAt.Equal(out[j].StoredAt) {
+			return out[i].StoredAt.Before(out[j].StoredAt)
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Len implements Store.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes implements Store.
+func (s *DiskStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// quarantineLocked moves hash's object into quarantine/ and drops its
+// index entry; the caller holds s.mu and reports ErrCorrupt.
+func (s *DiskStore) quarantineLocked(hash string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		s.quarN++
+		os.Rename(s.objectPath(hash), filepath.Join(qdir, fmt.Sprintf("%s.%d", hash, s.quarN)))
+	}
+	s.dropLocked(hash)
+}
+
+// dropLocked removes hash from the in-memory index and persists the
+// shrunken index (best-effort: the entry is gone from this process's
+// view either way, and the object file is already moved or missing).
+func (s *DiskStore) dropLocked(hash string) {
+	i, ok := s.byHash[hash]
+	if !ok {
+		return
+	}
+	s.bytes -= s.entries[i].Size
+	s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	delete(s.byHash, hash)
+	for j := i; j < len(s.entries); j++ {
+		s.byHash[s.entries[j].Hash] = j
+	}
+	s.writeIndexLocked()
+}
+
+// writeIndexLocked atomically rewrites index.json; the caller holds
+// s.mu.
+func (s *DiskStore) writeIndexLocked() error {
+	doc := indexDoc{Version: IndexVersion, Kind: IndexKind, Entries: s.entries}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, indexFile), append(b, '\n'))
+}
+
+// atomicWrite lands data at path via a temp file in the same directory
+// plus rename, so concurrent readers see the old bytes or the new,
+// never a prefix.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

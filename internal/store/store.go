@@ -1,0 +1,165 @@
+// Package store is the durable, content-addressed report store behind
+// the experiment service: the system of record for the repository's
+// bench trajectory. Where the serve.ResultCache is a bounded in-memory
+// LRU that evicts and dies with the process, a Store keeps every
+// finished document — run reports, paper tables, bench snapshots — on
+// disk under its content hash, with an index carrying enough spec
+// metadata to answer "which runs do we have?" without opening objects.
+//
+// Integrity is the design center:
+//
+//   - Writes are atomic: objects and the index land via temp+rename,
+//     so a crash leaves either the old state or the new, never a torn
+//     file.
+//   - Every object's SHA-256 is recorded at Put time and re-verified on
+//     Get; corrupt bytes are never served. A failed verification moves
+//     the object into quarantine/ and surfaces ErrCorrupt, so one
+//     flipped bit cannot silently poison a baseline comparison.
+//   - Failures are typed: callers classify them with errors.Is against
+//     the exported sentinels, mirroring the allocator error contract
+//     enforced by alloclint.
+//
+// The package is in scope for the determinism analyzer: wall-clock
+// reads are confined to the injected Clock (clock.go), and listings
+// iterate slices, never raw maps, so two processes over the same
+// directory enumerate runs identically.
+package store
+
+import (
+	"errors"
+	"time"
+)
+
+// Typed failures. Store methods wrap these sentinels (with %w) so
+// callers classify errors with errors.Is rather than string matching.
+var (
+	// ErrNotFound reports a Get/Stat of a hash the store has no entry
+	// for.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrCorrupt reports an object whose bytes no longer match the
+	// digest recorded at Put time (truncation, bit rot, tampering) or
+	// whose object file vanished out from under the index. The
+	// offending file, if present, has been moved to quarantine/.
+	ErrCorrupt = errors.New("store: object corrupt")
+	// ErrBadHash reports a key that is not a lowercase hex SHA-256
+	// string; refusing malformed keys keeps the object namespace (and
+	// the filesystem layout derived from it) well-formed.
+	ErrBadHash = errors.New("store: malformed content hash")
+	// ErrConflict reports a Put whose hash already names different
+	// bytes. Content-addressed entries are immutable; two different
+	// documents under one address mean the producer is broken.
+	ErrConflict = errors.New("store: hash already bound to different content")
+)
+
+// Meta is the searchable description of a stored document, carried in
+// the index so listings and filters never open object files.
+type Meta struct {
+	// Kind classifies the document: "run-report" (obs.Report),
+	// "paper-table" (paper.Table JSON) or "bench-snapshot"
+	// (scripts/bench.sh JSON).
+	Kind string `json:"kind"`
+	// Name is the document's human handle: an experiment ID such as
+	// "figure4", a bench snapshot date, or "" for run reports (which
+	// are identified by program/allocator).
+	Name string `json:"name,omitempty"`
+	// Program, Allocator, Scale and Seed carry the spec identity for
+	// run reports; zero-valued for other kinds.
+	Program   string `json:"program,omitempty"`
+	Allocator string `json:"allocator,omitempty"`
+	Scale     uint64 `json:"scale,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+}
+
+// Entry is one stored document: its content address, integrity data
+// and metadata. Entries are immutable once written.
+type Entry struct {
+	// Hash is the content address the document was stored under — for
+	// run reports the JobSpec hash, for ingested documents the SHA-256
+	// of the bytes themselves.
+	Hash string `json:"hash"`
+	// SHA256 is the hex digest of the stored bytes, verified on read.
+	// For reports keyed by spec hash this differs from Hash.
+	SHA256 string `json:"sha256"`
+	// Size is len(bytes), double-checked on read before hashing.
+	Size int64 `json:"size"`
+	// StoredAt is the Put timestamp from the store's Clock.
+	StoredAt time.Time `json:"stored_at"`
+	Meta     Meta      `json:"meta"`
+}
+
+// Store is the pluggable persistence interface the experiment service
+// tiers its result cache over. Implementations must be safe for
+// concurrent use and must never return bytes that fail digest
+// verification.
+type Store interface {
+	// Put stores data under hash with the given metadata. Storing the
+	// same (hash, bytes) twice is an idempotent success; the same hash
+	// with different bytes is ErrConflict.
+	Put(hash string, data []byte, meta Meta) error
+	// Get returns the verified bytes stored under hash (ErrNotFound,
+	// ErrCorrupt).
+	Get(hash string) ([]byte, error)
+	// Stat returns the index entry for hash without reading the object
+	// (ErrNotFound).
+	Stat(hash string) (Entry, error)
+	// List returns every entry, sorted by (StoredAt, Hash) so output is
+	// stable across processes.
+	List() []Entry
+	// Len returns the number of stored objects.
+	Len() int
+	// Bytes returns the total size of stored objects.
+	Bytes() int64
+}
+
+// Filter selects entries from a listing; zero-valued fields match
+// everything.
+type Filter struct {
+	Kind      string
+	Name      string
+	Program   string
+	Allocator string
+}
+
+// Match reports whether e satisfies every set field of f.
+func (f Filter) Match(e Entry) bool {
+	if f.Kind != "" && e.Meta.Kind != f.Kind {
+		return false
+	}
+	if f.Name != "" && e.Meta.Name != f.Name {
+		return false
+	}
+	if f.Program != "" && e.Meta.Program != f.Program {
+		return false
+	}
+	if f.Allocator != "" && e.Meta.Allocator != f.Allocator {
+		return false
+	}
+	return true
+}
+
+// Select returns the entries of s matching f, in List order.
+func Select(s Store, f Filter) []Entry {
+	var out []Entry
+	for _, e := range s.List() {
+		if f.Match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// validHash reports whether h is a lowercase hex SHA-256 digest — the
+// only keys the store accepts, so object filenames derived from keys
+// are always safe path components.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

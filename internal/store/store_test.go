@@ -1,0 +1,390 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock hands out strictly increasing, deterministic timestamps so
+// index documents and List order are byte-reproducible in tests.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newStepClock() *stepClock {
+	return &stepClock{t: time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+func open(t *testing.T, dir string) *DiskStore {
+	t.Helper()
+	s, err := Open(dir, Options{Clock: newStepClock()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// key returns a valid content address for test payloads.
+func key(payload string) string {
+	sum := sha256.Sum256([]byte(payload))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	data := []byte(`{"kind":"mallocsim-run-report","program":"gs"}`)
+	h := key("roundtrip")
+	meta := Meta{Kind: "run-report", Program: "gs", Allocator: "quickfit", Scale: 16, Seed: 1}
+	if err := s.Put(h, data, meta); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(h)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	e, err := s.Stat(h)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if e.Meta != meta || e.Size != int64(len(data)) {
+		t.Fatalf("Stat entry = %+v", e)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len(data)) {
+		t.Fatalf("Len/Bytes = %d/%d", s.Len(), s.Bytes())
+	}
+
+	// Idempotent re-put of identical bytes.
+	if err := s.Put(h, data, meta); err != nil {
+		t.Fatalf("re-Put identical: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("re-Put duplicated the entry: Len = %d", s.Len())
+	}
+	// Same address, different bytes: refused, original preserved.
+	err = s.Put(h, []byte("different"), meta)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting Put err = %v, want ErrConflict", err)
+	}
+	if got, _ := s.Get(h); !bytes.Equal(got, data) {
+		t.Fatal("conflicting Put clobbered the original bytes")
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	h := key("reopen")
+	data := []byte("survives restarts")
+	if err := s.Put(h, data, Meta{Kind: "bench-snapshot", Name: "BENCH_X"}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	got, err := s2.Get(h)
+	if err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reopened Get = %q", got)
+	}
+	e, err := s2.Stat(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Meta.Kind != "bench-snapshot" || e.Meta.Name != "BENCH_X" {
+		t.Fatalf("metadata lost across reopen: %+v", e.Meta)
+	}
+}
+
+func TestBadHashKeys(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, h := range []string{
+		"",
+		"abc",
+		strings.Repeat("g", 64),   // non-hex
+		strings.ToUpper(key("x")), // uppercase
+		"../../etc/passwd" + strings.Repeat("a", 48), // traversal-shaped
+	} {
+		if err := s.Put(h, []byte("x"), Meta{}); !errors.Is(err, ErrBadHash) {
+			t.Errorf("Put(%q) err = %v, want ErrBadHash", h, err)
+		}
+	}
+}
+
+func TestGetUnknownHash(t *testing.T) {
+	s := open(t, t.TempDir())
+	if _, err := s.Get(key("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Stat(key("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v, want ErrNotFound", err)
+	}
+}
+
+// corruptObject opens a store, stores payload, then mangles the object
+// file with mangle and returns the store and hash.
+func corruptObject(t *testing.T, mangle func(path string)) (*DiskStore, string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s := open(t, dir)
+	data := []byte("the canonical bytes of a report document")
+	h := key("corruptible")
+	if err := s.Put(h, data, Meta{Kind: "run-report"}); err != nil {
+		t.Fatal(err)
+	}
+	mangle(s.objectPath(h))
+	return s, h, data
+}
+
+func TestTruncatedObjectIsQuarantined(t *testing.T) {
+	s, h, data := corruptObject(t, func(path string) {
+		if err := os.Truncate(path, 5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got, err := s.Get(h)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get truncated err = %v, want ErrCorrupt", err)
+	}
+	if got != nil {
+		t.Fatal("Get returned bytes alongside a corruption error")
+	}
+	assertQuarantined(t, s, h)
+	// A re-put of the true bytes heals the store.
+	if err := s.Put(h, data, Meta{Kind: "run-report"}); err != nil {
+		t.Fatalf("healing Put: %v", err)
+	}
+	if got, err := s.Get(h); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+}
+
+func TestBitFlippedObjectIsQuarantined(t *testing.T) {
+	s, h, _ := corruptObject(t, func(path string) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x40 // same length, different content
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := s.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get bit-flipped err = %v, want ErrCorrupt", err)
+	}
+	assertQuarantined(t, s, h)
+}
+
+func TestMissingObjectFile(t *testing.T) {
+	s, h, _ := corruptObject(t, func(path string) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := s.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get with missing object err = %v, want ErrCorrupt", err)
+	}
+	// The dangling index entry is dropped: the store now honestly
+	// reports not-found instead of corrupt-forever.
+	if _, err := s.Get(h); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Get err = %v, want ErrNotFound", err)
+	}
+}
+
+// assertQuarantined requires the corrupt object to be out of the index
+// (subsequent Get is NotFound, not more corruption) and parked under
+// quarantine/.
+func assertQuarantined(t *testing.T, s *DiskStore, h string) {
+	t.Helper()
+	if _, err := s.Get(h); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine err = %v, want ErrNotFound", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), quarantineDir, h+".*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no quarantine file for %s (err %v)", h, err)
+	}
+}
+
+func TestUnwritableObjectDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	h := key("blocked")
+	// Block the fan-out directory with a regular file: MkdirAll fails
+	// with ENOTDIR for any euid, unlike permission bits (which root
+	// ignores).
+	if err := os.WriteFile(filepath.Join(dir, objectsDir, h[:2]), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put(h, []byte("x"), Meta{})
+	if err == nil {
+		t.Fatal("Put into a blocked object directory succeeded")
+	}
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrConflict) {
+		t.Fatalf("Put err = %v, want a plain I/O error", err)
+	}
+	// The failed Put must not register the entry.
+	if _, err := s.Get(h); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after failed Put err = %v, want ErrNotFound", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed Put left Len = %d", s.Len())
+	}
+}
+
+func TestUnwritableDirectoryPermissions(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("permission bits do not bind root")
+	}
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := os.Chmod(filepath.Join(dir, objectsDir), 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Join(dir, objectsDir), 0o755)
+	if err := s.Put(key("denied"), []byte("x"), Meta{}); err == nil {
+		t.Fatal("Put into a read-only store succeeded")
+	}
+}
+
+func TestConcurrentPutSameHash(t *testing.T) {
+	s := open(t, t.TempDir())
+	h := key("contended")
+	data := []byte("one true document")
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(h, data, Meta{Kind: "run-report"})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("writer %d: %v", i, err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if got, err := s.Get(h); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestConcurrentMixedPutGet(t *testing.T) {
+	s := open(t, t.TempDir())
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("doc-%d", i))
+			h := key(string(payload))
+			if err := s.Put(h, payload, Meta{Kind: "bench-snapshot"}); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+			got, err := s.Get(h)
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Errorf("Get %d = %q, %v", i, got, err)
+			}
+			s.List()
+			s.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+}
+
+func TestListOrderAndSelect(t *testing.T) {
+	s := open(t, t.TempDir())
+	for i := 0; i < 5; i++ {
+		payload := fmt.Sprintf("entry-%d", i)
+		meta := Meta{Kind: "run-report", Program: "gs", Allocator: "quickfit"}
+		if i%2 == 1 {
+			meta = Meta{Kind: "paper-table", Name: fmt.Sprintf("figure%d", i)}
+		}
+		if err := s.Put(key(payload), []byte(payload), meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := s.List()
+	if len(list) != 5 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].StoredAt.Before(list[i-1].StoredAt) {
+			t.Fatalf("List out of order at %d", i)
+		}
+	}
+	tables := Select(s, Filter{Kind: "paper-table"})
+	if len(tables) != 2 {
+		t.Fatalf("Select(paper-table) = %d entries", len(tables))
+	}
+	if got := Select(s, Filter{Kind: "run-report", Program: "gs"}); len(got) != 3 {
+		t.Fatalf("Select(run-report, gs) = %d entries", len(got))
+	}
+	if got := Select(s, Filter{Program: "ptc"}); len(got) != 0 {
+		t.Fatalf("Select(ptc) = %d entries", len(got))
+	}
+}
+
+func TestCorruptIndexFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put(key("x"), []byte("x"), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with corrupt index err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put(key("tidy"), []byte("tidy"), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	var strays []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			strays = append(strays, path)
+		}
+		return nil
+	})
+	if len(strays) != 0 {
+		t.Fatalf("temp files left behind: %v", strays)
+	}
+}

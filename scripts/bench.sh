@@ -10,6 +10,11 @@
 #                             benchmark with ns/op and any custom
 #                             b.ReportMetric units
 #
+# The JSON snapshot is additionally filed into the durable document
+# store at bench/store (content-addressed, integrity-checked), so the
+# benchmark trajectory is queryable alongside run reports and paper
+# tables.
+#
 # Environment:
 #   MALLOCSIM_BENCH_SCALE  experiment scale divisor (default 128; the
 #                          full-matrix RunAll benchmark honours it)
@@ -70,3 +75,6 @@ END {
 }' "$txt" > "$json"
 
 echo "wrote $txt and $json"
+
+# File the snapshot into the durable bench store (system of record).
+go run ./cmd/sentinel -store "$out/store" -ingest "$json"

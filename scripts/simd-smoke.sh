@@ -57,7 +57,11 @@ curl -fsS "$BASE/v1/reports/$HASH" | grep -q '"kind": "mallocsim-run-report"'
 echo "==> resubmit must hit the result cache"
 DUP=$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs")
 echo "$DUP" | grep -q '"cached": true' || { echo "resubmission missed the cache: $DUP" >&2; exit 1; }
-curl -fsS "$BASE/metrics" | grep '^simd_cache_hits ' | grep -qv '^simd_cache_hits 0$'
+curl -fsS "$BASE/metrics" | grep '^simd_cache_hits_total ' | grep -qv '^simd_cache_hits_total 0$'
+
+echo "==> metrics are Prometheus text exposition format"
+curl -fsSi "$BASE/metrics" | grep -qi '^content-type: text/plain; version=0.0.4'
+curl -fsS "$BASE/metrics" | grep -q '^# TYPE simd_jobs_submitted_total counter'
 
 echo "==> SIGTERM drains cleanly"
 kill -TERM "$SIMD_PID"
