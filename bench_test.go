@@ -230,6 +230,80 @@ func BenchmarkCacheGroupSweep(b *testing.B) {
 	b.ReportMetric(float64(g.DistinctLines()), "distinct-lines")
 }
 
+// BenchmarkCacheGroupBlockSweep drives the same five-configuration
+// group with the same mixed stream as BenchmarkCacheGroupSweep, but
+// delivered as one columnar trace.Block per op (4096 rows, including
+// collapsed run rows): the fused sweep decomposes each block into
+// lines once and probes every config from the shared stream. Compare
+// the reported ns/ref against BenchmarkCacheGroupSweep's ns/op — both
+// simulate the identical reference sequence.
+func BenchmarkCacheGroupBlockSweep(b *testing.B) {
+	cfgs := make([]cache.Config, len(paper.CacheSizes))
+	for i, s := range paper.CacheSizes {
+		cfgs[i] = cache.Config{Size: s}
+	}
+	g := cache.NewGroup(cfgs...)
+	r := rng.New(4)
+	blk := &trace.Block{}
+	refs := 0
+	for blk.Len() < 4096 {
+		ref := trace.Ref{Addr: r.Uint64n(1 << 24), Size: 4}
+		if r.Bool(0.3) {
+			ref.Kind = trace.Write
+		}
+		switch {
+		case r.Bool(0.05):
+			ref.Size = 256 // multi-line block copy
+		case r.Bool(0.1):
+			ref.Addr = ref.Addr&^63 + 62 // straddles a line boundary
+			ref.Size = 8
+		case r.Bool(0.1):
+			// A collapsed run row: a sequential word sweep, as the
+			// allocators' clear/copy loops emit via mem.TouchRun.
+			blk.AppendRun(ref.Addr&^7, 8, ref.Kind, 32)
+			refs += 32
+			continue
+		}
+		blk.Append(ref)
+		refs++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Block(blk)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*refs), "ns/ref")
+	b.ReportMetric(float64(g.DistinctLines()), "distinct-lines")
+}
+
+// BenchmarkStackSimSweepExact and BenchmarkStackSimSweepSampled drive
+// the default (Fenwick) stack-distance engine with an identical
+// hot/cold paging stream in block mode, exact versus page-sampled at
+// rate 1/256 (WithSampleShift(8)). Their ns/op ratio is the speedup the
+// sampled mode buys on reconnaissance sweeps; the exact mode remains
+// the default and the only one the golden figures accept.
+func benchStackSimSweep(b *testing.B, opts ...vm.Option) {
+	s := vm.NewStackSim(opts...)
+	r := rng.New(3)
+	blk := &trace.Block{}
+	for blk.Len() < 4096 {
+		var addr uint64
+		if r.Bool(0.2) {
+			addr = r.Uint64n(64 * 4096) // hot set
+		} else {
+			addr = r.Uint64n(1 << 32) // 1 Mi cold pages
+		}
+		blk.Append(trace.Ref{Addr: addr, Size: 4})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Block(blk)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*blk.Len()), "ns/ref")
+}
+
+func BenchmarkStackSimSweepExact(b *testing.B)   { benchStackSimSweep(b) }
+func BenchmarkStackSimSweepSampled(b *testing.B) { benchStackSimSweep(b, vm.WithSampleShift(8)) }
+
 // BenchmarkTeeBatch compares synchronous per-ref delivery against the
 // batched ring-buffer path through a realistic fan-out (counter + cache
 // group + filter), measured per simulated reference.

@@ -18,6 +18,8 @@
 //	                                  # replay vs the recorded store baseline
 //	sentinel -store run/store -ingest bench/BENCH_2026-08-06.json ...
 //	                                  # file documents into the store
+//	sentinel -store bench/store -latest-bench
+//	                                  # print the newest bench snapshot
 //
 // Exit status: 0 clean, 2 regression detected, 1 operational error.
 package main
@@ -50,6 +52,7 @@ func run() int {
 		fromStore = flag.Bool("from-store", false, "diff against the store baseline instead of -baseline (requires -store)")
 		record    = flag.Bool("record", false, "replay the battery and record the tables into -store, then exit")
 		ingest    = flag.Bool("ingest", false, "ingest the JSON documents named as arguments into -store, then exit")
+		latest    = flag.Bool("latest-bench", false, "print the most recently stored bench snapshot document to stdout, then exit (requires -store)")
 		threshold = flag.Float64("threshold", 0, "relative delta above which a numeric cell regresses (0 = any change)")
 		jsonOut   = flag.Bool("json", false, "write the JSON report document to stdout (text verdict goes to stderr)")
 		only      = flag.String("only", "", "comma-separated experiment IDs (default: the full paper battery)")
@@ -65,9 +68,34 @@ func run() int {
 		}
 		st = ds
 	}
-	if (*fromStore || *record || *ingest) && st == nil {
-		fmt.Fprintln(os.Stderr, "sentinel: -from-store, -record and -ingest require -store DIR")
+	if (*fromStore || *record || *ingest || *latest) && st == nil {
+		fmt.Fprintln(os.Stderr, "sentinel: -from-store, -record, -ingest and -latest-bench require -store DIR")
 		return 1
+	}
+
+	if *latest {
+		// List is sorted by (StoredAt, Hash), so the last bench-snapshot
+		// entry is the most recent one; scripts/bench.sh uses this to
+		// find the old side of its benchstat comparison.
+		var found *store.Entry
+		for _, e := range st.List() {
+			if e.Meta.Kind == "bench-snapshot" {
+				cp := e
+				found = &cp
+			}
+		}
+		if found == nil {
+			fmt.Fprintln(os.Stderr, "sentinel: no bench-snapshot documents in store")
+			return 1
+		}
+		data, err := st.Get(found.Hash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentinel: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sentinel: latest bench snapshot %s (%s)\n", found.Meta.Name, found.Hash)
+		os.Stdout.Write(data)
+		return 0
 	}
 
 	if *ingest {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "../testdata", determinism.Analyzer, "sim", "outside", "serve", "store")
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "sim", "vm", "outside", "serve", "store")
 }

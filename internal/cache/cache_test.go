@@ -302,8 +302,8 @@ func TestLineSetPagedBitset(t *testing.T) {
 	for i := uint64(0); i < 4096; i += 7 {
 		add(i) // all revisits
 	}
-	if s.count != uint64(len(oracle)) {
-		t.Errorf("lineSet count=%d, oracle=%d", s.count, len(oracle))
+	if got := s.distinct(); got != uint64(len(oracle)) {
+		t.Errorf("lineSet count=%d, oracle=%d", got, len(oracle))
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"mallocsim/internal/cost"
 	"mallocsim/internal/trace"
@@ -64,9 +65,10 @@ var ErrOutOfMemory = errors.New("mem: out of memory")
 var ErrBadAddress = errors.New("mem: address outside allocated region")
 
 // DefaultBatchSize is the reference ring-buffer capacity used by
-// SetBatching(0): 256 refs (4 KB) keeps the buffer cache-resident while
-// amortizing the flush fan-out well.
-const DefaultBatchSize = 256
+// SetBatching(0): 2048 refs (~26 KB of columns) still fits comfortably
+// in L2 while cutting the per-flush fan-out and the run-length breaks
+// at block boundaries to an eighth of a 256-ref buffer's.
+const DefaultBatchSize = 2048
 
 // Memory is a sparse simulated address space. It is not safe for
 // concurrent use; each simulation run owns one Memory.
@@ -77,12 +79,22 @@ type Memory struct {
 	meter   *cost.Meter
 
 	// Batched reference delivery (see SetBatching): emitted references
-	// accumulate in buf and are handed as a slice to each batcher at
-	// flush boundaries; direct receives every reference synchronously.
-	buf      []trace.Ref
-	bufN     int
-	batchers []trace.BatchSink
-	direct   trace.Sink
+	// accumulate in the columnar ring buffer (addrs/sizes/kinds/runs,
+	// one row per reference — or per word run, see TouchRun) and are
+	// handed at flush boundaries as one trace.Block to each BlockSink
+	// and as a materialized []Ref slice to each remaining BatchSink;
+	// direct receives every reference synchronously. addrs == nil means
+	// batching is off.
+	addrs      []uint64
+	sizes      []uint32
+	kinds      []trace.Kind
+	runs       []uint32
+	bufN       int
+	blockSinks []trace.BlockSink
+	batchers   []trace.BatchSink
+	direct     trace.Sink
+	flushBlk   trace.Block
+	refScratch []trace.Ref
 
 	// InstrPerAccess is the instruction charge per word access.
 	// Default 1 (a load or store instruction).
@@ -118,25 +130,28 @@ func (m *Memory) SetSink(s trace.Sink) {
 	}
 	m.Flush()
 	m.sink = s
-	if m.buf != nil {
-		m.rebatch(len(m.buf))
+	if m.addrs != nil {
+		m.rebatch(len(m.addrs))
 	}
 }
 
 // SetBatching enables (size > 0, or 0 for DefaultBatchSize) or disables
 // (size < 0) batched reference delivery. When enabled, references are
-// buffered and flushed in slices to every sink that implements
-// trace.BatchSink; sinks that do not still receive each reference
-// immediately, so order-sensitive sinks stay exact. Callers that read
-// simulator state out of band (cache counters, fault curves) must call
-// Flush first; the simulation drivers in package sim and paper do.
+// buffered in a columnar ring buffer and flushed as a trace.Block to
+// every sink that implements trace.BlockSink and as a slice to every
+// remaining trace.BatchSink; sinks that implement neither still receive
+// each reference immediately, so order-sensitive sinks stay exact.
+// Callers that read simulator state out of band (cache counters, fault
+// curves) must call Flush first; the simulation drivers in package sim
+// and paper do.
 //
 // Batching is off by default: ad-hoc pipelines keep the seed semantics
 // where every sink observes each reference the instant it is emitted.
 func (m *Memory) SetBatching(size int) {
 	m.Flush()
 	if size < 0 {
-		m.buf, m.batchers, m.direct = nil, nil, nil
+		m.addrs, m.sizes, m.kinds, m.runs = nil, nil, nil, nil
+		m.blockSinks, m.batchers, m.direct = nil, nil, nil
 		return
 	}
 	if size == 0 {
@@ -145,43 +160,58 @@ func (m *Memory) SetBatching(size int) {
 	m.rebatch(size)
 }
 
-// rebatch recomputes the batch/direct split of the current sink.
+// rebatch recomputes the block/batch/direct split of the current sink.
 func (m *Memory) rebatch(size int) {
-	m.batchers, m.direct = trace.Split(m.sink)
-	if len(m.batchers) == 0 {
+	m.blockSinks, m.batchers, m.direct = trace.SplitBlocks(m.sink)
+	if len(m.blockSinks) == 0 && len(m.batchers) == 0 {
 		// Nothing batches: fall back to the plain path.
-		m.buf, m.direct = nil, nil
+		m.addrs, m.sizes, m.kinds, m.runs, m.direct = nil, nil, nil, nil, nil
 		return
 	}
-	m.buf, m.bufN = make([]trace.Ref, size), 0
+	m.addrs = make([]uint64, size)
+	m.sizes = make([]uint32, size)
+	m.kinds = make([]trace.Kind, size)
+	m.runs = make([]uint32, size)
+	m.bufN = 0
 }
 
-// Flush delivers buffered references to the batch sinks. It is a no-op
-// when batching is disabled or the buffer is empty.
+// Flush delivers buffered references to the block and batch sinks. It
+// is a no-op when batching is disabled or the buffer is empty.
 func (m *Memory) Flush() {
 	if m.bufN == 0 {
 		return
 	}
-	batch := m.buf[:m.bufN]
+	n := m.bufN
 	m.bufN = 0
-	for _, b := range m.batchers {
-		b.Refs(batch)
+	m.flushBlk = trace.Block{Addrs: m.addrs[:n], Sizes: m.sizes[:n], Kinds: m.kinds[:n], Runs: m.runs[:n]}
+	for _, b := range m.blockSinks {
+		b.Block(&m.flushBlk)
+	}
+	if len(m.batchers) > 0 {
+		m.refScratch = m.flushBlk.AppendRefs(m.refScratch[:0])
+		for _, b := range m.batchers {
+			b.Refs(m.refScratch)
+		}
 	}
 }
 
 // emit routes one reference to the sinks, via the ring buffer when
 // batching is enabled.
 func (m *Memory) emit(r trace.Ref) {
-	if m.buf == nil {
+	if m.addrs == nil {
 		m.sink.Ref(r)
 		return
 	}
 	if m.direct != nil {
 		m.direct.Ref(r)
 	}
-	m.buf[m.bufN] = r
-	m.bufN++
-	if m.bufN == len(m.buf) {
+	n := m.bufN
+	m.addrs[n] = r.Addr
+	m.sizes[n] = r.Size
+	m.kinds[n] = r.Kind
+	m.runs[n] = 1
+	m.bufN = n + 1
+	if m.bufN == len(m.addrs) {
 		m.Flush()
 	}
 }
@@ -394,6 +424,60 @@ func (m *Memory) Touch(addr uint64, n uint32, k trace.Kind) {
 		m.meter.Charge(m.InstrPerAccess)
 	}
 	m.emit(trace.Ref{Addr: addr, Size: n, Kind: k})
+}
+
+// TouchRun emits n word-sized references at consecutive word addresses
+// starting at addr, charging one instruction per word. The reference
+// stream it produces is exactly the one Touch(addr+i*WordSize,
+// WordSize, k) for i in [0,n) produces — same references, same order,
+// same charge. With batching enabled the whole run is stored as a
+// single run row in the columnar buffer (see trace.Block.Runs), so
+// simulators consume it with closed-form line/page arithmetic instead
+// of n separate rows; flush boundaries may therefore differ from the
+// per-word calls, which the BlockSink deferred-delivery contract
+// permits. The workload drivers use TouchRun for object initialization
+// and sequential heap runs.
+func (m *Memory) TouchRun(addr uint64, n uint64, k trace.Kind) {
+	if n == 0 {
+		return
+	}
+	if m.meter != nil {
+		m.meter.Charge(n * m.InstrPerAccess)
+	}
+	if m.addrs == nil || m.direct != nil ||
+		n >= 1<<62 || addr+n*WordSize-1 < addr {
+		// Unbatched; a synchronous sink wants every reference the
+		// instant it is generated; or the run would wrap the address
+		// space (run rows must not — wrap-around is only expressible
+		// reference by reference): the per-reference path.
+		for ; n > 0; n-- {
+			r := trace.Ref{Addr: addr, Size: WordSize, Kind: k}
+			if m.addrs == nil {
+				m.sink.Ref(r)
+			} else {
+				m.emit(r)
+			}
+			addr += WordSize
+		}
+		return
+	}
+	for n > 0 {
+		run := n
+		if run > math.MaxUint32 {
+			run = math.MaxUint32
+		}
+		row := m.bufN
+		m.addrs[row] = addr
+		m.sizes[row] = WordSize
+		m.kinds[row] = k
+		m.runs[row] = uint32(run)
+		m.bufN = row + 1
+		addr += run * WordSize
+		n -= run
+		if m.bufN == len(m.addrs) {
+			m.Flush()
+		}
+	}
 }
 
 func alignUp(n, a uint64) uint64 {

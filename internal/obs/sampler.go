@@ -90,6 +90,10 @@ func (s *Sampler) Ref(trace.Ref) { s.refs++ }
 // delivery is preserved by capture, which flushes Mem's buffer first.
 func (s *Sampler) Refs(batch []trace.Ref) { s.refs += uint64(len(batch)) }
 
+// Block implements trace.BlockSink: only the reference count matters,
+// so columnar delivery avoids materializing a []Ref for the sampler.
+func (s *Sampler) Block(b *trace.Block) { s.refs += uint64(b.Refs()) }
+
 // Points returns the captured time series.
 func (s *Sampler) Points() []SamplePoint { return s.points }
 

@@ -66,6 +66,18 @@ type Runner struct {
 	// pair and aggregated by ShadowSnapshots.
 	CheckHeap bool
 
+	// CacheShards > 1 simulates each pair's cache group on that many
+	// set-partition workers (sim.Config.CacheShards). Sharding is
+	// exact — every table stays byte-identical — so it composes freely
+	// with Workers for intra-pair parallelism on large scales.
+	CacheShards int
+
+	// PageSampleShift > 0 switches the page-fault simulations to
+	// sampled stack distances at rate 2^-PageSampleShift
+	// (sim.Config.PageSampleShift). Sampled curves are estimates: the
+	// golden figures require the exact default of 0.
+	PageSampleShift uint
+
 	mu       sync.Mutex
 	memo     map[string]*sim.Result
 	inflight map[string]*flight
@@ -153,13 +165,15 @@ func (r *Runner) runPair(ctx context.Context, progName, allocName string) (*sim.
 		cfgs[i] = cache.Config{Size: s}
 	}
 	return sim.RunContext(ctx, sim.Config{
-		Program:   prog,
-		Allocator: allocName,
-		Scale:     r.Scale,
-		Seed:      r.Seed,
-		Caches:    cfgs,
-		PageSim:   pageSimPrograms[progName],
-		CheckHeap: r.CheckHeap,
+		Program:         prog,
+		Allocator:       allocName,
+		Scale:           r.Scale,
+		Seed:            r.Seed,
+		Caches:          cfgs,
+		CacheShards:     r.CacheShards,
+		PageSim:         pageSimPrograms[progName],
+		PageSampleShift: r.PageSampleShift,
+		CheckHeap:       r.CheckHeap,
 	})
 }
 

@@ -1,0 +1,42 @@
+package paper
+
+import (
+	"context"
+	"testing"
+)
+
+// TestShardedRunnerByteIdentical: a Runner with sharded cache
+// simulation on a full worker pool must render byte-identical tables
+// to the sequential unsharded Runner — sharding partitions sets, and
+// the partitions' counters are order-independent sums, so no measured
+// byte may move. figure4 covers the cache tables, figure2 the paging
+// curves (gs runs the page simulator). Run with -race to also check
+// the shard workers' chunk handoff.
+func TestShardedRunnerByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, id := range []string{"figure4", "figure2"} {
+		seq := NewRunner(128)
+		seq.Workers = 1
+		e, ok := seq.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		want, err := e.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sharded := NewRunner(128)
+		sharded.Workers = 8
+		sharded.CacheShards = 8
+		es, _ := sharded.ByID(id)
+		got, err := es.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: sharded table differs from sequential table:\n--- sequential\n%s\n--- sharded\n%s",
+				id, want.String(), got.String())
+		}
+	}
+}

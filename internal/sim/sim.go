@@ -50,8 +50,22 @@ type Config struct {
 	Seed uint64
 	// Caches lists the cache configurations to simulate in parallel.
 	Caches []cache.Config
+	// CacheShards, when > 1, simulates independent set partitions of
+	// the cache group on that many worker goroutines (rounded down to a
+	// power of two and clamped to the smallest configuration's set
+	// count; see cache.Group.StartShards). Results are exact — set
+	// partitions are disjoint and the counters are order-independent
+	// sums — but configurations with flush intervals fall back to
+	// single-goroutine simulation. 0 or 1 keeps everything on the run's
+	// goroutine.
+	CacheShards int
 	// PageSim enables LRU stack-distance page-fault simulation.
 	PageSim bool
+	// PageSampleShift, with PageSim, samples stack distances at rate
+	// 2^-PageSampleShift instead of simulating every page exactly (see
+	// vm.WithSampleShift). 0 keeps the exact default; the rate is
+	// recorded on the curve and in run reports.
+	PageSampleShift uint
 
 	// Recorder, when non-nil, enables the observability layer: the
 	// allocator is wrapped with obs.Instrument and per-call metrics
@@ -144,11 +158,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	var group *cache.Group
 	if len(cfg.Caches) > 0 {
 		group = cache.NewGroup(cfg.Caches...)
+		if cfg.CacheShards > 1 {
+			group.StartShards(cfg.CacheShards)
+			// Joins the shard workers on every exit path; Results()
+			// drains in-flight work before reading, and Stop is
+			// idempotent, so ordering against assembly is free.
+			defer group.Stop()
+		}
 		sinks = append(sinks, group)
 	}
 	var pages *vm.StackSim
 	if cfg.PageSim {
-		pages = vm.NewStackSim()
+		var vopts []vm.Option
+		if cfg.PageSampleShift > 0 {
+			vopts = append(vopts, vm.WithSampleShift(cfg.PageSampleShift))
+		}
+		pages = vm.NewStackSim(vopts...)
 		sinks = append(sinks, pages)
 	}
 
@@ -183,11 +208,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Batched reference delivery: the counter, cache group, page
-	// simulator and sampler all implement trace.BatchSink, so the hot
-	// per-word emit devirtualizes into buffer appends with one fan-out
-	// per 256 refs. Order-sensitive sinks (obs.Attribution reads the
-	// meter's current domain per reference) do not implement BatchSink
-	// and keep receiving every reference synchronously.
+	// simulator and sampler all implement trace.BlockSink, so the hot
+	// per-word emit devirtualizes into columnar buffer appends with one
+	// block fan-out per buffer fill (the cache group decomposes each
+	// block's addresses into a run-length-collapsed line stream once
+	// for all configurations). Order-sensitive sinks (obs.Attribution
+	// reads the meter's current domain per reference) implement neither
+	// BatchSink nor BlockSink and keep receiving every reference
+	// synchronously.
 	m.SetBatching(0)
 
 	a, err := alloc.New(cfg.Allocator, m)

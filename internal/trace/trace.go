@@ -8,17 +8,26 @@
 // is a trace-driven simulation study, and every experiment in this
 // repository is a consumer of a trace.Sink.
 //
-// # Batching
+// # Batching and columnar blocks
 //
 // The per-reference Sink.Ref call is the simulator's hottest edge, so
 // sinks that can tolerate deferred delivery additionally implement
-// BatchSink (Refs([]Ref)). Producers such as mem.Memory buffer
-// references and flush them in slices to every BatchSink while still
-// delivering synchronously, reference by reference, to plain Sinks.
-// Custom Sink implementors need to do nothing: not implementing
-// BatchSink is always correct. Implement it only when the sink's
-// behaviour depends solely on the reference values and their order —
-// see the BatchSink contract.
+// BatchSink (Refs([]Ref)) or, one tier up, BlockSink (Block(*Block)).
+// Producers such as mem.Memory buffer references and flush them —
+// as a columnar Block to every BlockSink, as a []Ref slice to every
+// remaining BatchSink — while still delivering synchronously,
+// reference by reference, to plain Sinks. Custom Sink implementors
+// need to do nothing: not implementing either interface is always
+// correct. Implement them only when the sink's behaviour depends
+// solely on the reference values and their order — see the BatchSink
+// and BlockSink contracts.
+//
+// The columnar Block representation (struct-of-arrays: separate
+// address, size and kind columns) exists for the simulators' sake:
+// a cache group decomposes a whole block's addresses into a
+// run-length-collapsed cache-line stream once and replays it across
+// every configuration, and the VM stack simulator walks the address
+// column without loading sizes and kinds it mostly ignores.
 package trace
 
 // Kind distinguishes loads from stores.
@@ -80,6 +89,125 @@ type BatchSink interface {
 	Refs([]Ref)
 }
 
+// Block is a columnar (struct-of-arrays) batch of references: element i
+// of each column together form one row. The column slices always have
+// equal length. Splitting the stream into per-field columns lets bulk
+// consumers touch only the columns they need — the cache simulators
+// scan addresses and kinds without loading sizes for word references,
+// and producers append runs of equal-size references without restoring
+// the whole struct per element.
+type Block struct {
+	Addrs []uint64
+	Sizes []uint32
+	Kinds []Kind
+	// Runs is the optional run-length column. When non-nil (same length
+	// as the other columns), row i stands for Runs[i] consecutive
+	// references — Addrs[i], Addrs[i]+Sizes[i], Addrs[i]+2·Sizes[i], …
+	// — each Sizes[i] bytes of kind Kinds[i]. A nil Runs column (or a
+	// row with Runs[i] == 1) is a single reference per row. Producers
+	// must not emit run rows with Runs[i] == 0, and a run's address
+	// arithmetic must not wrap the 64-bit address space (mem.Memory
+	// falls back to single-reference rows near the top of the space);
+	// consumers may rely on both. Word-run producers (mem.TouchRun)
+	// use this to store an n-word sweep as one row, and the simulators
+	// consume runs with closed-form line/page arithmetic instead of
+	// per-reference decomposition.
+	Runs []uint32
+}
+
+// Len returns the number of rows in the block. With a Runs column this
+// can be smaller than the number of references; see Refs.
+func (b *Block) Len() int { return len(b.Addrs) }
+
+// Refs returns the total number of references in the block, expanding
+// run rows.
+func (b *Block) Refs() int {
+	if b.Runs == nil {
+		return len(b.Addrs)
+	}
+	var n uint64
+	for _, r := range b.Runs {
+		n += uint64(r)
+	}
+	return int(n)
+}
+
+// At returns the first reference of row i. Rows with Runs[i] > 1 stand
+// for further references beyond it; use AppendRefs to expand them.
+func (b *Block) At(i int) Ref {
+	return Ref{Addr: b.Addrs[i], Size: b.Sizes[i], Kind: b.Kinds[i]}
+}
+
+// Append adds one single-reference row to the block.
+func (b *Block) Append(r Ref) {
+	b.Addrs = append(b.Addrs, r.Addr)
+	b.Sizes = append(b.Sizes, r.Size)
+	b.Kinds = append(b.Kinds, r.Kind)
+	if b.Runs != nil {
+		b.Runs = append(b.Runs, 1)
+	}
+}
+
+// AppendRun adds a run row: n consecutive references of size bytes each
+// starting at addr. It materializes the Runs column on first use.
+func (b *Block) AppendRun(addr uint64, size uint32, k Kind, n uint32) {
+	if b.Runs == nil {
+		b.Runs = make([]uint32, len(b.Addrs), cap(b.Addrs))
+		for i := range b.Runs {
+			b.Runs[i] = 1
+		}
+	}
+	b.Addrs = append(b.Addrs, addr)
+	b.Sizes = append(b.Sizes, size)
+	b.Kinds = append(b.Kinds, k)
+	b.Runs = append(b.Runs, n)
+}
+
+// Reset empties the block, keeping the columns' capacity.
+func (b *Block) Reset() {
+	b.Addrs = b.Addrs[:0]
+	b.Sizes = b.Sizes[:0]
+	b.Kinds = b.Kinds[:0]
+	if b.Runs != nil {
+		b.Runs = b.Runs[:0]
+	}
+}
+
+// AppendRefs converts the block's references into dst (appending),
+// expanding run rows, and returns the extended slice — the bridge from
+// a columnar producer to a BatchSink consumer.
+func (b *Block) AppendRefs(dst []Ref) []Ref {
+	for i, a := range b.Addrs {
+		sz, k := b.Sizes[i], b.Kinds[i]
+		n := uint32(1)
+		if b.Runs != nil {
+			n = b.Runs[i]
+		}
+		for ; n > 0; n-- {
+			dst = append(dst, Ref{Addr: a, Size: sz, Kind: k})
+			a += uint64(sz)
+		}
+	}
+	return dst
+}
+
+// BlockSink is a Sink that additionally accepts references as columnar
+// blocks. It is the third delivery tier: producers hand each flushed
+// batch as one Block to every BlockSink, as a []Ref to every remaining
+// BatchSink, and reference by reference to plain Sinks.
+//
+// The contract extends BatchSink's: Block(b) must be equivalent to
+// calling Ref for every reference of the block in row order — with run
+// rows (see Block.Runs) expanded in place — and the sink must tolerate
+// deferred delivery. The block and its column slices are only valid
+// for the duration of the call and will be reused by the producer;
+// copy what must be retained. A sink implementing both BlockSink and
+// BatchSink receives each batch exactly once, via Block.
+type BlockSink interface {
+	Sink
+	Block(*Block)
+}
+
 // Split partitions a sink graph into its batch-capable leaves and an
 // immediate-delivery remainder. Tees are flattened recursively (and
 // Discard/nil entries dropped) exactly as NewTee does; every leaf that
@@ -108,6 +236,37 @@ func Split(s Sink) ([]BatchSink, Sink) {
 	}
 }
 
+// SplitBlocks partitions a sink graph into three delivery tiers:
+// columnar-block leaves, slice-batch leaves that do not take blocks,
+// and the immediate-delivery remainder (nil when there are none). Tees
+// are flattened and Discard/nil entries dropped exactly as NewTee does.
+// mem.Memory uses this to route each flushed buffer once per leaf at
+// the widest interface the leaf supports.
+func SplitBlocks(s Sink) ([]BlockSink, []BatchSink, Sink) {
+	flat := flatten(nil, []Sink{s})
+	var blocks []BlockSink
+	var batch []BatchSink
+	var rest Tee
+	for _, leaf := range flat {
+		switch v := leaf.(type) {
+		case BlockSink:
+			blocks = append(blocks, v)
+		case BatchSink:
+			batch = append(batch, v)
+		default:
+			rest = append(rest, leaf)
+		}
+	}
+	switch len(rest) {
+	case 0:
+		return blocks, batch, nil
+	case 1:
+		return blocks, batch, rest[0]
+	default:
+		return blocks, batch, rest
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Ref)
 
@@ -116,8 +275,9 @@ func (f SinkFunc) Ref(r Ref) { f(r) }
 
 type discardSink struct{}
 
-func (discardSink) Ref(Ref)    {}
-func (discardSink) Refs([]Ref) {}
+func (discardSink) Ref(Ref)      {}
+func (discardSink) Refs([]Ref)   {}
+func (discardSink) Block(*Block) {}
 
 // Discard is a Sink that drops every reference.
 var Discard Sink = discardSink{}
@@ -141,6 +301,34 @@ func (t Tee) Refs(batch []Ref) {
 			continue
 		}
 		for _, r := range batch {
+			s.Ref(r)
+		}
+	}
+}
+
+// Block implements BlockSink: members that take blocks receive the
+// block, slice-batchers receive a materialized []Ref (built at most
+// once per call), and the rest receive the references one by one. Hot
+// producers should prefer SplitBlocks and deliver to the leaves
+// directly; Tee.Block is the correct-but-unoptimized composition for
+// ad-hoc pipelines.
+func (t Tee) Block(blk *Block) {
+	var refs []Ref
+	for _, s := range t {
+		if b, ok := s.(BlockSink); ok {
+			b.Block(blk)
+			continue
+		}
+		// Materialize the expanded reference slice at most once and
+		// share it between slice-batchers and per-reference members.
+		if refs == nil {
+			refs = blk.AppendRefs(make([]Ref, 0, blk.Refs()))
+		}
+		if b, ok := s.(BatchSink); ok {
+			b.Refs(refs)
+			continue
+		}
+		for _, r := range refs {
 			s.Ref(r)
 		}
 	}
@@ -202,6 +390,42 @@ func (c *Counter) Refs(batch []Ref) {
 	for _, r := range batch {
 		c.Ref(r)
 	}
+}
+
+// Block implements BlockSink: the tally needs only the kind and size
+// columns, scanned in lockstep.
+func (c *Counter) Block(b *Block) {
+	// Local accumulators keep the loop in registers; the write counts
+	// fall out of the totals, so only writes pay the per-row branch. A
+	// run row contributes its whole count with two multiplies — the
+	// tally is the same whichever way the run is delivered.
+	var refs, writes, wroteBytes, totalBytes uint64
+	if b.Runs == nil {
+		for i, k := range b.Kinds {
+			sz := uint64(b.Sizes[i])
+			totalBytes += sz
+			if k == Write {
+				writes++
+				wroteBytes += sz
+			}
+		}
+		refs = uint64(len(b.Kinds))
+	} else {
+		for i, k := range b.Kinds {
+			n := uint64(b.Runs[i])
+			bytes := n * uint64(b.Sizes[i])
+			refs += n
+			totalBytes += bytes
+			if k == Write {
+				writes += n
+				wroteBytes += bytes
+			}
+		}
+	}
+	c.Writes += writes
+	c.BytesWrote += wroteBytes
+	c.Reads += refs - writes
+	c.BytesRead += totalBytes - wroteBytes
 }
 
 // Total returns the total number of references seen.

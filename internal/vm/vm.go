@@ -10,9 +10,19 @@
 // is then the number of references at distance >= M plus the cold
 // (first-touch) references.
 //
-// Two engines are provided: a simple move-to-front list (O(depth) per
-// reference, used as the oracle in tests) and an order-statistics treap
-// with deterministic priorities (O(log n) per reference, the default).
+// Three exact engines are provided: a simple move-to-front list
+// (O(depth) per reference, used as the oracle in tests), an
+// order-statistics treap with deterministic priorities, and a
+// Fenwick-tree engine after Bennett & Kruskal (O(log n) per reference
+// over flat arrays, the default). All three produce identical
+// distances.
+//
+// Orthogonally, WithSampleShift enables sampled stack distances: only
+// pages selected by a deterministic address hash (rate 2^-k) go through
+// the engine, and their distances and fault counts are scaled by 2^k.
+// Sampling trades exactness for speed on very large traces; the exact
+// mode remains the default, and the sampling rate is recorded on the
+// curve so downstream reports can label estimated figures.
 package vm
 
 import (
@@ -34,8 +44,21 @@ type Curve struct {
 	// Hist[d] counts references with stack distance d (0 = re-reference
 	// of the most recently used page).
 	Hist []uint64
-	// Refs is the total page references simulated.
+	// Refs is the total page references simulated. It is exact even in
+	// sampled mode (every reference is counted; only the distance work
+	// is sampled), so FaultRate keeps an exact denominator.
 	Refs uint64
+	// SampleShift records the sampling mode: 0 for exact simulation,
+	// else pages were sampled at rate 2^-SampleShift and Cold and Hist
+	// hold scaled estimates (each sampled event counted 2^SampleShift
+	// times, distances scaled likewise).
+	SampleShift uint
+}
+
+// SampleRate returns the page sampling rate: 1 for exact simulation,
+// 2^-SampleShift in sampled mode.
+func (c *Curve) SampleRate() float64 {
+	return 1 / float64(uint64(1)<<c.SampleShift)
 }
 
 // Faults returns the number of page faults for a memory of `pages`
@@ -146,6 +169,16 @@ type StackSim struct {
 	// at every memory size >= 1.
 	lastPage uint64
 	havePage bool
+	// lastSampled caches whether lastPage passed the sampling filter,
+	// so the short-circuit path needs no re-hash: in exact mode it is
+	// always true.
+	lastSampled bool
+	// shift/sampleMask/weight implement sampled mode (WithSampleShift):
+	// a page is sampled iff hash(page)&sampleMask == 0, and each
+	// sampled event carries weight 2^shift.
+	shift      uint
+	sampleMask uint64
+	weight     uint64
 }
 
 // Option configures a StackSim.
@@ -158,9 +191,31 @@ func WithPageSize(n uint64) Option {
 }
 
 // WithListEngine selects the O(depth) move-to-front list engine instead
-// of the treap. Used by tests to cross-check the two implementations.
+// of the default. Used by tests to cross-check the implementations.
 func WithListEngine() Option {
 	return func(s *StackSim) { s.eng = newMTFList() }
+}
+
+// WithTreapEngine selects the order-statistics treap engine instead of
+// the default Fenwick tree. The two produce identical distances; the
+// treap is kept for cross-checking and for address spaces so sparse
+// that the paged slot table would thrash.
+func WithTreapEngine() Option {
+	return func(s *StackSim) { s.eng = newTreap() }
+}
+
+// WithSampleShift enables sampled stack distances at rate 2^-k (k = 0
+// keeps exact simulation). Pages are selected by a deterministic
+// SplitMix64-style hash of the page number — no global RNG, identical
+// selection on every run — and only selected pages pass through the
+// distance engine; their distances, cold counts and histogram weights
+// are scaled by 2^k so the fault curve estimates the exact one.
+// Curve.SampleShift records the mode for downstream reports.
+func WithSampleShift(k uint) Option {
+	if k >= 32 {
+		panic(fmt.Sprintf("vm: sample shift %d out of range", k))
+	}
+	return func(s *StackSim) { s.shift = k }
 }
 
 // NewStackSim creates a stack simulator.
@@ -176,9 +231,12 @@ func NewStackSim(opts ...Option) *StackSim {
 		s.pageShift++
 	}
 	if s.eng == nil {
-		s.eng = newTreap()
+		s.eng = newFenwick()
 	}
+	s.sampleMask = uint64(1)<<s.shift - 1
+	s.weight = uint64(1) << s.shift
 	s.curve.PageSize = s.pageSize
+	s.curve.SampleShift = s.shift
 	return s
 }
 
@@ -216,27 +274,148 @@ func (s *StackSim) Refs(batch []trace.Ref) {
 	}
 }
 
+// Block implements trace.BlockSink: the page walk reads the address
+// column directly and touches sizes only to split page-spanning
+// references (kinds are irrelevant to fault behaviour).
+func (s *StackSim) Block(b *trace.Block) {
+	// Same-page repeats — by far the hot case in a word-granular stream
+	// — accumulate in locals: a repeat is distance 0 with the current
+	// page's (cached) sample verdict, so a run of n repeats folds into
+	// Refs += n and Hist[0] += n·weight, which commute with everything
+	// the engine does at the next page switch.
+	var refs, repeats uint64
+	runs := b.Runs
+	for i, addr := range b.Addrs {
+		size := uint64(b.Sizes[i])
+		if runs != nil && runs[i] != 1 {
+			n := uint64(runs[i])
+			if n == 0 {
+				continue
+			}
+			if size == 0 || addr%size != 0 || s.pageSize%size != 0 ||
+				size*n-1 > ^uint64(0)-addr {
+				// Run row outside the aligned contract: expand it
+				// reference by reference through the exact path.
+				if repeats != 0 {
+					s.foldRepeats(repeats)
+					repeats = 0
+				}
+				r := b.At(i)
+				for ; n > 0; n-- {
+					s.Ref(r)
+					r.Addr += uint64(r.Size)
+				}
+				continue
+			}
+			// Aligned run: no element spans a page, so the row walks
+			// pages first.. with k elements in the current page (bounded
+			// by the page boundary, then pageSize/size per full page).
+			// The first element of each new page goes through the
+			// engine; the k-1 others are distance-0 repeats, folded like
+			// the cross-row repeat accumulator below — with the same
+			// flush-before-page-switch discipline, so the histogram is
+			// byte-identical to element-by-element simulation.
+			k := (s.pageSize - addr&(s.pageSize-1)) / size
+			if k > n {
+				k = n
+			}
+			p := addr >> s.pageShift
+			for {
+				if s.havePage && p == s.lastPage {
+					repeats += k
+					refs += k
+				} else {
+					if repeats != 0 {
+						s.foldRepeats(repeats)
+						repeats = 0
+					}
+					s.accessPage(p)
+					repeats += k - 1
+					refs += k - 1
+				}
+				n -= k
+				if n == 0 {
+					break
+				}
+				p++
+				if k = s.pageSize / size; k > n {
+					k = n
+				}
+			}
+			continue
+		}
+		if size == 0 {
+			size = 1
+		}
+		first := addr >> s.pageShift
+		end := addr + size - 1
+		if end < addr {
+			end = ^uint64(0)
+		}
+		last := end >> s.pageShift
+		if first == last && s.havePage && first == s.lastPage {
+			refs++
+			repeats++
+			continue
+		}
+		if repeats != 0 {
+			s.foldRepeats(repeats)
+			repeats = 0
+		}
+		for p := first; ; p++ {
+			s.accessPage(p)
+			if p == last {
+				break
+			}
+		}
+	}
+	if repeats != 0 {
+		s.foldRepeats(repeats)
+	}
+	s.curve.Refs += refs
+}
+
+// foldRepeats applies n accumulated same-page re-references: each is a
+// distance-0 event recorded only when the page passed the sample filter
+// (Refs are added separately by Block).
+func (s *StackSim) foldRepeats(n uint64) {
+	if !s.lastSampled {
+		return
+	}
+	if len(s.curve.Hist) == 0 {
+		s.curve.Hist = append(s.curve.Hist, 0)
+	}
+	s.curve.Hist[0] += n * s.weight
+}
+
 func (s *StackSim) accessPage(p uint64) {
 	s.curve.Refs++
 	if s.havePage && p == s.lastPage {
-		s.record(0)
+		if s.lastSampled {
+			s.record(0)
+		}
 		return
 	}
 	s.lastPage = p
 	s.havePage = true
-	d := s.eng.access(p)
-	if d < 0 {
-		s.curve.Cold++
+	if s.shift != 0 && hashPrio(p)&s.sampleMask != 0 {
+		s.lastSampled = false
 		return
 	}
-	s.record(d)
+	s.lastSampled = true
+	d := s.eng.access(p)
+	if d < 0 {
+		s.curve.Cold += s.weight
+		return
+	}
+	s.record(d << s.shift)
 }
 
 func (s *StackSim) record(d int) {
 	for d >= len(s.curve.Hist) {
 		s.curve.Hist = append(s.curve.Hist, 0)
 	}
-	s.curve.Hist[d]++
+	s.curve.Hist[d] += s.weight
 }
 
 // Curve returns the accumulated result. The returned value shares the

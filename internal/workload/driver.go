@@ -430,9 +430,7 @@ func (d *driver) initObject(o *object) {
 		d.refsStep++
 		return
 	}
-	for i := uint64(0); i < words; i++ {
-		d.m.Touch(o.addr+i*mem.WordSize, mem.WordSize, trace.Write)
-	}
+	d.m.TouchRun(o.addr, words, trace.Write)
 	d.refsStep += words
 }
 
@@ -512,9 +510,7 @@ func (d *driver) heapRun() uint64 {
 	if d.refRng.Bool(writeProb) {
 		kind = trace.Write
 	}
-	for i := uint64(0); i < run; i++ {
-		d.m.Touch(o.addr+(start+i)*mem.WordSize, mem.WordSize, kind)
-	}
+	d.m.TouchRun(o.addr+start*mem.WordSize, run, kind)
 	// Promote the object in the recency window.
 	d.window[d.wpos] = o
 	d.wpos = (d.wpos + 1) % windowSize
