@@ -5,7 +5,8 @@
 //
 // This is the instruction-count view of the paper's Figure 1 and of its
 // §4 space-efficiency discussion, for every registered allocator
-// including this repository's extensions. Each run is instrumented with
+// including this repository's extensions and the modern family
+// (bitmap-fit, Vam, locality arena). Each run is instrumented with
 // the observability layer (package obs), so -json emits the full
 // versioned run reports — per-call latency histograms included — and
 // -metrics-out writes them to a file.
@@ -130,14 +131,14 @@ func main() {
 		res *sim.Result
 		err error
 	}
-	outs := make([]runOut, len(all.Extended))
+	outs := make([]runOut, len(all.Everything))
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, nWorkers)
 	var wg sync.WaitGroup
-	for i, name := range all.Extended {
+	for i, name := range all.Everything {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, name string) {
@@ -164,7 +165,7 @@ func main() {
 		fmt.Printf("%-16s %12s %12s %10s %10s %12s %12s\n",
 			"allocator", "instr/malloc", "instr/free", "heap KB", "overhead", "scan/alloc", "alloc refs")
 	}
-	for i, name := range all.Extended {
+	for i, name := range all.Everything {
 		rec, res, err := outs[i].rec, outs[i].res, outs[i].err
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
@@ -223,7 +224,7 @@ func main() {
 
 	if *check {
 		var violations uint64
-		for i, name := range all.Extended {
+		for i, name := range all.Everything {
 			s := outs[i].res.Shadow
 			if s == nil {
 				continue
@@ -234,7 +235,7 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "allocstats: heap auditor: %d runs checked, %d violations\n",
-			len(all.Extended), violations)
+			len(all.Everything), violations)
 		if violations > 0 {
 			os.Exit(3)
 		}

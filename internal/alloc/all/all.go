@@ -5,6 +5,7 @@ package all
 
 import (
 	_ "mallocsim/internal/alloc/bestfit"
+	_ "mallocsim/internal/alloc/bitfit"
 	_ "mallocsim/internal/alloc/bsd"
 	_ "mallocsim/internal/alloc/buddy"
 	_ "mallocsim/internal/alloc/custom"
@@ -13,7 +14,9 @@ import (
 	_ "mallocsim/internal/alloc/gnufit"
 	_ "mallocsim/internal/alloc/gnulocal"
 	_ "mallocsim/internal/alloc/lifetime"
+	_ "mallocsim/internal/alloc/locarena"
 	_ "mallocsim/internal/alloc/quickfit"
+	_ "mallocsim/internal/alloc/vamfit"
 )
 
 // Paper lists the five allocators the paper compares, in its
@@ -26,3 +29,15 @@ var Paper = []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit"}
 // paper's five.
 var Extended = append(append([]string{}, Paper...),
 	"bestfit", "buddy", "custom", "custom-reclaim", "fibbuddy", "lifetime")
+
+// Modern lists the post-1993 designs compared against the paper's §4.4
+// recommendation in the "modern allocators" figure column: bitmap fit
+// (arXiv 2110.10357), Vam (Feng & Berger 2005), and the locality-hint
+// arena allocator. Appended after Extended — never interleaved — so
+// pre-existing figure rows stay byte-identical.
+var Modern = []string{"bitfit", "vamfit", "locarena"}
+
+// Everything is Extended followed by Modern: the enumeration CLIs
+// (allocstats) iterate it so new families append columns without
+// reordering existing ones.
+var Everything = append(append([]string{}, Extended...), Modern...)

@@ -1,0 +1,68 @@
+package all_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/all"
+)
+
+// The curated lists drive figure column order and CLI row order, so
+// their exact contents and ordering are published output: any change
+// moves every downstream table. This test pins them — append-only
+// growth must extend the expectations here, never reorder them.
+
+func TestCuratedListOrder(t *testing.T) {
+	wantPaper := []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit"}
+	if !reflect.DeepEqual(all.Paper, wantPaper) {
+		t.Errorf("Paper order changed:\n got %v\nwant %v", all.Paper, wantPaper)
+	}
+	wantExtended := append(append([]string{}, wantPaper...),
+		"bestfit", "buddy", "custom", "custom-reclaim", "fibbuddy", "lifetime")
+	if !reflect.DeepEqual(all.Extended, wantExtended) {
+		t.Errorf("Extended order changed:\n got %v\nwant %v", all.Extended, wantExtended)
+	}
+	wantModern := []string{"bitfit", "vamfit", "locarena"}
+	if !reflect.DeepEqual(all.Modern, wantModern) {
+		t.Errorf("Modern order changed:\n got %v\nwant %v", all.Modern, wantModern)
+	}
+	wantEverything := append(append([]string{}, wantExtended...), wantModern...)
+	if !reflect.DeepEqual(all.Everything, wantEverything) {
+		t.Errorf("Everything must be Extended followed by Modern:\n got %v\nwant %v",
+			all.Everything, wantEverything)
+	}
+}
+
+// TestRegistryNames pins the full registry: alloc.Names() is the
+// differential battery's and the fuzz harness's enumeration, so a
+// missing or extra name silently shrinks or pollutes the matrix.
+func TestRegistryNames(t *testing.T) {
+	want := []string{
+		"bestfit", "bitfit", "bsd", "buddy",
+		"custom", "custom-pow2", "custom-reclaim",
+		"fibbuddy",
+		"firstfit", "firstfit-addrorder", "firstfit-nocoalesce", "firstfit-norover",
+		"gnufit", "gnulocal", "gnulocal-tags",
+		"lifetime", "locarena", "quickfit", "vamfit",
+	}
+	if got := alloc.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("registry changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+// Every curated-list entry must resolve through the registry (the
+// registry analyzer checks this statically; this is the runtime proof).
+func TestCuratedListsResolve(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range alloc.Names() {
+		names[n] = true
+	}
+	for _, list := range [][]string{all.Paper, all.Extended, all.Modern, all.Everything} {
+		for _, n := range list {
+			if !names[n] {
+				t.Errorf("curated entry %q not in registry", n)
+			}
+		}
+	}
+}

@@ -91,6 +91,41 @@ type SiteAllocator interface {
 	MallocSite(n uint32, site uint32) (uint64, error)
 }
 
+// LocalityHinter is implemented by allocators that can exploit a
+// caller-supplied locality hint — an opaque small integer naming the
+// program phase (or other affinity domain) an object is born into.
+// Objects carrying nearby hints are expected to be referenced together,
+// so a hint-aware allocator steers them into the same arena to improve
+// spatial locality (the post-1993 refinement of the paper's §4.4
+// placement argument). Callers with no hint use plain Malloc, which
+// hint-aware allocators treat as locality 0; allocators that cannot
+// exploit hints simply do not implement the interface, and the workload
+// driver falls back to Malloc/MallocSite for them.
+type LocalityHinter interface {
+	Allocator
+	// MallocLocal allocates n bytes with the given locality id.
+	MallocLocal(n uint32, locality uint32) (uint64, error)
+}
+
+// HintAware reports whether a — or the allocator at the bottom of a's
+// wrapper chain (anything implementing Unwrap() Allocator) — natively
+// exploits locality hints. Instrumentation wrappers implement
+// LocalityHinter unconditionally so hints pass through transparently; a
+// plain type assertion on a wrapped allocator therefore cannot tell a
+// hint-aware heap from a wrapped oblivious one. Dispatchers holding
+// both site and locality information use HintAware to decide which
+// optional entry point to call.
+func HintAware(a Allocator) bool {
+	for {
+		u, ok := a.(interface{ Unwrap() Allocator })
+		if !ok {
+			_, ok := a.(LocalityHinter)
+			return ok
+		}
+		a = u.Unwrap()
+	}
+}
+
 // Scanner is an optional interface implemented by allocators that
 // search freelists (the sequential fits, and hybrids that fall back to
 // one). ScanSteps returns the cumulative number of freelist nodes

@@ -56,6 +56,7 @@ func RunOpts(t *testing.T, f Factory, o Options) {
 	t.Run("InteriorFree", func(t *testing.T) { testInteriorFree(t, f) })
 	t.Run("OutOfMemory", func(t *testing.T) { testOutOfMemory(t, f) })
 	t.Run("ShadowOracle", func(t *testing.T) { testShadowOracle(t, f, o) })
+	t.Run("LocalityHints", func(t *testing.T) { testLocalityHints(t, f) })
 	if !o.SkipSteadyState {
 		t.Run("SawtoothPattern", func(t *testing.T) { testSawtooth(t, f) })
 	}
@@ -319,6 +320,108 @@ func testDoubleFree(t *testing.T, f Factory) {
 		}
 		if err := a.Free(q); err != nil {
 			t.Fatalf("Free after double frees: %v", err)
+		}
+	}
+}
+
+// testLocalityHints exercises the alloc.LocalityHinter contract on
+// allocators that implement it (everything else skips): hinted
+// allocation upholds the full base contract — distinct non-overlapping
+// word-aligned blocks, intact payloads, clean frees, exact double-free
+// rejection — across arbitrary hint values, hint 0 is byte-identical
+// to plain Malloc, and the hinted op stream is deterministic.
+func testLocalityHints(t *testing.T, f Factory) {
+	a, m := newAlloc(f)
+	lh, ok := a.(alloc.LocalityHinter)
+	if !ok {
+		t.Skip("allocator does not implement alloc.LocalityHinter")
+	}
+
+	// Hinted churn across many buckets, with payload patterns.
+	r := rng.New(99)
+	type hblock struct {
+		block
+		pat uint64
+	}
+	var live []hblock
+	for op := 0; op < 3000; op++ {
+		if len(live) > 0 && (r.Bool(0.45) || len(live) > 200) {
+			i := r.Intn(len(live))
+			b := live[i]
+			if got := m.ReadWord(b.addr); got != b.pat {
+				t.Fatalf("op %d: payload at %#x corrupted: got %#x want %#x", op, b.addr, got, b.pat)
+			}
+			if err := a.Free(b.addr); err != nil {
+				t.Fatalf("op %d: Free(%#x): %v", op, b.addr, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		n := uint32(1 + r.Intn(300))
+		hint := uint32(r.Intn(1 << 14))
+		p, err := lh.MallocLocal(n, hint)
+		if err != nil {
+			t.Fatalf("op %d: MallocLocal(%d, %d): %v", op, n, hint, err)
+		}
+		if p == 0 || p%mem.WordSize != 0 {
+			t.Fatalf("op %d: MallocLocal(%d, %d) = %#x: null or unaligned", op, n, hint, p)
+		}
+		nb := hblock{block{addr: p, size: n}, (p * 2654435761) & 0xffffffff}
+		for _, b := range live {
+			if overlaps(nb.block, b.block) {
+				t.Fatalf("op %d: hinted block %#x+%d overlaps live %#x+%d",
+					op, nb.addr, nb.size, b.addr, b.size)
+			}
+		}
+		m.WriteWord(p, nb.pat)
+		live = append(live, nb)
+	}
+	for _, b := range live {
+		if err := a.Free(b.addr); err != nil {
+			t.Fatalf("drain Free(%#x): %v", b.addr, err)
+		}
+		if err := a.Free(b.addr); !errors.Is(err, alloc.ErrBadFree) {
+			t.Fatalf("double free of hinted block %#x: got %v, want ErrBadFree", b.addr, err)
+		}
+	}
+
+	// Hint 0 ≡ plain Malloc, and hinted streams are deterministic:
+	// three fresh instances, one driven by Malloc, two by MallocLocal.
+	plain, _ := newAlloc(f)
+	h1, _ := newAlloc(f)
+	h2, _ := newAlloc(f)
+	lh1 := h1.(alloc.LocalityHinter)
+	lh2 := h2.(alloc.LocalityHinter)
+	for op := 0; op < 500; op++ {
+		n := uint32(1 + op%277)
+		p0, err0 := plain.Malloc(n)
+		p1, err1 := lh1.MallocLocal(n, 0)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("op %d: %v / %v", op, err0, err1)
+		}
+		if p0 != p1 {
+			t.Fatalf("op %d: Malloc %#x != MallocLocal(·, 0) %#x", op, p0, p1)
+		}
+		hint := uint32(op >> 4)
+		q1, err := lh2.MallocLocal(n, hint)
+		if err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		q2, err := lh2.MallocLocal(n, hint)
+		if err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if q1 == q2 {
+			t.Fatalf("op %d: same address %#x returned twice", op, q1)
+		}
+		if err := lh2.Free(q2); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if op%3 == 0 {
+			if plain.Free(p0) != nil || lh1.Free(p1) != nil {
+				t.Fatalf("op %d: hint-0 frees diverged", op)
+			}
 		}
 	}
 }

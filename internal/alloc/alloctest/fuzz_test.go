@@ -22,7 +22,8 @@ func FuzzAllocatorOps(f *testing.F) {
 	f.Add([]byte{7, 7, 7, 7, 7, 7})
 	f.Add([]byte{0})
 	names := []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit",
-		"custom", "buddy", "fibbuddy", "lifetime", "bestfit"}
+		"custom", "buddy", "fibbuddy", "lifetime", "bestfit",
+		"bitfit", "vamfit", "locarena"}
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 300 {
 			ops = ops[:300]

@@ -1,0 +1,304 @@
+// Package bitfit implements a bitmap-fit allocator in the style of
+// "Fast Bitmap Fit" (arXiv 2110.10357): size-segregated single-object
+// pages whose occupancy is tracked by a bitmap header sized to exactly
+// one cache line (mem.LineSize).
+//
+// Each page serves one size class. The first mem.LineSize bytes of the
+// page hold the occupancy bitmap — one bit per slot, at most 256 slots
+// with 32-byte lines — and the rest of the page is carved into
+// fixed-size slots. Allocation pops the head of the class's
+// partial-page list and scans the bitmap for a clear bit; because the
+// whole bitmap fits in one cache line, the search touches a single
+// line no matter where the free slot is, which is the paper's argument
+// against pointer-chasing freelist walks. Deallocation recomputes the
+// slot index from the address and clears its bit, so double frees
+// (bit already clear) and interior pointers (offset not a slot
+// multiple, or inside the header line) are detected exactly from the
+// bitmap geometry alone — no per-object boundary tags.
+//
+// Requests larger than MaxSmall go to an embedded GNU G++ general
+// allocator, the same fallback arrangement QUICKFIT uses.
+package bitfit
+
+import (
+	"math/bits"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/gnufit"
+	"mallocsim/internal/mem"
+)
+
+const (
+	// MaxSmall is the largest request served from bitmap pages.
+	MaxSmall = 512
+
+	// headerSize is the bitmap header: exactly one cache line at the
+	// start of every page, as in the Fast Bitmap Fit design.
+	headerSize = mem.LineSize
+
+	// slotArea is the per-page payload span behind the header.
+	slotArea = mem.PageSize - headerSize
+
+	// bitsPerWord is the occupancy bits held by one bitmap word.
+	bitsPerWord = 8 * mem.WordSize
+
+	// maxSlots is the bitmap capacity: one bit per byte of header.
+	// The smallest class size (16) keeps slotArea/size under this.
+	maxSlots = 8 * headerSize
+
+	// descWords is the per-page descriptor in the info region:
+	// dClass (size-class index), dCount (free slots), dNext
+	// (next page index + 1 on the class's partial list; 0 ends it).
+	descWords = 3
+	dClass    = 0
+	dCount    = 1
+	dNext     = 2
+)
+
+// classSizes lists the slot sizes of the size classes: fine-grained
+// word multiples at the small end (where the paper's workloads
+// concentrate), geometric above. Every size keeps slotArea/size within
+// the one-line bitmap's 256 bits.
+var classSizes = [...]uint64{
+	16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128,
+	160, 192, 224, 256, 320, 384, 448, 512,
+}
+
+const numClasses = len(classSizes)
+
+// State-region word offsets: the request-size → class map (indexed by
+// size/WordSize, sizes 0..MaxSmall), then one partial-list head per
+// class (page index + 1; 0 = empty).
+const (
+	sSizeMap = 0
+	sHeads   = sSizeMap + (MaxSmall/mem.WordSize+1)*mem.WordSize
+	stateLen = sHeads + numClasses*mem.WordSize
+)
+
+// Allocator is a bitmap-fit instance. Its bitmap headers and page
+// descriptors are words in simulated memory, so every bitmap probe an
+// allocation performs shows up in the reference trace.
+type Allocator struct {
+	m       *mem.Memory
+	general *gnufit.Allocator
+	data    *mem.Region // bitmap pages
+	info    *mem.Region // per-page descriptors
+	state   *mem.Region // size map + class heads
+
+	pagesBase uint64 // first bitmap page (data base + guard page)
+	infoBase  uint64
+	stateBase uint64
+	pages     uint64 // bitmap pages carved so far
+
+	scans uint64 // bitmap words examined (alloc.Scanner)
+}
+
+// New creates a bitmap-fit allocator (and its embedded GNU G++
+// fallback) on m.
+func New(m *mem.Memory) *Allocator {
+	a := &Allocator{
+		m:       m,
+		general: gnufit.New(m),
+		data:    m.NewRegion("bitfit-heap", 0),
+		info:    m.NewRegion("bitfit-info", 0),
+		state:   m.NewRegion("bitfit-state", mem.PageSize),
+	}
+	// Guard allotment: absorb the region reserve so every subsequent
+	// page Sbrk is page-aligned, and addresses below pagesBase are
+	// never valid bitmap slots (offset arithmetic cannot reach them).
+	if _, err := a.data.Sbrk(mem.PageSize - mem.RegionReserve); err != nil {
+		panic("bitfit: guard sbrk failed: " + err.Error())
+	}
+	a.pagesBase = a.data.Base() + mem.PageSize
+	a.infoBase = a.info.Brk()
+	stateBase, err := a.state.Sbrk(uint64(stateLen))
+	if err != nil {
+		panic("bitfit: state sbrk failed: " + err.Error())
+	}
+	a.stateBase = stateBase
+	// Size map: request words → class index.
+	class := uint64(0)
+	for s := uint64(0); s <= MaxSmall; s += mem.WordSize {
+		for classSizes[class] < s {
+			class++
+		}
+		a.m.WriteWord(stateBase+sSizeMap+(s/mem.WordSize)*mem.WordSize, class)
+	}
+	for c := 0; c < numClasses; c++ {
+		a.m.WriteWord(a.headSlot(uint64(c)), 0)
+	}
+	return a
+}
+
+func init() {
+	alloc.Register("bitfit", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "bitfit" }
+
+// headSlot returns the state address of a class's partial-list head.
+func (a *Allocator) headSlot(class uint64) uint64 {
+	return a.stateBase + sHeads + class*mem.WordSize
+}
+
+// descAddr returns the info address of a page descriptor word.
+func (a *Allocator) descAddr(page uint64, word uint64) uint64 {
+	return a.infoBase + (page*descWords+word)*mem.WordSize
+}
+
+// pageAddr returns the data address of a bitmap page.
+func (a *Allocator) pageAddr(page uint64) uint64 {
+	return a.pagesBase + page*mem.PageSize
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	alloc.Charge(a.m, 8) // round + range test
+	if n > MaxSmall {
+		return a.general.Malloc(n)
+	}
+	s := mem.AlignUp(uint64(n), mem.WordSize)
+	if s == 0 {
+		s = mem.WordSize // Malloc(0) contract: one usable word
+	}
+	class := a.m.ReadWord(a.stateBase + sSizeMap + (s/mem.WordSize)*mem.WordSize)
+	head := a.m.ReadWord(a.headSlot(class))
+	if head == 0 {
+		page, err := a.newPage(class)
+		if err != nil {
+			return 0, err
+		}
+		head = page + 1
+	}
+	return a.take(class, head-1)
+}
+
+// take claims a free slot on the given page (the head of its class's
+// partial list) by scanning the one-line bitmap header.
+func (a *Allocator) take(class, page uint64) (uint64, error) {
+	size := classSizes[class]
+	nslots := slotArea / size
+	pb := a.pageAddr(page)
+	slot, ok := a.claim(pb, nslots)
+	if !ok {
+		// The partial-list invariant (a listed page has a clear bit)
+		// broke — only possible if a stray write corrupted the header.
+		// Unlink the page and carve a fresh one instead of corrupting
+		// further; the fresh page's first slot is clear by construction.
+		a.m.WriteWord(a.headSlot(class), a.m.ReadWord(a.descAddr(page, dNext)))
+		np, err := a.newPage(class)
+		if err != nil {
+			return 0, err
+		}
+		page = np
+		pb = a.pageAddr(page)
+		slot, _ = a.claim(pb, nslots)
+	}
+	count := a.m.ReadWord(a.descAddr(page, dCount)) - 1
+	a.m.WriteWord(a.descAddr(page, dCount), count)
+	if count == 0 {
+		// Page full: unlink from the class's partial list.
+		next := a.m.ReadWord(a.descAddr(page, dNext))
+		a.m.WriteWord(a.headSlot(class), next)
+	}
+	return pb + headerSize + slot*size, nil
+}
+
+// claim finds and sets the first clear bit among the page's nslots
+// valid occupancy bits. The whole scan stays inside one cache line —
+// the Fast Bitmap Fit selling point.
+func (a *Allocator) claim(pb, nslots uint64) (uint64, bool) {
+	for w := uint64(0); w*bitsPerWord < nslots; w++ {
+		a.scans++
+		word := a.m.ReadWord(pb + w*mem.WordSize)
+		alloc.Charge(a.m, 2) // full-word compare + loop
+		if word == (1<<bitsPerWord)-1 {
+			continue
+		}
+		bit := uint64(bits.TrailingZeros32(^uint32(word)))
+		slot := w*bitsPerWord + bit
+		if slot >= nslots {
+			continue // tail bits past nslots are never valid
+		}
+		alloc.Charge(a.m, 4) // bit isolation
+		a.m.WriteWord(pb+w*mem.WordSize, word|(1<<bit))
+		return slot, true
+	}
+	return 0, false
+}
+
+// newPage carves a fresh page for the class and links it as the
+// partial-list head, returning its index. The descriptor space is
+// grown first: if the data Sbrk then fails, the spare descriptor slot
+// is benign, whereas the reverse order would desynchronise page
+// indices from descriptor offsets.
+func (a *Allocator) newPage(class uint64) (uint64, error) {
+	if _, err := a.info.Sbrk(descWords * mem.WordSize); err != nil {
+		return 0, err
+	}
+	if _, err := a.data.Sbrk(mem.PageSize); err != nil {
+		return 0, err
+	}
+	page := a.pages
+	a.pages++
+	pb := a.pageAddr(page)
+	for w := uint64(0); w < headerSize/mem.WordSize; w++ {
+		a.m.WriteWord(pb+w*mem.WordSize, 0)
+	}
+	a.m.WriteWord(a.descAddr(page, dClass), class)
+	a.m.WriteWord(a.descAddr(page, dCount), slotArea/classSizes[class])
+	a.m.WriteWord(a.descAddr(page, dNext), a.m.ReadWord(a.headSlot(class)))
+	a.m.WriteWord(a.headSlot(class), page+1)
+	return page, nil
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(p uint64) error {
+	alloc.Charge(a.m, 8)
+	if !a.data.Contains(p) {
+		// Not a bitmap page: the general allocator owns it (or it is
+		// garbage, which the general allocator's tags reject).
+		return a.general.Free(p)
+	}
+	if p < a.pagesBase {
+		return alloc.ErrBadFree // guard allotment, never handed out
+	}
+	page := mem.PageOf(p - a.pagesBase)
+	pb := a.pageAddr(page)
+	rel := p - pb
+	if rel < headerSize {
+		return alloc.ErrBadFree // points into the bitmap header
+	}
+	class := a.m.ReadWord(a.descAddr(page, dClass))
+	size := classSizes[class]
+	rel -= headerSize
+	slot := rel / size
+	alloc.Charge(a.m, 6) // page/slot arithmetic
+	if rel%size != 0 || slot >= slotArea/size {
+		return alloc.ErrBadFree // interior pointer or tail waste
+	}
+	w := slot / bitsPerWord
+	bit := slot % bitsPerWord
+	word := a.m.ReadWord(pb + w*mem.WordSize)
+	if word&(1<<bit) == 0 {
+		return alloc.ErrBadFree // bit already clear: double free
+	}
+	a.m.WriteWord(pb+w*mem.WordSize, word&^(1<<bit))
+	count := a.m.ReadWord(a.descAddr(page, dCount)) + 1
+	a.m.WriteWord(a.descAddr(page, dCount), count)
+	if count == 1 {
+		// Was full: relink as the class's partial-list head.
+		a.m.WriteWord(a.descAddr(page, dNext), a.m.ReadWord(a.headSlot(class)))
+		a.m.WriteWord(a.headSlot(class), page+1)
+	}
+	return nil
+}
+
+// The bitmap scan is bitfit's search; the general-allocator fallback
+// walks real freelists.
+var _ alloc.Scanner = (*Allocator)(nil)
+
+// ScanSteps implements alloc.Scanner: bitmap words examined plus the
+// embedded general allocator's freelist steps.
+func (a *Allocator) ScanSteps() uint64 { return a.scans + a.general.ScanSteps() }

@@ -1,0 +1,152 @@
+package bitfit
+
+import (
+	"errors"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+// Slots must stay word-aligned even when a request rounds up across a
+// cache-line boundary: the one-line header keeps the first slot
+// line-aligned, and every class size is a word multiple.
+func TestSlotAlignmentAcrossLineRounding(t *testing.T) {
+	a, _ := newTestAlloc()
+	for _, n := range []uint32{1, 29, 30, 31, 32, 33, 61, 63, 64, 65, 511, 512} {
+		p, err := a.Malloc(n)
+		if err != nil {
+			t.Fatalf("Malloc(%d): %v", n, err)
+		}
+		if p%mem.WordSize != 0 {
+			t.Errorf("Malloc(%d) = %#x: not word-aligned", n, p)
+		}
+		if mem.PageOffset(p-a.pagesBase) < headerSize {
+			t.Errorf("Malloc(%d) = %#x: inside the bitmap header line", n, p)
+		}
+	}
+	// Line-multiple classes get line-aligned slots (the locality point
+	// of sizing the header to exactly one line).
+	p, err := a.Malloc(mem.LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.LineOffset(p) != 0 {
+		t.Errorf("Malloc(LineSize) = %#x: not line-aligned", p)
+	}
+}
+
+// The bitmap detects double frees and interior pointers exactly.
+func TestBitmapBadFrees(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("double free: got %v, want ErrBadFree", err)
+	}
+	q, err := a.Malloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(q + mem.WordSize); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("interior free: got %v, want ErrBadFree", err)
+	}
+	// A pointer into the header line of a live page.
+	if err := a.Free(a.pageAddr(0) + mem.WordSize); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("header free: got %v, want ErrBadFree", err)
+	}
+	if err := a.Free(q); err != nil {
+		t.Fatalf("valid free after rejections: %v", err)
+	}
+}
+
+// Pages are size-segregated: two classes never share a page, and a
+// full page is refilled only through its own class list.
+func TestSizeSegregation(t *testing.T) {
+	a, _ := newTestAlloc()
+	p16, err := a.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.PageOf(p16-a.pagesBase) == mem.PageOf(p64-a.pagesBase) {
+		t.Errorf("classes 16 and 64 share page %d", mem.PageOf(p16-a.pagesBase))
+	}
+	// Exhaust class 16's first page and confirm a second page appears.
+	nslots := uint64(slotArea / 16)
+	seen := map[uint64]bool{mem.PageOf(p16 - a.pagesBase): true}
+	for i := uint64(1); i < nslots+1; i++ {
+		p, err := a.Malloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[mem.PageOf(p-a.pagesBase)] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("after %d allocs of 16 bytes: %d pages, want 2", nslots+1, len(seen))
+	}
+}
+
+// Freed slots are recycled before new pages are carved.
+func TestSlotRecycling(t *testing.T) {
+	a, m := newTestAlloc()
+	p, err := a.Malloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foot := m.Footprint()
+	for i := 0; i < 1000; i++ {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := a.Malloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != p {
+			t.Fatalf("iteration %d: recycled %#x, want %#x", i, q, p)
+		}
+	}
+	if got := m.Footprint(); got != foot {
+		t.Errorf("footprint grew %d → %d under pure recycling", foot, got)
+	}
+}
+
+// Requests beyond MaxSmall go to the general allocator and free back
+// through it.
+func TestLargeFallback(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(MaxSmall + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.data.Contains(p) {
+		t.Errorf("large request landed in a bitmap page")
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("large free: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("large double free: got %v, want ErrBadFree", err)
+	}
+}

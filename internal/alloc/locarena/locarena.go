@@ -1,0 +1,286 @@
+// Package locarena implements a locality-hint arena allocator: the
+// caller passes a locality id (an opaque phase/affinity integer) and
+// placement is steered into distance-bucketed arenas, after the
+// LocalityArenaAllocator sketch in SNIPPETS.md §1.
+//
+// Hints within 2^BucketShift of each other map to the same bucket, and
+// buckets cycle modulo NumBuckets, so a long-running program's phases
+// reuse arenas instead of growing an unbounded set. Each bucket owns
+// its own pages: objects born in the same phase are packed together by
+// a per-bucket bump pointer, and freed blocks return to per-bucket
+// size-binned freelists (powers of two, BSD-style) so recycling never
+// migrates a block between buckets. That is the whole bet: same-phase
+// objects die and are revived together, so keeping them on the same
+// pages and lines improves spatial locality the same way the paper's
+// §4.4 allocator does with size segregation — but driven by the
+// caller's knowledge instead of the request size.
+//
+// locarena implements alloc.LocalityHinter; plain Malloc is
+// MallocLocal with locality 0, so hint-free callers see an ordinary
+// single-arena allocator. Blocks carry a one-word header encoding a
+// live/free tag, the owning bucket and the bin size, giving the usual
+// tag-based double-free screening; on top of that a host-side live-set
+// map (a zero-cost debug assertion, as in package custom) makes
+// interior and double free detection exact even when a stale or
+// adversarial pointer lands on payload bytes that happen to look like
+// a live header — the bitmap-less arena's equivalent of bitfit's exact
+// geometry check.
+//
+// Requests larger than MaxSmall go to an embedded GNU G++ general
+// allocator (losing their hint), the same arrangement QUICKFIT uses.
+package locarena
+
+import (
+	"math/bits"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/gnufit"
+	"mallocsim/internal/mem"
+)
+
+const (
+	// BucketShift collapses nearby hints: ids within 2^BucketShift of
+	// each other share an arena bucket.
+	BucketShift = 2
+	// NumBuckets is the arena count; bucket indices cycle modulo this.
+	NumBuckets = 32
+
+	// headerSize is the one-word block header: tag | bucket | bin size.
+	headerSize = mem.WordSize
+
+	// minChunk and maxChunk bound the power-of-two bin sizes
+	// (header + payload).
+	minChunk = 8
+	maxChunk = 1024
+	numBins  = 8 // 8, 16, ..., 1024
+
+	// MaxSmall is the largest payload served from arena pages.
+	MaxSmall = maxChunk - headerSize
+
+	// Header tags (bits 31..24; bucket in 23..16, chunk size in 15..0).
+	tagLive = 0xa5
+	tagFree = 0x5a
+
+	// descWords is the per-page descriptor in the info region: dBucket
+	// (owning arena) and dBump (carve frontier, bytes).
+	descWords = 2
+	dBucket   = 0
+	dBump     = 1
+
+	// State-region word offsets: per bucket a current reap page
+	// (page index + 1; 0 = none) followed by numBins freelist heads.
+	bucketWords = 1 + numBins
+	bPage       = 0
+	bBins       = 1
+	stateLen    = NumBuckets * bucketWords * mem.WordSize
+)
+
+// Allocator is a locality-hint arena instance.
+type Allocator struct {
+	m       *mem.Memory
+	general *gnufit.Allocator
+	data    *mem.Region // arena pages
+	info    *mem.Region // per-page descriptors
+	state   *mem.Region // bucket table
+
+	pagesBase uint64 // first arena page (data base + guard page)
+	infoBase  uint64
+	stateBase uint64
+	pages     uint64 // pages carved so far
+
+	// live marks payload addresses currently allocated. Host-side only:
+	// consulting it performs no simulated references, so it is a
+	// zero-cost assertion layered over the header-tag checks.
+	live map[uint64]bool
+}
+
+// New creates a locality-arena allocator (and its embedded GNU G++
+// fallback) on m.
+func New(m *mem.Memory) *Allocator {
+	a := &Allocator{
+		m:       m,
+		general: gnufit.New(m),
+		data:    m.NewRegion("locarena-heap", 0),
+		info:    m.NewRegion("locarena-info", 0),
+		state:   m.NewRegion("locarena-state", mem.PageSize),
+		live:    map[uint64]bool{},
+	}
+	// Guard allotment: absorb the region reserve so page Sbrks are
+	// page-aligned and offset arithmetic cannot reach the reserve.
+	if _, err := a.data.Sbrk(mem.PageSize - mem.RegionReserve); err != nil {
+		panic("locarena: guard sbrk failed: " + err.Error())
+	}
+	a.pagesBase = a.data.Base() + mem.PageSize
+	a.infoBase = a.info.Brk()
+	stateBase, err := a.state.Sbrk(uint64(stateLen))
+	if err != nil {
+		panic("locarena: state sbrk failed: " + err.Error())
+	}
+	a.stateBase = stateBase
+	for rel := uint64(0); rel < stateLen; rel += mem.WordSize {
+		m.WriteWord(stateBase+rel, 0)
+	}
+	return a
+}
+
+func init() {
+	alloc.Register("locarena", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "locarena" }
+
+// bucketOf maps a locality id to its arena bucket.
+func bucketOf(locality uint32) uint64 {
+	return uint64(locality>>BucketShift) % NumBuckets
+}
+
+// binOf returns the bin index and chunk size (header + payload)
+// serving a payload of n bytes.
+func binOf(n uint32) (uint64, uint64) {
+	need := uint64(n) + headerSize
+	if need < minChunk {
+		need = minChunk
+	}
+	chunk := uint64(1) << bits.Len64(need-1)
+	bin := uint64(bits.Len64(chunk)) - 4 // 8 → 0, 16 → 1, ...
+	return bin, chunk
+}
+
+// bucketSlot returns the state address of a bucket-table word.
+func (a *Allocator) bucketSlot(bucket, word uint64) uint64 {
+	return a.stateBase + (bucket*bucketWords+word)*mem.WordSize
+}
+
+// descAddr returns the info address of a page descriptor word.
+func (a *Allocator) descAddr(page uint64, word uint64) uint64 {
+	return a.infoBase + (page*descWords+word)*mem.WordSize
+}
+
+// pageAddr returns the data address of an arena page.
+func (a *Allocator) pageAddr(page uint64) uint64 {
+	return a.pagesBase + page*mem.PageSize
+}
+
+// Malloc implements alloc.Allocator: an allocation with no locality
+// information lands in bucket 0.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	return a.MallocLocal(n, 0)
+}
+
+// MallocLocal implements alloc.LocalityHinter.
+func (a *Allocator) MallocLocal(n uint32, locality uint32) (uint64, error) {
+	alloc.Charge(a.m, 10) // bucket hash + bin computation + range test
+	if n > MaxSmall {
+		return a.general.Malloc(n)
+	}
+	bucket := bucketOf(locality)
+	bin, chunk := binOf(n)
+
+	// Recycle within the bucket: same phase, same size bin.
+	slot := a.bucketSlot(bucket, bBins+bin)
+	if head := a.m.ReadWord(slot); head != 0 {
+		b := a.data.DecodePtr(head)
+		a.m.WriteWord(slot, a.m.ReadWord(b+headerSize))
+		a.m.WriteWord(b, tagLive<<24|bucket<<16|chunk)
+		a.live[b+headerSize] = true
+		return b + headerSize, nil
+	}
+
+	// Reap: bump the bucket's current page.
+	b, err := a.carve(bucket, chunk)
+	if err != nil {
+		return 0, err
+	}
+	a.m.WriteWord(b, tagLive<<24|bucket<<16|chunk)
+	a.live[b+headerSize] = true
+	return b + headerSize, nil
+}
+
+// carve takes a chunk from the bucket's current page, starting a fresh
+// page when the frontier cannot fit it (the tail is abandoned, as in
+// QUICKFIT's tail chunks: arena packing is the point, not utilisation).
+func (a *Allocator) carve(bucket, chunk uint64) (uint64, error) {
+	if cur := a.m.ReadWord(a.bucketSlot(bucket, bPage)); cur != 0 {
+		page := cur - 1
+		bump := a.m.ReadWord(a.descAddr(page, dBump))
+		if bump+chunk <= mem.PageSize {
+			a.m.WriteWord(a.descAddr(page, dBump), bump+chunk)
+			return a.pageAddr(page) + bump, nil
+		}
+	}
+	// Descriptor space grows before data space so page indices and
+	// descriptor offsets cannot desynchronise on a mid-pair failure.
+	if _, err := a.info.Sbrk(descWords * mem.WordSize); err != nil {
+		return 0, err
+	}
+	if _, err := a.data.Sbrk(mem.PageSize); err != nil {
+		return 0, err
+	}
+	page := a.pages
+	a.pages++
+	a.m.WriteWord(a.descAddr(page, dBucket), bucket)
+	a.m.WriteWord(a.descAddr(page, dBump), chunk)
+	a.m.WriteWord(a.bucketSlot(bucket, bPage), page+1)
+	return a.pageAddr(page), nil
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(p uint64) error {
+	alloc.Charge(a.m, 8)
+	if !a.data.Contains(p) {
+		// Not an arena page: the general allocator owns it (or it is
+		// garbage, which the general allocator's tags reject).
+		return a.general.Free(p)
+	}
+	if p%mem.WordSize != 0 || p < a.pagesBase+headerSize {
+		return alloc.ErrBadFree // unaligned, guard allotment, or headerless start
+	}
+	page := mem.PageOf(p - a.pagesBase)
+	rel := p - a.pageAddr(page)
+	if rel < headerSize {
+		return alloc.ErrBadFree // page-straddling pointer: no header here
+	}
+	hdr := a.m.ReadWord(p - headerSize)
+	tag := hdr >> 24
+	bucket := (hdr >> 16) & 0xff
+	chunk := hdr & 0xffff
+	alloc.Charge(a.m, 6) // tag decode + range checks
+	if tag == tagFree {
+		return alloc.ErrBadFree // freed tag: double free
+	}
+	if tag != tagLive || bucket >= NumBuckets ||
+		chunk < minChunk || chunk > maxChunk || chunk&(chunk-1) != 0 {
+		return alloc.ErrBadFree // not a block header: interior or garbage
+	}
+	if a.m.ReadWord(a.descAddr(page, dBucket)) != bucket {
+		return alloc.ErrBadFree // header claims a bucket this page is not in
+	}
+	if rel-headerSize+chunk > a.m.ReadWord(a.descAddr(page, dBump)) {
+		return alloc.ErrBadFree // past the carve frontier: never allocated
+	}
+	if !a.live[p] {
+		// Payload bytes impersonating a live header (or a stale
+		// pointer): the host-side assertion makes the rejection exact.
+		return alloc.ErrBadFree
+	}
+	bin, _ := binOf(uint32(chunk - headerSize))
+	b := p - headerSize
+	slot := a.bucketSlot(bucket, bBins+bin)
+	a.m.WriteWord(b, tagFree<<24|bucket<<16|chunk)
+	a.m.WriteWord(p, a.m.ReadWord(slot)) // link lives in the payload word
+	a.m.WriteWord(slot, a.data.EncodePtr(b))
+	delete(a.live, p)
+	return nil
+}
+
+// Compile-time interface conformance.
+var (
+	_ alloc.Allocator      = (*Allocator)(nil)
+	_ alloc.LocalityHinter = (*Allocator)(nil)
+	_ alloc.Scanner        = (*Allocator)(nil)
+)
+
+// ScanSteps implements alloc.Scanner: the arena's bin pops never
+// search, so only the embedded general allocator contributes.
+func (a *Allocator) ScanSteps() uint64 { return a.general.ScanSteps() }

@@ -1,0 +1,152 @@
+package locarena
+
+import (
+	"errors"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+// Hints steer placement: same-bucket hints pack onto shared pages,
+// distant hints land in different arenas.
+func TestHintSteering(t *testing.T) {
+	a, _ := newTestAlloc()
+	p0, err := a.MallocLocal(40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.MallocLocal(40, 1<<BucketShift-1) // same bucket as 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.PageOf(p0-a.pagesBase) != mem.PageOf(p1-a.pagesBase) {
+		t.Errorf("nearby hints split across pages %d and %d",
+			mem.PageOf(p0-a.pagesBase), mem.PageOf(p1-a.pagesBase))
+	}
+	p2, err := a.MallocLocal(40, 1<<BucketShift) // next bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.PageOf(p0-a.pagesBase) == mem.PageOf(p2-a.pagesBase) {
+		t.Errorf("distant hints share page %d", mem.PageOf(p0-a.pagesBase))
+	}
+	// Buckets cycle: a hint NumBuckets bins away reuses bucket 0's arena.
+	p3, err := a.MallocLocal(40, NumBuckets<<BucketShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.PageOf(p0-a.pagesBase) != mem.PageOf(p3-a.pagesBase) {
+		t.Errorf("wrapped hint left bucket 0's page")
+	}
+}
+
+// Freed blocks are recycled only within their bucket and size bin.
+func TestBucketLocalRecycling(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.MallocLocal(40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// A different bucket must not receive the freed block.
+	q, err := a.MallocLocal(40, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == p {
+		t.Errorf("block %#x migrated between buckets", p)
+	}
+	// The same bucket and bin must.
+	r, err := a.MallocLocal(40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != p {
+		t.Errorf("same-bucket realloc got %#x, want recycled %#x", r, p)
+	}
+}
+
+// Interior and double frees are rejected exactly, even when payload
+// bytes are crafted to look like a live header (the host-side live-set
+// assertion the package doc describes).
+func TestExactBadFreeDetection(t *testing.T) {
+	a, m := newTestAlloc()
+	p, err := a.MallocLocal(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p + mem.WordSize); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("interior free: got %v, want ErrBadFree", err)
+	}
+	// Forge a live-looking header inside the payload: tag 0xa5,
+	// bucket 1, chunk 8 — every simulated tag check passes, only the
+	// live-set assertion can reject the free of the word after it.
+	forged := tagLive<<24 | 1<<16 | 8
+	m.WriteWord(p+mem.WordSize, uint64(forged))
+	if err := a.Free(p + 2*mem.WordSize); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("forged-header interior free: got %v, want ErrBadFree", err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("valid free after rejections: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("double free: got %v, want ErrBadFree", err)
+	}
+}
+
+// Plain Malloc is MallocLocal with locality 0: the two produce the
+// same address stream on fresh instances.
+func TestMallocIsLocality0(t *testing.T) {
+	a1, _ := newTestAlloc()
+	a2, _ := newTestAlloc()
+	for i := 0; i < 200; i++ {
+		n := uint32(i%97 + 1)
+		p1, err1 := a1.Malloc(n)
+		p2, err2 := a2.MallocLocal(n, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("op %d: %v / %v", i, err1, err2)
+		}
+		if p1 != p2 {
+			t.Fatalf("op %d: Malloc %#x != MallocLocal(0) %#x", i, p1, p2)
+		}
+		if i%3 == 0 {
+			if a1.Free(p1) != nil || a2.Free(p2) != nil {
+				t.Fatalf("op %d: free failed", i)
+			}
+		}
+	}
+}
+
+// Requests beyond MaxSmall go to the general allocator and free back
+// through it.
+func TestLargeFallback(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.MallocLocal(MaxSmall+1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.data.Contains(p) {
+		t.Errorf("large request landed in an arena page")
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("large free: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("large double free: got %v, want ErrBadFree", err)
+	}
+}

@@ -133,13 +133,14 @@ type node struct {
 	l, r *node
 }
 
-// Allocator is the shadow wrapper. It implements alloc.Allocator and
-// alloc.SiteAllocator (forwarding site information when the wrapped
-// allocator exploits it).
+// Allocator is the shadow wrapper. It implements alloc.Allocator,
+// alloc.SiteAllocator and alloc.LocalityHinter (forwarding site and
+// locality information when the wrapped allocator exploits them).
 type Allocator struct {
 	inner   alloc.Allocator
-	site    alloc.SiteAllocator // nil if inner is not site-aware
-	checker alloc.Checker       // nil if no audit hook anywhere in the chain
+	site    alloc.SiteAllocator  // nil if inner is not site-aware
+	hint    alloc.LocalityHinter // nil if inner is not hint-aware
+	checker alloc.Checker        // nil if no audit hook anywhere in the chain
 	m       *mem.Memory
 	opts    Options
 
@@ -179,6 +180,7 @@ func Wrap(a alloc.Allocator, m *mem.Memory, opts Options) *Allocator {
 		counts: map[string]uint64{},
 	}
 	s.site, _ = a.(alloc.SiteAllocator)
+	s.hint, _ = a.(alloc.LocalityHinter)
 	for inner := a; ; {
 		if c, ok := inner.(alloc.Checker); ok {
 			s.checker = c
@@ -217,6 +219,22 @@ func (s *Allocator) MallocSite(n uint32, site uint32) (uint64, error) {
 		addr, err = s.inner.Malloc(n)
 	}
 	s.afterMalloc(n, site, addr, err)
+	return addr, err
+}
+
+// MallocLocal forwards the locality hint when the wrapped allocator is
+// hint-aware, falling back to Malloc otherwise. The oracle does not
+// model hints — placement policy is the allocator's business — so the
+// usual liveness and geometry validation applies unchanged.
+func (s *Allocator) MallocLocal(n uint32, locality uint32) (uint64, error) {
+	var addr uint64
+	var err error
+	if s.hint != nil {
+		addr, err = s.hint.MallocLocal(n, locality)
+	} else {
+		addr, err = s.inner.Malloc(n)
+	}
+	s.afterMalloc(n, 0, addr, err)
 	return addr, err
 }
 
@@ -482,6 +500,7 @@ func (s *Allocator) Snapshot() *Snapshot {
 }
 
 var (
-	_ alloc.Allocator     = (*Allocator)(nil)
-	_ alloc.SiteAllocator = (*Allocator)(nil)
+	_ alloc.Allocator      = (*Allocator)(nil)
+	_ alloc.SiteAllocator  = (*Allocator)(nil)
+	_ alloc.LocalityHinter = (*Allocator)(nil)
 )

@@ -1,0 +1,300 @@
+// Package vamfit implements a Vam-style allocator (Feng & Berger,
+// MSP 2005; plasma-umass/vam): fine-grained size classes over
+// page-aligned regions with reap-then-recycle placement.
+//
+// Small requests round to the word size and map to an exact size
+// class — one class per word multiple up to MaxSmall, so internal
+// fragmentation is at most a word. Each class bump-carves ("reaps")
+// blocks out of a dedicated current page; carving is headerless, so
+// consecutive allocations of a class are contiguous, which is where
+// Vam's locality improvement comes from. Only when the current page is
+// exhausted does allocation fall back to the class's freelist of
+// previously released blocks ("recycle"), and only when both fail is a
+// new page taken — first from the pool of pages that have drained
+// (every object on them freed), then from the OS.
+//
+// Deallocation is page-directed: the page descriptor recovers the
+// block size from the address, rejecting interior pointers (offset not
+// a multiple of the block size), pointers past the page's carve
+// frontier, and frees into uncarved pages. When a page's live count
+// drops to zero its blocks are unthreaded from the class freelist and
+// the whole page is returned to the pool for reuse by any class —
+// Vam's page-level recycling, which keeps a long-lived process's heap
+// from being pinned by stale size-class ownership.
+//
+// Requests larger than MaxSmall go to an embedded GNU G++ general
+// allocator, the same arrangement QUICKFIT uses.
+package vamfit
+
+import (
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/gnufit"
+	"mallocsim/internal/mem"
+)
+
+const (
+	// MaxSmall is the largest request served from class pages.
+	MaxSmall = 256
+	// numClasses is one exact class per word multiple 4, 8, ..., 256.
+	numClasses = MaxSmall / mem.WordSize
+
+	// Per-page descriptor fields in the info region: dSize (block
+	// size; 0 = uncarved or pooled), dLive (live blocks), dBump
+	// (carve frontier, bytes), dNext (pool link, page index+1).
+	dSize     = 0
+	dLive     = 1
+	dBump     = 2
+	dNext     = 3
+	descWords = dNext + 1
+
+	// State-region word offsets: the drained-page pool head, then per
+	// class a freelist head (encoded block pointer) and the current
+	// reap page (page index + 1; 0 = none).
+	sPool      = 0
+	sClasses   = sPool + mem.WordSize
+	classWords = 2
+	cHead      = 0
+	cPage      = 1
+	stateLen   = sClasses + numClasses*classWords*mem.WordSize
+)
+
+// Allocator is a Vam-style instance. Class state, page descriptors and
+// freelist links are words in simulated memory; the only host-side
+// structure is a liveness set used as a debug assertion for exact
+// double-free detection (headerless blocks carry no tag to check), the
+// same arrangement package custom documents.
+type Allocator struct {
+	m       *mem.Memory
+	general *gnufit.Allocator
+	data    *mem.Region // class pages
+	info    *mem.Region // per-page descriptors
+	state   *mem.Region // pool head + class table
+
+	pagesBase uint64 // first class page (data base + guard page)
+	infoBase  uint64
+	stateBase uint64
+	pages     uint64 // pages carved so far
+
+	// freed marks small blocks currently on a class freelist. Host-side
+	// only: consulting it performs no simulated references, so it is a
+	// zero-cost assertion, not part of the simulated algorithm.
+	freed map[uint64]bool
+
+	scans uint64 // unthreading steps (alloc.Scanner)
+}
+
+// New creates a Vam-style allocator (and its embedded GNU G++
+// fallback) on m.
+func New(m *mem.Memory) *Allocator {
+	a := &Allocator{
+		m:       m,
+		general: gnufit.New(m),
+		data:    m.NewRegion("vamfit-heap", 0),
+		info:    m.NewRegion("vamfit-info", 0),
+		state:   m.NewRegion("vamfit-state", mem.PageSize),
+		freed:   map[uint64]bool{},
+	}
+	// Guard allotment: absorb the region reserve so page Sbrks are
+	// page-aligned and offset arithmetic cannot reach the reserve.
+	if _, err := a.data.Sbrk(mem.PageSize - mem.RegionReserve); err != nil {
+		panic("vamfit: guard sbrk failed: " + err.Error())
+	}
+	a.pagesBase = a.data.Base() + mem.PageSize
+	a.infoBase = a.info.Brk()
+	stateBase, err := a.state.Sbrk(uint64(stateLen))
+	if err != nil {
+		panic("vamfit: state sbrk failed: " + err.Error())
+	}
+	a.stateBase = stateBase
+	for rel := uint64(0); rel < stateLen; rel += mem.WordSize {
+		m.WriteWord(stateBase+rel, 0)
+	}
+	return a
+}
+
+func init() {
+	alloc.Register("vamfit", func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "vamfit" }
+
+// classSlot returns the state address of a class-table word.
+func (a *Allocator) classSlot(class, word uint64) uint64 {
+	return a.stateBase + sClasses + (class*classWords+word)*mem.WordSize
+}
+
+// descAddr returns the info address of a page descriptor word.
+func (a *Allocator) descAddr(page uint64, word uint64) uint64 {
+	return a.infoBase + (page*descWords+word)*mem.WordSize
+}
+
+// pageAddr returns the data address of a class page.
+func (a *Allocator) pageAddr(page uint64) uint64 {
+	return a.pagesBase + page*mem.PageSize
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(n uint32) (uint64, error) {
+	alloc.Charge(a.m, 8) // round + class computation + range test
+	if n > MaxSmall {
+		return a.general.Malloc(n)
+	}
+	s := mem.AlignUp(uint64(n), mem.WordSize)
+	if s == 0 {
+		s = mem.WordSize // Malloc(0) contract: one usable word
+	}
+	class := s/mem.WordSize - 1
+
+	// Reap: bump the class's current page.
+	if cur := a.m.ReadWord(a.classSlot(class, cPage)); cur != 0 {
+		page := cur - 1
+		bump := a.m.ReadWord(a.descAddr(page, dBump))
+		if bump+s <= mem.PageSize {
+			a.m.WriteWord(a.descAddr(page, dBump), bump+s)
+			a.bookLive(page, 1)
+			return a.pageAddr(page) + bump, nil
+		}
+		// Fully carved: stop probing it on every call.
+		a.m.WriteWord(a.classSlot(class, cPage), 0)
+	}
+
+	// Recycle: pop the class freelist.
+	if head := a.m.ReadWord(a.classSlot(class, cHead)); head != 0 {
+		b := a.data.DecodePtr(head)
+		a.m.WriteWord(a.classSlot(class, cHead), a.m.ReadWord(b))
+		delete(a.freed, b)
+		a.bookLive(mem.PageOf(b-a.pagesBase), 1)
+		return b, nil
+	}
+
+	// New page: drained pool first, then the OS.
+	page, err := a.newPage(s)
+	if err != nil {
+		return 0, err
+	}
+	a.m.WriteWord(a.classSlot(class, cPage), page+1)
+	a.m.WriteWord(a.descAddr(page, dBump), s)
+	a.bookLive(page, 1)
+	return a.pageAddr(page), nil
+}
+
+// bookLive adds delta to a page's live count.
+func (a *Allocator) bookLive(page uint64, delta uint64) {
+	a.m.WriteWord(a.descAddr(page, dLive), a.m.ReadWord(a.descAddr(page, dLive))+delta)
+}
+
+// newPage produces an empty page dedicated to block size s: the
+// drained-page pool if possible, a fresh OS page otherwise. Descriptor
+// space grows before data space so page indices and descriptor offsets
+// cannot desynchronise on a mid-pair Sbrk failure.
+func (a *Allocator) newPage(s uint64) (uint64, error) {
+	if head := a.m.ReadWord(a.stateBase + sPool); head != 0 {
+		page := head - 1
+		a.m.WriteWord(a.stateBase+sPool, a.m.ReadWord(a.descAddr(page, dNext)))
+		a.m.WriteWord(a.descAddr(page, dSize), s)
+		a.m.WriteWord(a.descAddr(page, dLive), 0)
+		a.m.WriteWord(a.descAddr(page, dBump), 0)
+		return page, nil
+	}
+	if _, err := a.info.Sbrk(descWords * mem.WordSize); err != nil {
+		return 0, err
+	}
+	if _, err := a.data.Sbrk(mem.PageSize); err != nil {
+		return 0, err
+	}
+	page := a.pages
+	a.pages++
+	a.m.WriteWord(a.descAddr(page, dSize), s)
+	a.m.WriteWord(a.descAddr(page, dLive), 0)
+	a.m.WriteWord(a.descAddr(page, dBump), 0)
+	a.m.WriteWord(a.descAddr(page, dNext), 0)
+	return page, nil
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(p uint64) error {
+	alloc.Charge(a.m, 8)
+	if !a.data.Contains(p) {
+		// Not a class page: the general allocator owns it (or it is
+		// garbage, which the general allocator's tags reject).
+		return a.general.Free(p)
+	}
+	if p < a.pagesBase {
+		return alloc.ErrBadFree // guard allotment, never handed out
+	}
+	page := mem.PageOf(p - a.pagesBase)
+	s := a.m.ReadWord(a.descAddr(page, dSize))
+	if s == 0 {
+		return alloc.ErrBadFree // uncarved or drained-pool page
+	}
+	rel := p - a.pageAddr(page)
+	alloc.Charge(a.m, 6) // page/offset arithmetic
+	if rel%s != 0 {
+		return alloc.ErrBadFree // interior pointer
+	}
+	if rel >= a.m.ReadWord(a.descAddr(page, dBump)) {
+		return alloc.ErrBadFree // past the carve frontier: never allocated
+	}
+	if a.freed[p] {
+		return alloc.ErrBadFree // double free (host-side assertion)
+	}
+	class := s/mem.WordSize - 1
+	a.m.WriteWord(p, a.m.ReadWord(a.classSlot(class, cHead)))
+	a.m.WriteWord(a.classSlot(class, cHead), a.data.EncodePtr(p))
+	a.freed[p] = true
+	live := a.m.ReadWord(a.descAddr(page, dLive)) - 1
+	a.m.WriteWord(a.descAddr(page, dLive), live)
+	if live == 0 {
+		a.release(class, page, s)
+	}
+	return nil
+}
+
+// release drains a page whose last live block was just freed: its
+// blocks are unthreaded from the class freelist, the class's reap
+// pointer is cleared if it pointed here, and the page joins the
+// drained pool for reuse by any class.
+func (a *Allocator) release(class, page, s uint64) {
+	pb := a.pageAddr(page)
+	bump := a.m.ReadWord(a.descAddr(page, dBump))
+	// Unthread: walk the class freelist dropping nodes on this page.
+	slot := a.classSlot(class, cHead)
+	prev := uint64(0) // 0: head pointer lives in the class table
+	cur := a.m.ReadWord(slot)
+	for cur != 0 {
+		a.scans++
+		alloc.Charge(a.m, 3)
+		b := a.data.DecodePtr(cur)
+		next := a.m.ReadWord(b)
+		if b >= pb && b < pb+mem.PageSize {
+			if prev == 0 {
+				a.m.WriteWord(slot, next)
+			} else {
+				a.m.WriteWord(a.data.DecodePtr(prev), next)
+			}
+		} else {
+			prev = cur
+		}
+		cur = next
+	}
+	for rel := uint64(0); rel < bump; rel += s {
+		delete(a.freed, pb+rel)
+	}
+	if a.m.ReadWord(a.classSlot(class, cPage)) == page+1 {
+		a.m.WriteWord(a.classSlot(class, cPage), 0)
+	}
+	a.m.WriteWord(a.descAddr(page, dSize), 0)
+	a.m.WriteWord(a.descAddr(page, dBump), 0)
+	a.m.WriteWord(a.descAddr(page, dNext), a.m.ReadWord(a.stateBase+sPool))
+	a.m.WriteWord(a.stateBase+sPool, page+1)
+}
+
+// The drain-time unthreading walk is vamfit's only search; the
+// general-allocator fallback walks real freelists.
+var _ alloc.Scanner = (*Allocator)(nil)
+
+// ScanSteps implements alloc.Scanner: freelist nodes examined while
+// unthreading drained pages plus the embedded general allocator's
+// steps.
+func (a *Allocator) ScanSteps() uint64 { return a.scans + a.general.ScanSteps() }

@@ -1,0 +1,155 @@
+package vamfit
+
+import (
+	"errors"
+	"testing"
+
+	"mallocsim/internal/alloc"
+	"mallocsim/internal/alloc/alloctest"
+	"mallocsim/internal/cost"
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(m *mem.Memory) alloc.Allocator { return New(m) })
+}
+
+func newTestAlloc() (*Allocator, *mem.Memory) {
+	m := mem.New(trace.Discard, &cost.Meter{})
+	return New(m), m
+}
+
+// Reap placement: consecutive allocations of one class are contiguous
+// within a page — the locality property Vam is built around.
+func TestReapContiguity(t *testing.T) {
+	a, _ := newTestAlloc()
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		p, err := a.Malloc(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && p != prev+24 {
+			t.Fatalf("alloc %d: %#x not contiguous after %#x", i, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Recycle placement: freed blocks are reused only after the current
+// page is exhausted, and then in LIFO order.
+func TestRecycleAfterReap(t *testing.T) {
+	a, _ := newTestAlloc()
+	s := uint64(64)
+	perPage := mem.PageSize / s
+	ptrs := make([]uint64, 0, perPage)
+	for i := uint64(0); i < perPage; i++ {
+		p, err := a.Malloc(uint32(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Free two blocks, keep the rest live so the page does not drain.
+	if err := a.Free(ptrs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(ptrs[5]); err != nil {
+		t.Fatal(err)
+	}
+	// The page is fully carved, so the next allocation must recycle the
+	// most recently freed block.
+	p, err := a.Malloc(uint32(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != ptrs[5] {
+		t.Errorf("recycled %#x, want most recently freed %#x", p, ptrs[5])
+	}
+}
+
+// A drained page is returned to the pool and reused by another class.
+func TestPageDrainAndCrossClassReuse(t *testing.T) {
+	a, m := newTestAlloc()
+	p1, err := a.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := mem.PageOf(p1 - a.pagesBase)
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	foot := m.Footprint()
+	// The drained page must satisfy a different class without growth.
+	q, err := a.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.PageOf(q - a.pagesBase); got != page {
+		t.Errorf("cross-class alloc landed on page %d, want drained page %d", got, page)
+	}
+	if got := m.Footprint(); got != foot {
+		t.Errorf("footprint grew %d → %d despite pooled page", foot, got)
+	}
+	// Stale freelist entries from the drained page must not resurface.
+	r, err := a.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == p1 || r == p2 {
+		t.Errorf("stale block %#x resurfaced from drained page", r)
+	}
+}
+
+// Exact bad-free detection: interior, past-frontier, header-free,
+// double free, drained page.
+func TestBadFrees(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p + mem.WordSize); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("interior free: got %v, want ErrBadFree", err)
+	}
+	if err := a.Free(p + 40); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("past-frontier free: got %v, want ErrBadFree", err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("double free: got %v, want ErrBadFree", err)
+	}
+	// p's page has drained; a free into the pooled page must fail.
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("free into drained page: got %v, want ErrBadFree", err)
+	}
+}
+
+// Requests beyond MaxSmall go to the general allocator and free back
+// through it.
+func TestLargeFallback(t *testing.T) {
+	a, _ := newTestAlloc()
+	p, err := a.Malloc(MaxSmall + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.data.Contains(p) {
+		t.Errorf("large request landed in a class page")
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatalf("large free: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, alloc.ErrBadFree) {
+		t.Errorf("large double free: got %v, want ErrBadFree", err)
+	}
+}

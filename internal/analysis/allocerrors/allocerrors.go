@@ -44,7 +44,7 @@ var sentinelPkgs = map[string][]string{
 
 // hotMethods are the allocator-contract entry points whose reachable
 // code must neither panic nor mint unwrapped errors.
-var hotMethods = map[string]bool{"Malloc": true, "MallocSite": true, "Free": true}
+var hotMethods = map[string]bool{"Malloc": true, "MallocSite": true, "MallocLocal": true, "Free": true}
 
 func isSentinel(obj types.Object) bool {
 	v, ok := obj.(*types.Var)

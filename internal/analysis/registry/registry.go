@@ -17,8 +17,9 @@
 //     registers an allocator (no dead imports).
 //  3. A registry name must be registered by exactly one package
 //     (duplicates panic at init time; this catches them at lint time).
-//  4. Every name in all's curated Paper/Extended lists must be a name
-//     some package registers (catches typos in the lists).
+//  4. Every name in all's curated lists (Paper, Extended, Modern and
+//     their compositions) must be a name some package registers
+//     (catches typos in the lists).
 package registry
 
 import (
@@ -159,8 +160,8 @@ func run(pass *analysis.Pass) error {
 }
 
 // checkCuratedLists verifies every string literal in the all package's
-// package-level variables (the Paper/Extended curated lists) names a
-// registered allocator.
+// package-level variables (the Paper/Extended/Modern curated lists)
+// names a registered allocator.
 func checkCuratedLists(pass *analysis.Pass, registered map[string][]regSite) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {

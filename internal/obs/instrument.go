@@ -12,8 +12,9 @@ import (
 // Recorder. Build one with Instrument.
 type Instrumented struct {
 	inner alloc.Allocator
-	site  alloc.SiteAllocator // nil when inner has no site support
-	scan  alloc.Scanner       // nil when inner does not search freelists
+	site  alloc.SiteAllocator  // nil when inner has no site support
+	hint  alloc.LocalityHinter // nil when inner has no hint support
+	scan  alloc.Scanner        // nil when inner does not search freelists
 	meter *cost.Meter
 	rec   *Recorder
 	sizes map[uint64]uint32 // live addr → request size, for Free accounting
@@ -27,11 +28,14 @@ type Instrumented struct {
 // The wrapper is domain-safe in both directions: it enters the proper
 // cost domain itself, so it measures correctly whether the caller is
 // the workload driver (which has already switched domains) or a bare
-// test harness (which has not). Site-aware allocation is preserved:
-// the wrapper always implements alloc.SiteAllocator, forwarding to the
-// wrapped allocator's MallocSite when it has one and falling back to
-// plain Malloc otherwise (the same semantics the workload driver
-// applies to an unwrapped allocator).
+// test harness (which has not). Site- and hint-aware allocation are
+// preserved: the wrapper always implements alloc.SiteAllocator and
+// alloc.LocalityHinter, forwarding to the wrapped allocator's
+// MallocSite/MallocLocal when it has one and falling back to plain
+// Malloc otherwise (the same semantics the workload driver applies to
+// an unwrapped allocator — dispatchers that must distinguish a
+// hint-aware heap from a transparent wrapper use alloc.HintAware,
+// which sees through Unwrap).
 func Instrument(a alloc.Allocator, meter *cost.Meter, rec *Recorder) alloc.Allocator {
 	if rec == nil || a == nil {
 		return a
@@ -44,6 +48,9 @@ func Instrument(a alloc.Allocator, meter *cost.Meter, rec *Recorder) alloc.Alloc
 	}
 	if sa, ok := a.(alloc.SiteAllocator); ok {
 		w.site = sa
+	}
+	if lh, ok := a.(alloc.LocalityHinter); ok {
+		w.hint = lh
 	}
 	if sc, ok := a.(alloc.Scanner); ok {
 		w.scan = sc
@@ -59,16 +66,32 @@ func (w *Instrumented) Name() string { return w.inner.Name() }
 
 // Malloc implements alloc.Allocator.
 func (w *Instrumented) Malloc(n uint32) (uint64, error) {
-	return w.malloc(n, 0, false)
+	return w.malloc(n, func() (uint64, error) { return w.inner.Malloc(n) })
 }
 
 // MallocSite implements alloc.SiteAllocator, falling back to Malloc
 // when the wrapped allocator is not site-aware.
 func (w *Instrumented) MallocSite(n uint32, site uint32) (uint64, error) {
-	return w.malloc(n, site, true)
+	return w.malloc(n, func() (uint64, error) {
+		if w.site != nil {
+			return w.site.MallocSite(n, site)
+		}
+		return w.inner.Malloc(n)
+	})
 }
 
-func (w *Instrumented) malloc(n uint32, site uint32, haveSite bool) (uint64, error) {
+// MallocLocal implements alloc.LocalityHinter, falling back to Malloc
+// when the wrapped allocator is not hint-aware.
+func (w *Instrumented) MallocLocal(n uint32, locality uint32) (uint64, error) {
+	return w.malloc(n, func() (uint64, error) {
+		if w.hint != nil {
+			return w.hint.MallocLocal(n, locality)
+		}
+		return w.inner.Malloc(n)
+	})
+}
+
+func (w *Instrumented) malloc(n uint32, call func() (uint64, error)) (uint64, error) {
 	var before, scanBefore uint64
 	if w.meter != nil {
 		prev := w.meter.Enter(cost.Malloc)
@@ -79,13 +102,7 @@ func (w *Instrumented) malloc(n uint32, site uint32, haveSite bool) (uint64, err
 		scanBefore = w.scan.ScanSteps()
 	}
 
-	var addr uint64
-	var err error
-	if haveSite && w.site != nil {
-		addr, err = w.site.MallocSite(n, site)
-	} else {
-		addr, err = w.inner.Malloc(n)
-	}
+	addr, err := call()
 
 	if w.meter != nil {
 		w.rec.MallocInstr.Observe(w.meter.Instr(cost.Malloc) - before)

@@ -26,9 +26,35 @@ func NewRecorder(inner alloc.Allocator, w *Writer) *Recorder {
 // Name implements alloc.Allocator.
 func (r *Recorder) Name() string { return r.inner.Name() }
 
+// Unwrap returns the wrapped allocator, so capability probes
+// (alloc.HintAware) and audit-hook discovery see through the recorder.
+func (r *Recorder) Unwrap() alloc.Allocator { return r.inner }
+
 // Malloc implements alloc.Allocator.
 func (r *Recorder) Malloc(n uint32) (uint64, error) {
 	return r.MallocSite(n, 0)
+}
+
+// MallocLocal implements alloc.LocalityHinter, delegating the hint
+// when the inner allocator exploits it. The trace format does not
+// carry locality ids — replays drive allocators through
+// Malloc/MallocSite only — so the op is recorded as a plain malloc.
+func (r *Recorder) MallocLocal(n uint32, locality uint32) (uint64, error) {
+	var p uint64
+	var err error
+	if lh, ok := r.inner.(alloc.LocalityHinter); ok {
+		p, err = lh.MallocLocal(n, locality)
+	} else {
+		p, err = r.inner.Malloc(n)
+	}
+	if err != nil {
+		return 0, err
+	}
+	id := r.next
+	r.next++
+	r.ids[p] = id
+	r.w.Write(Op{Kind: OpMalloc, ID: id, Size: n})
+	return p, nil
 }
 
 // MallocSite implements alloc.SiteAllocator (delegating site info when

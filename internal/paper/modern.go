@@ -1,0 +1,50 @@
+package paper
+
+import (
+	"context"
+	"fmt"
+
+	"mallocsim/internal/alloc/all"
+)
+
+// ModernAllocators are the post-paper allocator designs compared against
+// two paper baselines (QuickFit and the §4.4 CUSTOMALLOC architecture):
+// bitmap-fit headers, Vam-style fine classes and the locality-hint
+// arena. The baselines come first so the modern columns read as deltas.
+var ModernAllocators = append([]string{"quickfit", "custom"}, all.Modern...)
+
+// modernPrograms are the workloads of the modern-allocator column:
+// the paper's two size-mapping ablation programs plus the small
+// GhostScript input, whose larger objects exercise the fallback paths.
+var modernPrograms = []string{"gawk", "espresso", "gs-small"}
+
+// Modern extends the paper's evaluation with a "modern allocators"
+// column: the same compound metric as Figure 9 (allocation-time share,
+// heap footprint, and 16K/64K direct-mapped miss rates), measured for
+// bitmap-fit, Vam and the locality arena next to two paper baselines.
+// It is an extension table — the paper predates these designs — but it
+// runs through the same memoized simulation matrix, golden battery and
+// sentinel as the paper's own figures.
+func (r *Runner) Modern(ctx context.Context) (*Table, error) {
+	t := &Table{
+		ID:     "modern",
+		Title:  "Modern allocators vs paper baselines (per program: alloc-time% / heap KB / 16K miss% / 64K miss%)",
+		Note:   r.note(),
+		Header: append([]string{"Program"}, ModernAllocators...),
+	}
+	for _, progName := range modernPrograms {
+		row := []string{progName}
+		for _, a := range ModernAllocators {
+			res, err := r.Result(ctx, progName, a)
+			if err != nil {
+				return nil, err
+			}
+			c16, _ := res.CacheResult(16 << 10)
+			c64, _ := res.CacheResult(64 << 10)
+			row = append(row, fmt.Sprintf("%.1f/%s/%.2f/%.2f",
+				res.AllocFraction()*100, kb(res.Footprint), c16.MissRate()*100, c64.MissRate()*100))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

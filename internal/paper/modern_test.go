@@ -1,0 +1,70 @@
+package paper
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Figure columns are published output: this pins the modern table's
+// column and row order so the family can only grow append-only, and the
+// paper columns stay exactly the paper's presentation order.
+func TestModernColumnOrder(t *testing.T) {
+	wantPaper := []string{"firstfit", "gnufit", "bsd", "gnulocal", "quickfit"}
+	if !reflect.DeepEqual(Allocators, wantPaper) {
+		t.Errorf("paper figure columns changed:\n got %v\nwant %v", Allocators, wantPaper)
+	}
+	wantModern := []string{"quickfit", "custom", "bitfit", "vamfit", "locarena"}
+	if !reflect.DeepEqual(ModernAllocators, wantModern) {
+		t.Errorf("modern figure columns changed:\n got %v\nwant %v", ModernAllocators, wantModern)
+	}
+	wantProgs := []string{"gawk", "espresso", "gs-small"}
+	if !reflect.DeepEqual(modernPrograms, wantProgs) {
+		t.Errorf("modern figure rows changed:\n got %v\nwant %v", modernPrograms, wantProgs)
+	}
+}
+
+func TestModernTable(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Modern(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "modern" {
+		t.Errorf("id %q", tab.ID)
+	}
+	wantHeader := append([]string{"Program"}, ModernAllocators...)
+	if !reflect.DeepEqual(tab.Header, wantHeader) {
+		t.Errorf("header %v, want %v", tab.Header, wantHeader)
+	}
+	if len(tab.Rows) != len(modernPrograms) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(modernPrograms))
+	}
+	for i, row := range tab.Rows {
+		if row[0] != modernPrograms[i] {
+			t.Errorf("row %d label %q, want %q", i, row[0], modernPrograms[i])
+		}
+		if len(row) != len(wantHeader) {
+			t.Fatalf("row %q has %d cells, want %d", row[0], len(row), len(wantHeader))
+		}
+		// Every data cell is the Figure 9 compound format:
+		// alloc-time% / heap KB / 16K miss% / 64K miss%.
+		for _, cell := range row[1:] {
+			parts := strings.Split(cell, "/")
+			if len(parts) != 4 {
+				t.Fatalf("cell %q: want 4 slash-separated metrics", cell)
+			}
+			for _, p := range parts {
+				parseCell(t, p)
+			}
+		}
+	}
+	// The experiment is wired into the battery and the pair matrix.
+	if _, ok := r.ByID("modern"); !ok {
+		t.Error("modern not in experiment index")
+	}
+	if n := len(r.PairsFor("modern")); n != len(modernPrograms)*len(ModernAllocators) {
+		t.Errorf("PairsFor(modern) = %d pairs, want %d", n, len(modernPrograms)*len(ModernAllocators))
+	}
+}

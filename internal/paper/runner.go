@@ -284,6 +284,7 @@ func (r *Runner) Experiments() []Experiment {
 		{"table5", r.Table5, "estimated execution and miss time, 64K cache"},
 		{"table6", r.Table6, "effect of boundary tags on GNU LOCAL, 64K cache"},
 		{"figure9", r.Figure9, "size-mapping array architecture ablation"},
+		{"modern", r.Modern, "modern allocators vs paper baselines"},
 	}
 }
 
@@ -340,6 +341,10 @@ func (r *Runner) PairsFor(ids ...string) []Pair {
 		case "figure9":
 			add(append(one("gawk"), one("espresso")...),
 				"bsd", "quickfit", "custom-pow2", "custom", "custom-reclaim")
+		case "modern":
+			for _, p := range modernPrograms {
+				add(one(p), ModernAllocators...)
+			}
 		}
 	}
 	return out

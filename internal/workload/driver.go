@@ -29,6 +29,13 @@ type Config struct {
 	// requested from the OS. The series shows how each allocator's
 	// space overhead evolves (the paper's §4.1 space-efficiency axis).
 	SampleEvery uint64
+	// DisableLocalityHints suppresses the birth-phase locality hints the
+	// driver passes to hint-aware allocators (alloc.LocalityHinter),
+	// forcing the plain Malloc/MallocSite path. Runs against allocators
+	// that do not exploit hints are byte-identical either way — the hint
+	// is computed without consuming randomness or charging instructions —
+	// so the knob exists to measure what hinting itself buys.
+	DisableLocalityHints bool
 }
 
 // Sample is one point of the fragmentation time series.
@@ -129,10 +136,11 @@ func (q *deathQueue) pop() deathEvent {
 
 // driver holds one run's state.
 type driver struct {
-	m     *mem.Memory
-	a     alloc.Allocator
-	meter *cost.Meter
-	prog  Program
+	m      *mem.Memory
+	a      alloc.Allocator
+	hinter alloc.LocalityHinter // non-nil only when hints are on and exploited
+	meter  *cost.Meter
+	prog   Program
 
 	sizeRng *rng.Rand
 	lifeRng *rng.Rand
@@ -195,6 +203,14 @@ func RunContext(ctx context.Context, m *mem.Memory, a alloc.Allocator, cfg Confi
 	d := &driver{m: m, a: a, meter: m.Meter(), prog: p}
 	if d.meter == nil {
 		d.meter = &cost.Meter{}
+	}
+	// Locality hints flow only to allocators that natively exploit them.
+	// alloc.HintAware sees through instrumentation wrappers (which
+	// implement MallocLocal unconditionally as a transparent fallback):
+	// without the probe, a wrapped site-aware allocator would be routed
+	// down the hint path and lose its site information.
+	if !cfg.DisableLocalityHints && alloc.HintAware(a) {
+		d.hinter, _ = a.(alloc.LocalityHinter)
 	}
 
 	root := rng.New(cfg.Seed ^ hashName(p.Name))
@@ -294,7 +310,7 @@ func RunContext(ctx context.Context, m *mem.Memory, a alloc.Allocator, cfg Confi
 			site = churnSiteBase + uint32(idx)
 		}
 
-		obj, err := d.mallocObject(size, site)
+		obj, err := d.mallocObject(size, site, uint32(step>>localityPhaseShift))
 		if err != nil {
 			return d.stats, fmt.Errorf("workload %s step %d: %w", p.Name, step, err)
 		}
@@ -368,12 +384,23 @@ const (
 	immortalSiteBase = 1001
 )
 
-func (d *driver) mallocObject(size uint32, site uint32) (*object, error) {
+// localityPhaseShift derives an object's locality hint from its birth
+// step: steps in the same 2^localityPhaseShift-step window share a
+// hint, modelling a program phase whose objects are born — and will be
+// referenced — together. Hint-aware allocators (alloc.LocalityHinter)
+// receive it; everything else is untouched, and the derivation costs
+// no randomness or instructions, so non-hinted runs stay
+// byte-identical.
+const localityPhaseShift = 6
+
+func (d *driver) mallocObject(size uint32, site uint32, hint uint32) (*object, error) {
 	prev := d.meter.Enter(cost.Malloc)
 	d.meter.Charge(alloc.CallOverhead)
 	var addr uint64
 	var err error
-	if sa, ok := d.a.(alloc.SiteAllocator); ok {
+	if d.hinter != nil {
+		addr, err = d.hinter.MallocLocal(size, hint)
+	} else if sa, ok := d.a.(alloc.SiteAllocator); ok {
 		addr, err = sa.MallocSite(size, site)
 	} else {
 		addr, err = d.a.Malloc(size)
