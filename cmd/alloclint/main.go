@@ -1,22 +1,35 @@
 // Command alloclint runs the repository's static-analysis suite — the
-// five analyzers that enforce the allocator contract, the single-source
-// machine geometry, run determinism, shadow-oracle purity and registry
-// closure (see internal/analysis/suite and README.md "Static
-// analysis").
+// eight analyzers that enforce the allocator contract, the single-
+// source machine geometry, run determinism, shadow-oracle purity,
+// registry closure, the zero-allocation hot-path contract, the serving
+// tier's lock discipline and cancellation responsiveness (see
+// internal/analysis/suite and README.md "Static analysis").
 //
 // Usage:
 //
 //	go run ./cmd/alloclint ./...
 //	go run ./cmd/alloclint -list
 //	go run ./cmd/alloclint -only determinism ./...
+//	go run ./cmd/alloclint -escapes /tmp/escape.txt ./...
 //
 // The only supported pattern is "./..." (the whole module, the CI
 // configuration); it is also the default when no pattern is given.
+//
+// -escapes feeds compiler escape-analysis facts to the hotalloc
+// analyzer: "auto" (the default) runs `go build -gcflags=-m ./...`
+// itself and degrades with a warning when the toolchain or build cache
+// is unavailable; "off" skips ingestion; any other value is read as a
+// file holding captured -gcflags=-m output.
+//
 // alloclint exits 0 when the tree is clean, 1 on any diagnostic, 2 on
 // usage or load errors. Suppress a diagnostic with a justified
 // directive on or directly above the offending line:
 //
 //	//lint:allow <analyzer> <why this is safe>
+//
+// Suppressions are themselves audited: a directive naming an analyzer
+// outside the suite, or one that no longer suppresses anything, is a
+// diagnostic.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"os"
 
 	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/escape"
 	"mallocsim/internal/analysis/load"
 	"mallocsim/internal/analysis/suite"
 )
@@ -36,8 +50,9 @@ func main() {
 func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "run a single analyzer by name")
+	escapes := flag.String("escapes", "auto", `escape facts: "auto" (run go build -gcflags=-m), "off", or a file of captured -m output`)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: alloclint [-list] [-only analyzer] [./...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: alloclint [-list] [-only analyzer] [-escapes auto|off|file] [./...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,13 +89,33 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "alloclint:", err)
 		return 2
 	}
+
+	opts := []analysis.RunOption{analysis.WithKnownNames(suite.Names())}
+	switch *escapes {
+	case "off":
+	case "auto":
+		facts, err := escape.Collect(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloclint: warning: escape ingestion unavailable, hotalloc runs syntactic-only: %v\n", err)
+		} else {
+			opts = append(opts, analysis.WithEscapes(facts))
+		}
+	default:
+		out, err := os.ReadFile(*escapes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alloclint: -escapes:", err)
+			return 2
+		}
+		opts = append(opts, analysis.WithEscapes(escape.Parse(out, root)))
+	}
+
 	loader := load.NewLoader(modPath, root)
 	pkgs, err := loader.Tree()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alloclint:", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, loader.Fset(), analyzers)
+	diags, err := analysis.Run(pkgs, loader.Fset(), analyzers, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alloclint:", err)
 		return 2

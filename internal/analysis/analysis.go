@@ -21,6 +21,12 @@
 // above. The justification is mandatory — a bare //lint:allow name is
 // itself a diagnostic — so every suppression in the tree documents why
 // the invariant does not apply. See README.md "Static analysis".
+//
+// Suppressions are audited: a directive that names an analyzer outside
+// the known set (when the driver supplies one with WithKnownNames) or
+// that no longer suppresses any diagnostic of an analyzer that ran is
+// itself a diagnostic, so dead allows cannot linger after the code
+// they excused is rewritten.
 package analysis
 
 import (
@@ -31,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"mallocsim/internal/analysis/escape"
 	"mallocsim/internal/analysis/load"
 )
 
@@ -76,6 +83,14 @@ type Pass struct {
 	// All lists every package loaded in this run, sorted by import
 	// path, for whole-tree analyzers (registry, puresim).
 	All []*load.Package
+	// Escapes holds compiler escape-analysis facts for the whole tree
+	// when the driver ingested them (WithEscapes); nil means the facts
+	// are unavailable and escape-backed checks are skipped.
+	Escapes []escape.Fact
+	// Shared is a scratch space scoped to one Run invocation and handed
+	// to every pass, for memoizing whole-tree artifacts (the
+	// interprocedural call graph) across analyzers and packages.
+	Shared map[any]any
 
 	diags *[]Diagnostic
 }
@@ -89,13 +104,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A RunOption configures one Run invocation.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	escapes []escape.Fact
+	known   map[string]bool
+}
+
+// WithEscapes supplies compiler escape-analysis facts to every pass
+// (see internal/analysis/escape and the hotalloc analyzer).
+func WithEscapes(facts []escape.Fact) RunOption {
+	return func(c *runConfig) { c.escapes = facts }
+}
+
+// WithKnownNames declares the complete set of analyzer names valid in
+// //lint:allow directives, enabling the unknown-name audit. Drivers
+// that run the full suite pass suite names; single-analyzer harnesses
+// (analysistest) omit it, since directives for the analyzers they do
+// not load are legitimately outside their view.
+func WithKnownNames(names []string) RunOption {
+	return func(c *runConfig) {
+		c.known = map[string]bool{"lint": true} // the framework's own diagnostics
+		for _, n := range names {
+			c.known[n] = true
+		}
+	}
+}
+
 // Run executes every analyzer over every package, applies //lint:allow
-// suppression, and returns the surviving diagnostics sorted by position
-// then analyzer name. The error reports analyzer failures, not lint
-// findings: a clean run over dirty code returns diagnostics and a nil
-// error.
-func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+// suppression, audits the suppressions themselves, and returns the
+// surviving diagnostics sorted by position then analyzer name. The
+// error reports analyzer failures, not lint findings: a clean run over
+// dirty code returns diagnostics and a nil error.
+func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer, opts ...RunOption) ([]Diagnostic, error) {
+	var cfg runConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	var diags []Diagnostic
+	shared := map[any]any{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -106,6 +154,8 @@ func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer) ([]Di
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.Info,
 				All:       pkgs,
+				Escapes:   cfg.escapes,
+				Shared:    shared,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -119,6 +169,36 @@ func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer) ([]Di
 	for _, d := range diags {
 		if !allows.covers(d) {
 			kept = append(kept, d)
+		}
+	}
+	// Stale-suppression audit: after coverage is known, a directive that
+	// suppressed nothing is dead weight — either its analyzer name is
+	// not a registered analyzer at all (a typo that silently suppresses
+	// nothing, checked only when the driver declared the known set), or
+	// the code it excused has been fixed and the directive should go.
+	// Only analyzers that actually ran can vouch for "suppresses
+	// nothing"; directives for analyzers outside this run are left
+	// alone. Audit findings are not themselves suppressible.
+	ran := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, e := range allows.entries() {
+		switch {
+		case cfg.known != nil && !cfg.known[e.name]:
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      e.pos,
+				Message: fmt.Sprintf(
+					"lint:allow names unknown analyzer %q; fix the name or delete the directive (alloclint -list shows the suite)", e.name),
+			})
+		case ran[e.name] && !e.used:
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      e.pos,
+				Message: fmt.Sprintf(
+					"lint:allow %s suppresses no diagnostic here; the code it excused is gone, so delete the stale directive", e.name),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -137,26 +217,48 @@ func Run(pkgs []*load.Package, fset *token.FileSet, analyzers []*Analyzer) ([]Di
 	return kept, nil
 }
 
-// allowSet records, per file and line, which analyzers are suppressed.
-type allowSet map[string]map[int]map[string]bool
+// allowSet records, per file and line, which analyzers are suppressed,
+// and which directives earned their keep by covering a diagnostic.
+type allowSet struct {
+	byLine map[string]map[int]map[string]*allowEntry
+	all    []*allowEntry
+}
 
-func (s allowSet) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+type allowEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// covers reports whether a directive suppresses d, marking the
+// directive used. A directive covers its own line and the line
+// directly below, so both trailing comments and own-line comments
+// above the code work.
+func (s *allowSet) covers(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	// A directive covers its own line and the line directly below, so
-	// both trailing comments and own-line comments above the code work.
-	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+	hit := false
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if e := lines[line][d.Analyzer]; e != nil {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
 }
+
+// entries lists every well-formed directive in collection order.
+func (s *allowSet) entries() []*allowEntry { return s.all }
 
 // AllowPrefix starts a suppression directive comment.
 const AllowPrefix = "lint:allow"
 
 // collectAllows scans every comment for allow directives. Directives
 // without a justification are returned as diagnostics themselves.
-func collectAllows(pkgs []*load.Package, fset *token.FileSet) (allowSet, []Diagnostic) {
-	allows := allowSet{}
+func collectAllows(pkgs []*load.Package, fset *token.FileSet) (*allowSet, []Diagnostic) {
+	allows := &allowSet{byLine: map[string]map[int]map[string]*allowEntry{}}
 	var bad []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -178,17 +280,21 @@ func collectAllows(pkgs []*load.Package, fset *token.FileSet) (allowSet, []Diagn
 						})
 						continue
 					}
-					lines := allows[pos.Filename]
+					lines := allows.byLine[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
-						allows[pos.Filename] = lines
+						lines = map[int]map[string]*allowEntry{}
+						allows.byLine[pos.Filename] = lines
 					}
 					names := lines[pos.Line]
 					if names == nil {
-						names = map[string]bool{}
+						names = map[string]*allowEntry{}
 						lines[pos.Line] = names
 					}
-					names[fields[0]] = true
+					if names[fields[0]] == nil {
+						e := &allowEntry{name: fields[0], pos: pos}
+						names[fields[0]] = e
+						allows.all = append(allows.all, e)
+					}
 				}
 			}
 		}

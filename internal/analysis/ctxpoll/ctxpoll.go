@@ -1,0 +1,281 @@
+// Package ctxpoll enforces cancellation responsiveness in the long-
+// running tiers (sim, workload, paper, serve): every loop whose trip
+// count scales with trace length or job count must reach a ctx.Err()
+// or ctx.Done() poll within a bounded number of iterations, so Ctrl-C
+// on a 400-million-reference replay or a serve-tier shutdown takes
+// effect in milliseconds rather than after the trace drains.
+//
+// The property is interprocedural twice over. First, "scales with the
+// trace" is recognized by what the loop body reaches: the per-
+// reference work primitives (mem.Memory.Touch/TouchRun/ReadWord/
+// WriteWord, mem.Region.Sbrk, cost.Meter.Charge/ChargeTo) or another
+// context-taking function, through any depth of helpers. Second, the
+// poll itself may live in a callee — a loop whose body calls
+// paper.Runner.Result is responsive because Result polls at entry —
+// so the check accepts any body that reaches a poll through calls, not
+// just loops with a literal ctx.Err() in them. Both closures come from
+// the shared call graph (internal/analysis/interproc), with interface
+// dispatch expanded to in-tree implementations.
+//
+// Amortized polling is the sanctioned idiom and passes: a guard like
+//
+//	if ops%cancelCheckEvery == 0 && ctx.Err() != nil { return ... }
+//
+// counts, because the poll is still reached within a bounded number of
+// iterations. Only functions that take a context.Context are checked —
+// a helper without one cannot poll, and its loops are charged to the
+// context-taking caller whose body (transitively) runs them.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/interproc"
+)
+
+// Analyzer is the ctxpoll analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "loops in sim/workload/paper/serve that scale with trace length or job count must reach a ctx.Err()/ctx.Done() poll within a bounded number of iterations, directly or through a callee",
+	Run:  run,
+}
+
+// scoped names the packages whose loops drive simulated time or jobs.
+var scoped = []string{"sim", "workload", "paper", "serve"}
+
+func inScope(path string) bool {
+	for _, name := range scoped {
+		if analysis.PkgIs(path, name) || analysis.PkgUnder(path, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// workPrimitives lists the per-reference work functions by package
+// path suffix, receiver type and method name: a loop that reaches one
+// of these runs once per simulated reference (or a constant fraction
+// of that) and therefore scales with the trace.
+var workPrimitives = map[string]map[string]map[string]bool{
+	"mem": {
+		"Memory": {"Touch": true, "TouchRun": true, "ReadWord": true, "WriteWord": true},
+		"Region": {"Sbrk": true},
+	},
+	"cost": {
+		"Meter": {"Charge": true, "ChargeTo": true},
+	},
+}
+
+type closures struct {
+	poll *interproc.Reach // functions that poll ctx somewhere in their body
+	work *interproc.Reach // functions that reach a per-reference work primitive
+}
+
+type sharedKey struct{}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	g := interproc.Of(pass.All, pass.Shared)
+	c, ok := pass.Shared[sharedKey{}].(*closures)
+	if !ok {
+		c = &closures{
+			poll: g.Reach(pollSeed, true),
+			work: g.Reach(workSeed, true),
+		}
+		pass.Shared[sharedKey{}] = c
+	}
+	for _, fn := range g.Funcs() {
+		if fn.Pkg.Path != pass.Path {
+			continue
+		}
+		if !takesContext(fn.Obj) {
+			continue
+		}
+		checkLoops(pass, g, c, fn)
+	}
+	return nil
+}
+
+// takesContext reports whether the function has a context.Context
+// parameter (the convention puts it first, but any position counts).
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkLoops examines every for/range loop in the declaration,
+// including loops inside its function literals (a goroutine launched
+// by a ctx-taking function inherits its cancellation duty).
+func checkLoops(pass *analysis.Pass, g *interproc.Graph, c *closures, fn *interproc.Func) {
+	callEdges := map[*ast.CallExpr][]interproc.Call{}
+	for _, edge := range fn.Calls() {
+		callEdges[edge.Expr] = append(callEdges[edge.Expr], edge)
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		unbounded := false
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+			// `for {}` and `for cond {}` have no init/post bounding the
+			// trip count; treat them as scaling unless proven responsive.
+			unbounded = loop.Init == nil && loop.Post == nil
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		scaling, why := scalingCall(fn, c, callEdges, body)
+		if !scaling && unbounded {
+			scaling, why = true, "its trip count has no syntactic bound"
+		}
+		if scaling && !polls(fn, c, callEdges, body) {
+			pass.Reportf(n.Pos(),
+				"loop scales with the workload (%s) but never reaches a ctx.Err()/ctx.Done() poll; add an amortized check like `if ops%%1024 == 0 && ctx.Err() != nil { return ctx.Err() }`", why)
+		}
+		return true
+	})
+}
+
+// scalingCall reports whether the loop body (transitively) performs
+// per-reference work or calls another context-taking function, with a
+// description for the diagnostic.
+func scalingCall(fn *interproc.Func, c *closures, callEdges map[*ast.CallExpr][]interproc.Call, body *ast.BlockStmt) (bool, string) {
+	found := ""
+	interproc.InspectBody(body, func(n ast.Node) {
+		if found != "" {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, edge := range callEdges[call] {
+			if c.work.Contains(edge.Callee) {
+				found = "it drives " + witness(c.work, edge.Callee)
+				return
+			}
+			if takesContext(edge.Callee) {
+				found = "it calls the context-taking " + interproc.FuncLabel(edge.Callee)
+				return
+			}
+		}
+	})
+	return found != "", found
+}
+
+// witness renders "Memory.Touch" or "runStep → Meter.Charge".
+func witness(r *interproc.Reach, fn *types.Func) string {
+	if why := r.Why(fn); why != "" {
+		return interproc.FuncLabel(fn) + " (" + why + ")"
+	}
+	return interproc.FuncLabel(fn)
+}
+
+// polls reports whether the loop body reaches a context poll: a direct
+// ctx.Err()/ctx.Done() use, or a call into the poll closure.
+func polls(fn *interproc.Func, c *closures, callEdges map[*ast.CallExpr][]interproc.Call, body *ast.BlockStmt) bool {
+	found := false
+	interproc.InspectBody(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isPollSelector(fn.Info, n) {
+				found = true
+			}
+		case *ast.CallExpr:
+			for _, edge := range callEdges[n] {
+				if c.poll.Contains(edge.Callee) {
+					found = true
+					return
+				}
+			}
+		}
+	})
+	return found
+}
+
+// isPollSelector matches ctx.Err / ctx.Done on a context-typed
+// operand (covering ctx.Err() calls, <-ctx.Done() receives and select
+// cases alike).
+func isPollSelector(info *types.Info, sel *ast.SelectorExpr) bool {
+	name := sel.Sel.Name
+	if name != "Err" && name != "Done" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && isContext(t)
+}
+
+// pollSeed seeds the poll closure: the function's own body touches
+// ctx.Err or ctx.Done.
+func pollSeed(fn *interproc.Func) string {
+	found := ""
+	interproc.InspectBody(fn.Decl.Body, func(n ast.Node) {
+		if found != "" {
+			return
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && isPollSelector(fn.Info, sel) {
+			found = "polls ctx." + sel.Sel.Name
+		}
+	})
+	return found
+}
+
+// workSeed seeds the work closure: the function is one of the per-
+// reference primitives.
+func workSeed(fn *interproc.Func) string {
+	byRecv, ok := workPrimitives[pkgTail(fn.Pkg.Path)]
+	if !ok {
+		return ""
+	}
+	sig, _ := fn.Obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	if methods := byRecv[named.Obj().Name()]; methods != nil && methods[fn.Obj.Name()] {
+		return "the per-reference primitive " + named.Obj().Name() + "." + fn.Obj.Name()
+	}
+	return ""
+}
+
+// pkgTail returns the last path segment.
+func pkgTail(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

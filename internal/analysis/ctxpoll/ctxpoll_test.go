@@ -1,0 +1,15 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/analysistest"
+	"mallocsim/internal/analysis/ctxpoll"
+)
+
+// The mem and cost fixture packages are loaded alongside the scoped
+// sim fixture so the call graph indexes the work primitives the
+// analyzer's scaling closure is seeded with.
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxpoll.Analyzer, "ctxp/sim", "mem", "cost")
+}

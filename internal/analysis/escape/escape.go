@@ -1,0 +1,111 @@
+// Package escape ingests the Go compiler's escape-analysis diagnostics
+// (`go build -gcflags=-m`) into position-keyed allocation facts the
+// hotalloc analyzer overlays on its syntactic checks.
+//
+// The compiler is the ground truth for what actually reaches the heap:
+// it sees inlining, interface boxing at call sites and closure
+// captures that no per-file syntactic pass can. The trade-off is that
+// collecting the facts needs a working toolchain and writable build
+// cache, which the hermetic analysis loader deliberately avoids — so
+// ingestion is optional everywhere: Collect degrades to an error the
+// caller reports and continues without, and a nil fact set just skips
+// the escape-backed checks (the syntactic ones still run).
+package escape
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// A Fact is one compiler escape diagnostic.
+type Fact struct {
+	// File is the absolute path of the source file.
+	File string
+	// Line and Col locate the allocation (1-based).
+	Line, Col int
+	// Msg is the compiler's text, e.g. "new(lineSetPage) escapes to
+	// heap" or "moved to heap: hdr".
+	Msg string
+}
+
+// heap-relevant diagnostic shapes; -m also prints inlining and
+// parameter-leak lines, which carry no allocation.
+func heapMsg(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") ||
+		strings.Contains(msg, "escapes to heap:") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// Parse extracts heap facts from -gcflags=-m output. Relative file
+// paths (the compiler emits them relative to the build's working
+// directory) are resolved against baseDir.
+func Parse(output []byte, baseDir string) []Fact {
+	var facts []Fact
+	for _, line := range bytes.Split(output, []byte("\n")) {
+		f, ok := parseLine(string(line), baseDir)
+		if ok {
+			facts = append(facts, f)
+		}
+	}
+	return facts
+}
+
+// parseLine splits "file.go:LINE:COL: msg".
+func parseLine(s, baseDir string) (Fact, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return Fact{}, false
+	}
+	// file:line:col: msg — find the ": " after the position triple.
+	i := strings.Index(s, ".go:")
+	if i < 0 {
+		return Fact{}, false
+	}
+	file := s[:i+3]
+	rest := s[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return Fact{}, false
+	}
+	line, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	msg := strings.TrimSpace(parts[2])
+	if err1 != nil || err2 != nil || !heapMsg(msg) {
+		return Fact{}, false
+	}
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(baseDir, file)
+	}
+	return Fact{File: file, Line: line, Col: col, Msg: msg}, true
+}
+
+// Collect builds the whole module under -gcflags=-m and parses the
+// diagnostics. moduleRoot must hold go.mod. The build's object output
+// is discarded; only the compiler chatter matters. Errors mean the
+// toolchain is unavailable or the tree does not compile — callers
+// degrade to syntactic-only checking.
+func Collect(moduleRoot string) ([]Fact, error) {
+	// -m writes to stderr; a failing build also does, so check the exit
+	// code first and surface the compiler's text.
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = moduleRoot
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags=-m: %v\n%s", err, trim(out.Bytes()))
+	}
+	return Parse(out.Bytes(), moduleRoot), nil
+}
+
+func trim(b []byte) []byte {
+	const max = 2048
+	if len(b) > max {
+		return append(b[:max:max], "..."...)
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package escape
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := []byte(`# mallocsim/internal/trace
+internal/trace/trace.go:155:12: make([]uint32, len(b.Addrs), cap(b.Addrs)) escapes to heap
+internal/trace/trace.go:40:6: can inline Ref.End
+internal/vm/vm.go:455:8: "vm: page in map but not in list" escapes to heap
+internal/mem/mem.go:200:2: moved to heap: hdr
+internal/mem/mem.go:210:15: leaking param: m
+/abs/other.go:7:3: composite literal escapes to heap
+not a diagnostic line
+internal/x/x.go:bad:9: escapes to heap
+`)
+	facts := Parse(out, "/root/mod")
+	want := []Fact{
+		{File: "/root/mod/internal/trace/trace.go", Line: 155, Col: 12, Msg: "make([]uint32, len(b.Addrs), cap(b.Addrs)) escapes to heap"},
+		{File: "/root/mod/internal/vm/vm.go", Line: 455, Col: 8, Msg: `"vm: page in map but not in list" escapes to heap`},
+		{File: "/root/mod/internal/mem/mem.go", Line: 200, Col: 2, Msg: "moved to heap: hdr"},
+		{File: filepath.FromSlash("/abs/other.go"), Line: 7, Col: 3, Msg: "composite literal escapes to heap"},
+	}
+	if len(facts) != len(want) {
+		t.Fatalf("Parse returned %d facts, want %d: %+v", len(facts), len(want), facts)
+	}
+	for i, f := range facts {
+		if f != want[i] {
+			t.Errorf("fact %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}
+
+func TestParseFiltersNonHeapChatter(t *testing.T) {
+	out := []byte(`internal/a/a.go:1:1: can inline f
+internal/a/a.go:2:2: inlining call to f
+internal/a/a.go:3:3: leaking param: x
+internal/a/a.go:4:4: x does not escape
+`)
+	if facts := Parse(out, "/m"); len(facts) != 0 {
+		t.Fatalf("non-heap chatter parsed as facts: %+v", facts)
+	}
+}

@@ -1,0 +1,227 @@
+package interproc
+
+import (
+	"go/ast"
+)
+
+// Flow is the intraprocedural dataflow walker: it visits a body's
+// statement lists in execution order threading a client-owned state
+// value (locksafe's held-lock lattice). Branch bodies get a Clone of
+// the incoming state; where control flow merges, the surviving branch
+// states are combined with Meet (for a must-hold lattice, set
+// intersection). A branch that provably terminates (ends in return,
+// break, continue, goto or a panic call) contributes nothing to the
+// merge — that is what keeps the idiomatic
+//
+//	mu.Lock()
+//	if bad { mu.Unlock(); return }
+//	... // still held here
+//
+// precise: the early-return arm's unlocked state dies with it.
+//
+// The walker does not descend into function literals (their bodies run
+// under a different activation; see the package comment) or go
+// statements. Loop bodies are visited once with a clone of the
+// entry state; the state after a loop is the entry state (the loop may
+// run zero times), which over-approximates held locks only for code
+// that leaves a lock held after a loop that unlocks it — a shape the
+// lint forbids anyway.
+type Flow[S any] struct {
+	// Clone copies a state for a branch.
+	Clone func(S) S
+	// Meet combines two surviving branch states.
+	Meet func(S, S) S
+	// Visit observes one executable node with the state in force before
+	// it runs. It is called for simple statements and for the scrutinee
+	// expressions of compound ones (if/for conditions, switch tags,
+	// range operands). nonblocking marks nodes whose own blocking is
+	// already accounted for: select communications (the select node,
+	// visited first, is the blocking point; with a default they cannot
+	// block at all). Visit may
+	// mutate the state in place when S is a reference type (the map
+	// lattice locksafe uses).
+	Visit func(n ast.Node, state S, nonblocking bool)
+}
+
+// Walk runs the flow over one statement list with the given entry
+// state, returning the state at the fall-through exit and whether the
+// list provably terminates (never falls through).
+func (f *Flow[S]) Walk(stmts []ast.Stmt, state S) (S, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		state, terminated = f.stmt(stmt, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (f *Flow[S]) stmt(stmt ast.Stmt, state S) (S, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return f.Walk(s.List, state)
+	case *ast.LabeledStmt:
+		return f.stmt(s.Stmt, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = f.stmt(s.Init, state)
+		}
+		f.Visit(s.Cond, state, false)
+		thenOut, thenTerm := f.Walk(s.Body.List, f.Clone(state))
+		elseOut, elseTerm := state, false
+		if s.Else != nil {
+			elseOut, elseTerm = f.stmt(s.Else, f.Clone(state))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return f.Meet(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = f.stmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			f.Visit(s.Cond, state, false)
+		}
+		body, term := f.Walk(s.Body.List, f.Clone(state))
+		if s.Post != nil && !term {
+			f.stmt(s.Post, body)
+		}
+		return state, false
+	case *ast.RangeStmt:
+		f.Visit(s, state, false) // the range operand itself (a channel range blocks)
+		f.Walk(s.Body.List, f.Clone(state))
+		return state, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = f.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			f.Visit(s.Tag, state, false)
+		}
+		return f.clauses(s.Body.List, state, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = f.stmt(s.Init, state)
+		}
+		f.Visit(s.Assign, state, false)
+		return f.clauses(s.Body.List, state, false)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		// The select statement itself is the blocking point; clients see
+		// it with nonblocking set when a default case exists.
+		f.Visit(s, state, hasDefault)
+		return f.selectClauses(s.Body.List, state, hasDefault)
+	case *ast.ReturnStmt:
+		f.Visit(s, state, false)
+		return state, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list.
+		return state, true
+	case *ast.ExprStmt:
+		f.Visit(s, state, false)
+		return state, isPanicExit(s.X)
+	case *ast.DeferStmt, *ast.AssignStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.DeclStmt, *ast.GoStmt, *ast.EmptyStmt:
+		f.Visit(stmt, state, false)
+		return state, false
+	default:
+		f.Visit(stmt, state, false)
+		return state, false
+	}
+}
+
+// clauses walks switch case bodies, each from a clone of the incoming
+// state, and meets the survivors. Without a default clause the
+// fall-past path (no case matched) also survives with the incoming
+// state; with one, a switch whose every clause terminates is itself
+// terminating.
+func (f *Flow[S]) clauses(list []ast.Stmt, state S, _ bool) (S, bool) {
+	hasDefault := false
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	var out S
+	have := false
+	if !hasDefault {
+		out, have = state, true
+	}
+	for _, c := range list {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cout, cterm := f.Walk(cc.Body, f.Clone(state))
+		if cterm {
+			continue
+		}
+		if !have {
+			out, have = cout, true
+		} else {
+			out = f.Meet(out, cout)
+		}
+	}
+	if !have {
+		return state, true
+	}
+	return out, false
+}
+
+// selectClauses walks select communication clauses. Each comm
+// statement is visited with the select's blocking classification, then
+// its body runs from a clone of the incoming state.
+func (f *Flow[S]) selectClauses(list []ast.Stmt, state S, hasDefault bool) (S, bool) {
+	out := state
+	for _, c := range list {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		branch := f.Clone(state)
+		if cc.Comm != nil {
+			// The comm's own blocking is accounted for at the select node
+			// (visited above); with a default it cannot block at all.
+			// Either way the comm is visited only for its nested
+			// expressions.
+			f.Visit(cc.Comm, branch, true)
+		}
+		bout, bterm := f.Walk(cc.Body, branch)
+		if !bterm {
+			out = f.Meet(out, bout)
+		}
+	}
+	return out, false
+}
+
+// isPanicExit reports whether an expression statement never returns
+// (panic or os.Exit by name — enough for a must-analysis that only
+// loses precision, never soundness, on a miss).
+func isPanicExit(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,396 @@
+// Package interproc is the interprocedural engine shared by the
+// concurrency and allocation analyzers (locksafe, ctxpoll, hotalloc).
+//
+// It builds a whole-tree static call graph over every package a run
+// loaded (Graph), resolves interface-method calls to their in-tree
+// implementations, and offers two derived views on top:
+//
+//   - reachability closures (Graph.Reach): "which functions can reach a
+//     blocking operation / a ctx poll / a work primitive", with a
+//     witness chain for diagnostics, and
+//   - transitive fact summaries (Graph.Summarize): "which locks may a
+//     call to this function acquire", the union of per-function facts
+//     over all statically reachable callees.
+//
+// It also carries the lightweight intraprocedural dataflow walker
+// (Flow) that threads a client-owned lattice — locksafe's held-lock
+// set — through a body's statement lists in execution order, cloning
+// state into branches and meeting it back at merges.
+//
+// Boundaries, stated once so every client inherits them: dynamic calls
+// through plain function values are invisible; calls through interface
+// methods fan out to every in-tree named type implementing the
+// interface (out-of-tree implementors are unknowable here); function
+// literals are attributed to their enclosing declaration; and bodies
+// started with `go` belong to the spawned goroutine, not the caller,
+// so neither call edges nor blocking facts flow out of a go statement.
+package interproc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mallocsim/internal/analysis/load"
+)
+
+// A Func is one declared function or method with a body.
+type Func struct {
+	// Obj is the type-checker's object for the declaration.
+	Obj *types.Func
+	// Decl is the syntax, Body non-nil.
+	Decl *ast.FuncDecl
+	// Info is the owning package's type facts.
+	Info *types.Info
+	// Pkg is the owning package.
+	Pkg *load.Package
+
+	calls []Call
+}
+
+// A Call is one resolved call edge out of a Func.
+type Call struct {
+	// Expr is the call site.
+	Expr *ast.CallExpr
+	// Callee is the resolved target. For an interface-method call there
+	// is one Call per in-tree implementation, each with ViaIface set.
+	Callee *types.Func
+	// ViaIface marks an edge obtained by expanding interface dispatch
+	// to an implementation.
+	ViaIface bool
+}
+
+// Graph is the whole-tree call graph.
+type Graph struct {
+	// Fset maps positions.
+	Fset *token.FileSet
+
+	funcs map[*types.Func]*Func
+	list  []*Func // declaration order: package path, then file position
+
+	named []*types.Named // every package-level named type, for Implements
+	impls map[string][]*types.Func
+}
+
+// graphKey memoizes the graph in Pass.Shared across analyzers of one
+// run (see Of).
+type graphKey struct{}
+
+// Of returns the run's call graph, building it on first use and
+// memoizing it in shared, which the framework scopes to one Run
+// invocation.
+func Of(all []*load.Package, shared map[any]any) *Graph {
+	if g, ok := shared[graphKey{}].(*Graph); ok {
+		return g
+	}
+	g := Build(all)
+	shared[graphKey{}] = g
+	return g
+}
+
+// Build constructs the call graph over every loaded package.
+func Build(all []*load.Package) *Graph {
+	g := &Graph{
+		funcs: map[*types.Func]*Func{},
+		impls: map[string][]*types.Func{},
+	}
+	// Index every declared body and named type.
+	for _, pkg := range all {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &Func{Obj: obj, Decl: fd, Info: pkg.Info, Pkg: pkg}
+				g.funcs[obj] = fn
+				g.list = append(g.list, fn)
+			}
+		}
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.named = append(g.named, named)
+				}
+			}
+		}
+	}
+	// Resolve call edges.
+	for _, fn := range g.list {
+		fn.calls = g.resolveCalls(fn)
+	}
+	return g
+}
+
+// Funcs lists every indexed function in deterministic order.
+func (g *Graph) Funcs() []*Func { return g.list }
+
+// Lookup returns the graph node for obj, or nil for out-of-tree or
+// bodiless functions.
+func (g *Graph) Lookup(obj *types.Func) *Func { return g.funcs[obj] }
+
+// Calls returns fn's resolved outgoing edges.
+func (fn *Func) Calls() []Call { return fn.calls }
+
+// resolveCalls collects fn's call edges, skipping go statements and
+// expanding interface dispatch.
+func (g *Graph) resolveCalls(fn *Func) []Call {
+	var calls []Call
+	InspectBody(fn.Decl.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := StaticCallee(fn.Info, call)
+		if callee == nil {
+			return
+		}
+		if iface := ifaceRecv(callee); iface != nil {
+			for _, impl := range g.implementations(iface, callee.Name()) {
+				calls = append(calls, Call{Expr: call, Callee: impl, ViaIface: true})
+			}
+			return
+		}
+		calls = append(calls, Call{Expr: call, Callee: callee})
+	})
+	return calls
+}
+
+// InspectBody walks a function body visiting every node that executes
+// as part of the function's own activation: it descends into function
+// literals (they run on behalf of the declaring function when invoked
+// or deferred) but not into go statements, whose work belongs to the
+// spawned goroutine.
+func InspectBody(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// StaticCallee resolves a call's target function: plain identifiers,
+// selector calls on concrete or interface receivers, and builtins
+// excluded. Calls through bare function values resolve to nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ifaceRecv returns the interface a method is declared on, or nil for
+// concrete methods and plain functions.
+func ifaceRecv(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementations returns the in-tree concrete methods named name on
+// types satisfying iface, memoized per (iface, name).
+func (g *Graph) implementations(iface *types.Interface, name string) []*types.Func {
+	key := types.TypeString(iface, nil) + "." + name
+	if impls, ok := g.impls[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range g.named {
+		if types.IsInterface(named.Underlying()) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(ptr).Lookup(nil, name)
+		if sel == nil {
+			// Method is unexported in another package; Lookup with a nil
+			// package only sees exported names, which covers every
+			// cross-package dispatch this repo performs.
+			continue
+		}
+		if m, ok := sel.Obj().(*types.Func); ok {
+			impls = append(impls, m)
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].FullName() < impls[j].FullName() })
+	g.impls[key] = impls
+	return impls
+}
+
+// A Reach is a may-reach closure over the call graph: the set of
+// functions from which some seed property is statically reachable,
+// each entry carrying a witness for diagnostics.
+type Reach struct {
+	via map[*types.Func]reachVia
+}
+
+type reachVia struct {
+	next *types.Func // nil when the function itself satisfies the seed
+	why  string
+}
+
+// Reach computes the closure of seed: for every indexed function,
+// seed returns a non-empty description if the function itself has the
+// property (e.g. "its body receives from a channel"); the result then
+// contains that function and every function that can reach it through
+// call edges. Interface-expanded edges are followed when viaIfaces.
+func (g *Graph) Reach(seed func(fn *Func) string, viaIfaces bool) *Reach {
+	r := &Reach{via: map[*types.Func]reachVia{}}
+	// Seed pass.
+	var frontier []*types.Func
+	for _, fn := range g.list {
+		if why := seed(fn); why != "" {
+			r.via[fn.Obj] = reachVia{why: why}
+			frontier = append(frontier, fn.Obj)
+		}
+	}
+	// Reverse-edge propagation to a fixpoint (each function enqueued at
+	// most once).
+	callers := g.reverseEdges(viaIfaces)
+	for len(frontier) > 0 {
+		target := frontier[0]
+		frontier = frontier[1:]
+		for _, caller := range callers[target] {
+			if _, done := r.via[caller]; done {
+				continue
+			}
+			r.via[caller] = reachVia{next: target}
+			frontier = append(frontier, caller)
+		}
+	}
+	return r
+}
+
+// reverseEdges maps each callee to its in-tree callers, deterministic
+// order.
+func (g *Graph) reverseEdges(viaIfaces bool) map[*types.Func][]*types.Func {
+	callers := map[*types.Func][]*types.Func{}
+	for _, fn := range g.list {
+		for _, c := range fn.calls {
+			if c.ViaIface && !viaIfaces {
+				continue
+			}
+			callers[c.Callee] = append(callers[c.Callee], fn.Obj)
+		}
+	}
+	return callers
+}
+
+// Contains reports whether fn is in the closure.
+func (r *Reach) Contains(fn *types.Func) bool {
+	_, ok := r.via[fn]
+	return ok
+}
+
+// Why returns a human-readable witness chain for a closure member,
+// e.g. "DiskStore.Get → os.ReadFile", empty for non-members.
+func (r *Reach) Why(fn *types.Func) string {
+	var s string
+	for hop := 0; hop < 32; hop++ { // depth cap guards cyclic witnesses
+		via, ok := r.via[fn]
+		if !ok {
+			return s
+		}
+		if via.next == nil {
+			if s != "" {
+				s += " → "
+			}
+			return s + via.why
+		}
+		if s != "" {
+			s += " → "
+		}
+		s += FuncLabel(via.next)
+		fn = via.next
+	}
+	return s + " → …"
+}
+
+// FuncLabel renders Recv.Name or pkg.Name for diagnostics.
+func FuncLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Summarize computes a transitive may-fact summary: each function's
+// set is the union of direct(fn) over fn and every function statically
+// reachable from it. Facts are compared by interface identity (the
+// clients key on types.Object values). Interface-expanded edges are
+// followed when viaIfaces.
+func (g *Graph) Summarize(direct func(fn *Func) []any, viaIfaces bool) map[*types.Func]map[any]bool {
+	sum := map[*types.Func]map[any]bool{}
+	add := func(fn *types.Func, fact any) bool {
+		set := sum[fn]
+		if set == nil {
+			set = map[any]bool{}
+			sum[fn] = set
+		}
+		if set[fact] {
+			return false
+		}
+		set[fact] = true
+		return true
+	}
+	callers := g.reverseEdges(viaIfaces)
+	var frontier []*types.Func
+	for _, fn := range g.list {
+		for _, fact := range direct(fn) {
+			if add(fn.Obj, fact) {
+				frontier = append(frontier, fn.Obj)
+			}
+		}
+	}
+	// Propagate every new fact to callers until the fixpoint. The
+	// frontier holds functions whose sets grew; cycles terminate because
+	// set growth is monotone and bounded.
+	for len(frontier) > 0 {
+		target := frontier[0]
+		frontier = frontier[1:]
+		for _, caller := range callers[target] {
+			grew := false
+			for fact := range sum[target] {
+				if add(caller, fact) {
+					grew = true
+				}
+			}
+			if grew {
+				frontier = append(frontier, caller)
+			}
+		}
+	}
+	return sum
+}

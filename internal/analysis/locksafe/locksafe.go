@@ -1,0 +1,578 @@
+// Package locksafe enforces the serving tier's lock discipline in the
+// serve, store and cache packages: no mutex may be held across an
+// operation that can block — channel sends and receives, selects
+// without a default, Clock waits, file or network I/O, or a call that
+// transitively reaches any of those — and distinct locks must be
+// acquired in one consistent order.
+//
+// A lock held across a blocking operation turns one slow disk read or
+// one full channel into a stall of every request behind the mutex; an
+// inconsistent acquisition order between the result-cache and store
+// tiers is a deadlock waiting for load. Both properties are
+// interprocedural: the blocking operation usually hides two or three
+// calls down (handleSubmit → lookupReport → DiskStore.Get →
+// os.ReadFile), and interface dispatch (store.Store, Clock) stands
+// between the lock site and the syscall. The analyzer therefore runs
+// on the whole-tree call graph (internal/analysis/interproc): a
+// may-block closure seeded by syntactic blocking operations and
+// blocking standard-library calls, expanded through in-tree interface
+// implementations, plus a transitive may-acquire summary for the
+// ordering check. Within each function a must-hold lock lattice flows
+// through the statement lists (interproc.Flow), so the idiomatic
+// lock-check-unlock-return early exits stay precise.
+//
+// Known boundaries, inherited from the engine: goroutine bodies are
+// analyzed as their own activations (a `go` statement neither blocks
+// the caller nor runs under the caller's locks), dynamic calls through
+// plain function values are invisible, and *Locked-suffixed helpers
+// are analyzed at their call sites, where the lock is actually held.
+// Deliberate holds — the store's index write, which must be atomic
+// with the registration it persists — carry justified //lint:allow
+// directives at the call site.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/interproc"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "in serve/store/cache no mutex is held across channel ops, Clock waits, I/O or calls that may block, and locks are acquired in one consistent order",
+	Run:  run,
+}
+
+// scoped names the packages under the lock discipline.
+var scoped = []string{"serve", "store", "cache"}
+
+func inScope(path string) bool {
+	for _, name := range scoped {
+		if analysis.PkgIs(path, name) || analysis.PkgUnder(path, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	c := compute(pass)
+	for _, f := range c.byPkg[pass.Path] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+type computed struct {
+	byPkg map[string][]finding
+}
+
+type sharedKey struct{}
+
+// compute runs the whole-tree analysis once per Run invocation and
+// buckets findings by package, so each pass reports only its own.
+func compute(pass *analysis.Pass) *computed {
+	if c, ok := pass.Shared[sharedKey{}].(*computed); ok {
+		return c
+	}
+	g := interproc.Of(pass.All, pass.Shared)
+	a := &analyzer{
+		g:          g,
+		blockReach: g.Reach(blockSeed, true),
+		out:        &computed{byPkg: map[string][]finding{}},
+	}
+	a.acquires = g.Summarize(func(fn *interproc.Func) []any {
+		var locks []any
+		for _, l := range a.directLocks(fn) {
+			locks = append(locks, l)
+		}
+		return locks
+	}, true)
+	for _, fn := range g.Funcs() {
+		if inScope(fn.Pkg.Path) {
+			a.analyzeFunc(fn)
+		}
+	}
+	a.reportCycles()
+	pass.Shared[sharedKey{}] = a.out
+	return a.out
+}
+
+type analyzer struct {
+	g          *interproc.Graph
+	blockReach *interproc.Reach
+	acquires   map[*types.Func]map[any]bool
+	out        *computed
+
+	edges     []orderEdge
+	edgeSeen  map[[2]types.Object]bool
+	lockNames map[types.Object]string
+}
+
+// held is the must-hold lattice value: the locks provably held at a
+// program point, keyed by the mutex's field or variable object.
+type held map[types.Object]string // object → display label ("s.mu")
+
+type orderEdge struct {
+	from, to           types.Object
+	fromLabel, toLabel string
+	pos                token.Pos
+	pkg                string
+}
+
+func (a *analyzer) report(pkg string, pos token.Pos, msg string) {
+	a.out.byPkg[pkg] = append(a.out.byPkg[pkg], finding{pos: pos, msg: msg})
+}
+
+// analyzeFunc flows the held-lock lattice through one body.
+func (a *analyzer) analyzeFunc(fn *interproc.Func) {
+	callEdges := map[*ast.CallExpr][]interproc.Call{}
+	for _, c := range fn.Calls() {
+		callEdges[c.Expr] = append(callEdges[c.Expr], c)
+	}
+	reported := map[token.Pos]bool{}
+	flow := &interproc.Flow[held]{
+		Clone: func(h held) held {
+			c := make(held, len(h))
+			for k, v := range h {
+				c[k] = v
+			}
+			return c
+		},
+		Meet: func(x, y held) held {
+			m := held{}
+			for k, v := range x {
+				if _, ok := y[k]; ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Visit: func(n ast.Node, h held, nonblocking bool) {
+			a.visit(fn, callEdges, reported, n, h, nonblocking)
+		},
+	}
+	flow.Walk(fn.Decl.Body.List, held{})
+}
+
+// visit checks one executable node against the current held set.
+func (a *analyzer) visit(fn *interproc.Func, callEdges map[*ast.CallExpr][]interproc.Call, reported map[token.Pos]bool, n ast.Node, h held, nonblocking bool) {
+	pkg := fn.Pkg.Path
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		if !nonblocking && len(h) > 0 && !reported[n.Pos()] {
+			reported[n.Pos()] = true
+			a.report(pkg, n.Pos(),
+				"select with no default case may block while "+heldList(h)+" is held; release the lock first or add a default")
+		}
+		return // clause comms and bodies are visited separately by the walker
+	case *ast.RangeStmt:
+		if _, isChan := fn.Info.TypeOf(n.X).Underlying().(*types.Chan); isChan && len(h) > 0 && !reported[n.Pos()] {
+			reported[n.Pos()] = true
+			a.report(pkg, n.Pos(),
+				"range over a channel blocks on every iteration while "+heldList(h)+" is held; release the lock around the loop")
+		}
+		a.inspectExpr(fn, callEdges, reported, n.X, h, false)
+		return
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred work runs at return (after the body's own unlocks are
+		// what they are) and go bodies run on another goroutine; neither
+		// executes at this program point, and `defer mu.Unlock()`
+		// deliberately leaves the lock held for the rest of the walk.
+		return
+	}
+	a.inspectExpr(fn, callEdges, reported, n, h, nonblocking)
+}
+
+// inspectExpr deep-checks a statement or expression for channel
+// operations and calls, skipping function literals (their bodies are
+// separate activations).
+func (a *analyzer) inspectExpr(fn *interproc.Func, callEdges map[*ast.CallExpr][]interproc.Call, reported map[token.Pos]bool, root ast.Node, h held, nonblocking bool) {
+	pkg := fn.Pkg.Path
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			if !nonblocking && len(h) > 0 && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				a.report(pkg, n.Pos(),
+					"channel send may block while "+heldList(h)+" is held; release the lock first or send via a select with default")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonblocking && len(h) > 0 && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				a.report(pkg, n.Pos(),
+					"channel receive may block while "+heldList(h)+" is held; release the lock first")
+			}
+		case *ast.CallExpr:
+			a.checkCall(fn, callEdges, reported, n, h)
+		}
+		return true
+	})
+}
+
+// checkCall applies the lock transfer function and the blocking /
+// ordering checks to one call site.
+func (a *analyzer) checkCall(fn *interproc.Func, callEdges map[*ast.CallExpr][]interproc.Call, reported map[token.Pos]bool, call *ast.CallExpr, h held) {
+	pkg := fn.Pkg.Path
+	if obj, label, op := lockOp(fn.Info, call); op != 0 {
+		if obj == nil {
+			return // dynamic lock expression; nothing sound to track
+		}
+		if op > 0 {
+			for _, held := range sortedHeld(h) {
+				if held.obj == obj {
+					continue // re-locking the same object is caught below via calls
+				}
+				a.addEdge(held.obj, obj, held.label, label, call.Pos(), pkg)
+			}
+			h[obj] = label
+		} else {
+			delete(h, obj)
+		}
+		return
+	}
+	if len(h) == 0 {
+		// Nothing held: only the transfer function above matters.
+		return
+	}
+	// Blocking standard-library call under a held lock.
+	if callee := interproc.StaticCallee(fn.Info, call); callee != nil {
+		if why := stdlibBlocking(callee); why != "" && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			a.report(pkg, call.Pos(),
+				why+" may block while "+heldList(h)+" is held; move the I/O outside the critical section")
+			return
+		}
+	}
+	// In-tree callees: may-block closure and transitive lock acquisition.
+	for _, edge := range callEdges[call] {
+		if a.blockReach.Contains(edge.Callee) && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			a.report(pkg, call.Pos(),
+				"call to "+interproc.FuncLabel(edge.Callee)+" may block ("+a.blockReach.Why(edge.Callee)+") while "+heldList(h)+" is held; restructure so the lock is released first")
+		}
+		for _, acq := range a.sortedAcquires(edge.Callee) {
+			for _, hl := range sortedHeld(h) {
+				if hl.obj == acq.obj {
+					if !reported[call.Pos()] {
+						reported[call.Pos()] = true
+						a.report(pkg, call.Pos(),
+							"call to "+interproc.FuncLabel(edge.Callee)+" may re-acquire "+hl.label+", which is already held (sync.Mutex is not reentrant: this deadlocks)")
+					}
+					continue
+				}
+				a.addEdge(hl.obj, acq.obj, hl.label, acq.label, call.Pos(), pkg)
+			}
+		}
+	}
+}
+
+// addEdge records a lock-order edge (to acquired while from is held),
+// once per ordered pair.
+func (a *analyzer) addEdge(from, to types.Object, fromLabel, toLabel string, pos token.Pos, pkg string) {
+	if a.edgeSeen == nil {
+		a.edgeSeen = map[[2]types.Object]bool{}
+	}
+	key := [2]types.Object{from, to}
+	if a.edgeSeen[key] {
+		return
+	}
+	a.edgeSeen[key] = true
+	a.edges = append(a.edges, orderEdge{from: from, to: to, fromLabel: fromLabel, toLabel: toLabel, pos: pos, pkg: pkg})
+}
+
+// reportCycles flags every recorded acquisition edge that lies on a
+// cycle: two code paths that take the same pair of locks in opposite
+// orders deadlock under contention.
+func (a *analyzer) reportCycles() {
+	adj := map[types.Object][]types.Object{}
+	for _, e := range a.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	for _, e := range a.edges {
+		if reaches(e.to, e.from) {
+			a.report(e.pkg, e.pos,
+				"lock order inversion: "+e.toLabel+" is acquired while "+e.fromLabel+" is held, but another path acquires them in the opposite order; pick one global order for this pair")
+		}
+	}
+}
+
+type heldLock struct {
+	obj   types.Object
+	label string
+}
+
+func sortedHeld(h held) []heldLock {
+	out := make([]heldLock, 0, len(h))
+	for obj, label := range h {
+		out = append(out, heldLock{obj, label})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// heldList renders the held set for a message ("s.mu" or "c.mu, s.mu").
+func heldList(h held) string {
+	var labels []string
+	for _, hl := range sortedHeld(h) {
+		labels = append(labels, hl.label)
+	}
+	return strings.Join(labels, ", ")
+}
+
+// sortedAcquires lists the locks a callee may transitively acquire, in
+// label order.
+func (a *analyzer) sortedAcquires(callee *types.Func) []heldLock {
+	set := a.acquires[callee]
+	if len(set) == 0 {
+		return nil
+	}
+	var out []heldLock
+	for fact := range set {
+		obj, ok := fact.(types.Object)
+		if !ok {
+			continue
+		}
+		out = append(out, heldLock{obj, a.lockLabel(obj)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+func (a *analyzer) lockLabel(obj types.Object) string {
+	if l, ok := a.lockNames[obj]; ok {
+		return l
+	}
+	return obj.Name()
+}
+
+func (a *analyzer) noteLockLabel(obj types.Object, label string) {
+	if a.lockNames == nil {
+		a.lockNames = map[types.Object]string{}
+	}
+	if _, ok := a.lockNames[obj]; !ok {
+		a.lockNames[obj] = label
+	}
+}
+
+// directLocks lists the mutex objects a body syntactically acquires
+// (the seed facts for the transitive may-acquire summary), noting each
+// lock's display label as a side effect.
+func (a *analyzer) directLocks(fn *interproc.Func) []types.Object {
+	var locks []types.Object
+	interproc.InspectBody(fn.Decl.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if obj, label, op := lockOp(fn.Info, call); op > 0 && obj != nil {
+			a.noteLockLabel(obj, label)
+			locks = append(locks, obj)
+		}
+	})
+	return locks
+}
+
+// lockOp classifies a call as a mutex acquire (+1) or release (-1) and
+// resolves the mutex's identity: the field or variable object of the
+// sync.Mutex/RWMutex the method is called on. A nil object with a
+// non-zero op means the lock expression is too dynamic to track.
+func lockOp(info *types.Info, call *ast.CallExpr) (types.Object, string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", 0
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = 1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return nil, "", 0
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", 0
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, "", 0
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, "", 0
+	}
+	switch base := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[base.Sel], exprLabel(base), op
+	case *ast.Ident:
+		return info.Uses[base], base.Name, op
+	}
+	return nil, "", op
+}
+
+// exprLabel renders a selector chain ("s.mu"); non-ident links render
+// as their final segments.
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	}
+	return "…"
+}
+
+// blockSeed is the may-block seed: a non-empty description when the
+// function's own body performs a blocking operation.
+func blockSeed(fn *interproc.Func) string {
+	var why string
+	// Communications of a select with a default case cannot block.
+	nonblocking := map[ast.Node]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			// Goroutine bodies block their own goroutine; closures are
+			// included elsewhere only when invoked inline, which this
+			// conservative seed forgoes.
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				why = "select with no default"
+				return false
+			}
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				nonblocking[commOp(cc.Comm)] = true
+			}
+		case *ast.SendStmt:
+			if !nonblocking[n] {
+				why = "channel send"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonblocking[n] {
+				why = "channel receive"
+			}
+		case *ast.RangeStmt:
+			if _, isChan := fn.Info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				why = "range over a channel"
+			}
+		case *ast.CallExpr:
+			if callee := interproc.StaticCallee(fn.Info, n); callee != nil {
+				why = stdlibBlocking(callee)
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// commOp extracts the blocking operation node from a select
+// communication clause statement.
+func commOp(comm ast.Stmt) ast.Node {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return s
+	case *ast.ExprStmt:
+		return ast.Unparen(s.X)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			return ast.Unparen(s.Rhs[0])
+		}
+	}
+	return comm
+}
+
+// osNonblocking lists the os helpers that touch no file descriptors.
+var osNonblocking = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"ExpandEnv": true, "Exit": true, "Getpid": true, "Getppid": true,
+	"Getuid": true, "Geteuid": true, "IsNotExist": true, "IsExist": true,
+	"IsPermission": true, "IsTimeout": true, "TempDir": true, "IsPathSeparator": true,
+}
+
+// stdlibBlocking classifies standard-library calls that can block:
+// file and network I/O, sleeps, waits, and stream encoders driving an
+// io.Writer. Pure helpers (json.Marshal, filepath.Join, errors.Is)
+// stay silent.
+func stdlibBlocking(callee *types.Func) string {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), callee.Name()
+	switch path {
+	case "os":
+		if osNonblocking[name] {
+			return ""
+		}
+		return "os." + name
+	case "io", "io/fs", "bufio", "net", "net/http", "os/exec", "log":
+		return pkg.Name() + "." + name
+	case "time":
+		if name == "Sleep" || name == "Tick" {
+			return "time." + name
+		}
+	case "sync":
+		if name == "Wait" {
+			return interproc.FuncLabel(callee)
+		}
+	case "encoding/json":
+		if name == "Encode" || name == "Decode" {
+			return "json." + name + " (streams to its writer)"
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Fscan") {
+			return "fmt." + name + " (writes to its io.Writer)"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"mallocsim/internal/analysis/analysistest"
+	"mallocsim/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "../testdata", locksafe.Analyzer, "lock/serve")
+}

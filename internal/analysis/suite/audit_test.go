@@ -1,0 +1,59 @@
+package suite_test
+
+import (
+	"strings"
+	"testing"
+
+	"mallocsim/internal/analysis"
+	"mallocsim/internal/analysis/load"
+	"mallocsim/internal/analysis/suite"
+)
+
+// TestSuppressionAudit runs the full suite over the audit fixture and
+// checks both audit classes fire: an unknown analyzer name (only
+// diagnosable when the driver declares the known set) and a stale
+// directive for an analyzer that ran but found nothing to suppress.
+func TestSuppressionAudit(t *testing.T) {
+	loader := load.NewLoader("", "../testdata/src")
+	pkg, err := loader.Load("audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*load.Package{pkg}
+
+	diags, err := analysis.Run(pkgs, loader.Fset(), suite.Analyzers(),
+		analysis.WithKnownNames(suite.Names()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unknown, stale int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, `names unknown analyzer "nosuchanalyzer"`):
+			unknown++
+		case strings.Contains(d.Message, "lint:allow determinism suppresses no diagnostic here"):
+			stale++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		if d.Analyzer != "lint" {
+			t.Errorf("audit diagnostic attributed to %q, want \"lint\": %s", d.Analyzer, d)
+		}
+	}
+	if unknown != 1 || stale != 1 {
+		t.Errorf("got %d unknown-name and %d stale findings, want 1 and 1", unknown, stale)
+	}
+
+	// Without WithKnownNames the unknown-name audit stays silent (a
+	// single-analyzer harness cannot vouch for the full suite), but the
+	// stale check still applies to analyzers that ran.
+	diags, err = analysis.Run(pkgs, loader.Fset(), suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unknown analyzer") {
+			t.Errorf("unknown-name audit fired without WithKnownNames: %s", d)
+		}
+	}
+}

@@ -1,16 +1,23 @@
-// Package suite assembles the alloclint analyzer suite: the five
+// Package suite assembles the alloclint analyzer suite: the eight
 // repo-specific invariant checkers that mechanise the allocator
 // contract (allocerrors), the single-source machine geometry
 // (wordaddr), the byte-identical-run guarantees (determinism), the
-// shadow oracle's zero-perturbation property (puresim) and the
-// registry/battery closure (registry). cmd/alloclint runs them all;
-// the meta-test in this package keeps the repository itself clean.
+// shadow oracle's zero-perturbation property (puresim), the
+// registry/battery closure (registry), and — on the shared
+// interprocedural call graph (internal/analysis/interproc) — the
+// zero-allocation hot-path contract (hotalloc), the serving tier's
+// lock discipline (locksafe) and cancellation responsiveness
+// (ctxpoll). cmd/alloclint runs them all; the meta-test in this
+// package keeps the repository itself clean.
 package suite
 
 import (
 	"mallocsim/internal/analysis"
 	"mallocsim/internal/analysis/allocerrors"
+	"mallocsim/internal/analysis/ctxpoll"
 	"mallocsim/internal/analysis/determinism"
+	"mallocsim/internal/analysis/hotalloc"
+	"mallocsim/internal/analysis/locksafe"
 	"mallocsim/internal/analysis/puresim"
 	"mallocsim/internal/analysis/registry"
 	"mallocsim/internal/analysis/wordaddr"
@@ -20,11 +27,25 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		allocerrors.Analyzer,
+		ctxpoll.Analyzer,
 		determinism.Analyzer,
+		hotalloc.Analyzer,
+		locksafe.Analyzer,
 		puresim.Analyzer,
 		registry.Analyzer,
 		wordaddr.Analyzer,
 	}
+}
+
+// Names returns the suite's analyzer names, in order — the known-name
+// set drivers hand to analysis.WithKnownNames for the stale-
+// suppression audit.
+func Names() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // ByName returns the analyzer with the given name, or nil.

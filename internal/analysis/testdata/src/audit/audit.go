@@ -1,0 +1,13 @@
+// Package audit exercises the suppression audit: a directive naming an
+// analyzer outside the declared known set, and a directive for an
+// analyzer that ran but suppressed nothing, are both diagnostics. The
+// driving test (internal/analysis/suite audit test) runs the full
+// suite over this package with WithKnownNames and asserts on the two
+// findings below.
+package audit
+
+//lint:allow nosuchanalyzer the name is a typo, so this suppresses nothing and must flag
+var a = 1
+
+//lint:allow determinism stale: nothing on the next line reads a clock anymore
+var b = 2

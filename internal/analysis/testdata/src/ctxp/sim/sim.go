@@ -1,0 +1,96 @@
+// Package sim exercises ctxpoll: loops in context-taking functions
+// that (transitively) drive per-reference work or call other context-
+// taking functions must reach a ctx poll, directly or through a
+// callee; amortized guarded polls count; fixed-bound quiet loops can
+// carry a justified allow.
+package sim
+
+import (
+	"context"
+
+	"cost"
+	"mem"
+)
+
+// Run drives the per-reference primitive with and without polling.
+func Run(ctx context.Context, m *mem.Memory, n int) error {
+	for i := 0; i < n; i++ { // want `loop scales with the workload \(it drives Memory\.Touch`
+		m.Touch(uint64(i), 8)
+	}
+	for i := 0; i < n; i++ { // amortized guarded poll: clean
+		if i%1024 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		m.Touch(uint64(i), 8)
+	}
+	return nil
+}
+
+// Spin has no calls at all, but its trip count has no syntactic bound.
+func Spin(ctx context.Context, ready func() bool) {
+	for !ready() { // want `loop scales with the workload \(its trip count has no syntactic bound\)`
+	}
+}
+
+// RunAll calls a context-taking helper that never polls.
+func RunAll(ctx context.Context, jobs []int) {
+	for _, j := range jobs { // want `loop scales with the workload \(it calls the context-taking sim\.execute\)`
+		execute(ctx, j)
+	}
+}
+
+func execute(ctx context.Context, j int) { _ = j }
+
+// RunPolite is the same shape, but the helper polls at entry: the poll
+// closure satisfies the loop interprocedurally.
+func RunPolite(ctx context.Context, jobs []int) {
+	for _, j := range jobs {
+		politeExecute(ctx, j)
+	}
+}
+
+func politeExecute(ctx context.Context, j int) {
+	if ctx.Err() != nil {
+		return
+	}
+	_ = j
+}
+
+// Drain reaches Meter.Charge two hops down; the witness chain names
+// the path.
+func Drain(ctx context.Context, meter *cost.Meter, n int) {
+	for i := 0; i < n; i++ { // want `loop scales with the workload \(it drives sim\.chargeOne`
+		chargeOne(meter)
+	}
+}
+
+func chargeOne(meter *cost.Meter) { meter.Charge(1) }
+
+// Watch polls through a select on ctx.Done: clean.
+func Watch(ctx context.Context, m *mem.Memory, ticks chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-ticks:
+			m.Touch(uint64(t), 8)
+		}
+	}
+}
+
+// HelperNoCtx has no context parameter: its loops are charged to the
+// context-taking callers whose bodies run them, not to it.
+func HelperNoCtx(m *mem.Memory, n int) {
+	for i := 0; i < n; i++ {
+		m.Touch(uint64(i), 8)
+	}
+}
+
+// Bounded runs a fixed handful of context-taking calls; the justified
+// allow documents why no poll is worth it.
+func Bounded(ctx context.Context) {
+	//lint:allow ctxpoll eight fixed iterations, each fast; a poll between them would be noise
+	for i := 0; i < 8; i++ {
+		execute(ctx, i)
+	}
+}

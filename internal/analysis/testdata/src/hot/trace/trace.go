@@ -1,0 +1,32 @@
+// Package trace exercises hotalloc on the Block append hot set,
+// mirroring the real trace.Block's lazily materialized Runs column.
+package trace
+
+type Block struct {
+	Addrs []uint64
+	Runs  []uint32
+}
+
+// Append grows by append only: exempt.
+func (b *Block) Append(a uint64) {
+	b.Addrs = append(b.Addrs, a)
+}
+
+// AppendRun materializes the Runs column once, under a justified
+// allow, like the real implementation.
+func (b *Block) AppendRun(a uint64, n uint32) {
+	if b.Runs == nil {
+		//lint:allow hotalloc one-time column materialization, amortized across the block's reuse
+		b.Runs = make([]uint32, len(b.Addrs))
+	}
+	b.Addrs = append(b.Addrs, a)
+	b.Runs = append(b.Runs, n)
+}
+
+// Reset keeps the backing arrays.
+func (b *Block) Reset() {
+	b.Addrs = b.Addrs[:0]
+	if b.Runs != nil {
+		b.Runs = b.Runs[:0]
+	}
+}

@@ -1,0 +1,25 @@
+// Package vm exercises hotalloc on the StackSim hot set.
+package vm
+
+type StackSim struct{ hist []uint64 }
+
+// record grows its histogram by append: exempt.
+func (s *StackSim) record(d int) {
+	for d >= len(s.hist) {
+		s.hist = append(s.hist, 0)
+	}
+	s.hist[d]++
+}
+
+// accessPage allocates a channel per probe: flagged.
+func (s *StackSim) accessPage(p uint64) {
+	c := make(chan uint64, 1) // want `make in hot function StackSim.accessPage`
+	c <- p
+}
+
+// Curve is a cold reader: copies allocate freely.
+func (s *StackSim) Curve() []uint64 {
+	out := make([]uint64, len(s.hist))
+	copy(out, s.hist)
+	return out
+}

@@ -1,0 +1,149 @@
+// Package serve exercises the locksafe discipline: no mutex held
+// across channel operations, I/O or calls that may block; consistent
+// acquisition order; no re-entry. The clean functions demonstrate the
+// sanctioned patterns the must-hold lattice keeps precise.
+package serve
+
+import (
+	"os"
+	"sync"
+)
+
+type Server struct {
+	mu    sync.Mutex
+	cmu   sync.Mutex
+	jobs  map[string]int
+	queue chan int
+	done  chan struct{}
+}
+
+// Submit holds mu across one of each blocking class.
+func (s *Server) Submit(id string) {
+	s.mu.Lock()
+	s.queue <- 1 // want `channel send may block while s.mu is held`
+	<-s.done     // want `channel receive may block while s.mu is held`
+	select {     // want `select with no default case may block while s.mu is held`
+	case v := <-s.queue:
+		_ = v
+	}
+	os.ReadFile(id) // want `os.ReadFile may block while s.mu is held`
+	s.readDisk(id)  // want `call to Server.readDisk may block \(os\.ReadFile\) while s.mu is held`
+	s.mu.Unlock()
+}
+
+// readDisk seeds the may-block closure through its os call.
+func (s *Server) readDisk(id string) {
+	os.ReadFile(id)
+}
+
+// Drain ranges over a channel under the lock.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	for v := range s.queue { // want `range over a channel blocks on every iteration while s.mu is held`
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// NonBlocking holds the lock only across non-blocking work.
+func (s *Server) NonBlocking(id string) {
+	s.mu.Lock()
+	select { // a default case makes the send non-blocking: clean
+	case s.queue <- 1:
+	default:
+	}
+	s.jobs[id]++
+	s.mu.Unlock()
+	s.queue <- 1    // released: clean
+	os.ReadFile(id) // released: clean
+}
+
+// EarlyReturn exercises the must-hold precision: the unlocked early
+// arm dies at its return, so the receive on it is clean, and the
+// fall-through is still known locked.
+func (s *Server) EarlyReturn(id string) {
+	s.mu.Lock()
+	if id == "" {
+		s.mu.Unlock()
+		<-s.done // released on this arm: clean
+		return
+	}
+	s.jobs[id]++
+	s.mu.Unlock()
+}
+
+// DeferUnlock leaves the lock held for the whole body; nothing in the
+// body blocks, so it is clean.
+func (s *Server) DeferUnlock(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[id]++
+}
+
+// Spawn launches the blocking work on its own goroutine: the goroutine
+// does not run under the caller's lock, so this is clean.
+func (s *Server) Spawn() {
+	s.mu.Lock()
+	go func() {
+		<-s.done
+	}()
+	s.mu.Unlock()
+}
+
+// Reorder and Inverse acquire the pair in opposite orders: both edges
+// lie on a cycle and both sites flag.
+func (s *Server) Reorder() {
+	s.mu.Lock()
+	s.cmu.Lock() // want `lock order inversion`
+	s.cmu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Server) Inverse() {
+	s.cmu.Lock()
+	s.mu.Lock() // want `lock order inversion`
+	s.mu.Unlock()
+	s.cmu.Unlock()
+}
+
+// Again re-enters a held, non-reentrant lock through a helper.
+func (s *Server) Again() {
+	s.mu.Lock()
+	s.lockedTouch() // want `call to Server.lockedTouch may re-acquire s.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) lockedTouch() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Persist documents a deliberate hold with a justified allow.
+func (s *Server) Persist(id string) {
+	s.mu.Lock()
+	//lint:allow locksafe this fixture's write must be atomic with the map update below
+	os.WriteFile(id, nil, 0o644)
+	s.jobs[id] = 1
+	s.mu.Unlock()
+}
+
+// Store dispatch: the blocking implementation is reached through an
+// interface, which the engine expands to in-tree implementations.
+type Store interface {
+	Get(string) ([]byte, error)
+}
+
+type DiskStore struct{}
+
+func (d *DiskStore) Get(p string) ([]byte, error) { return os.ReadFile(p) }
+
+type Tiered struct {
+	mu sync.Mutex
+	st Store
+}
+
+func (t *Tiered) Lookup(p string) {
+	t.mu.Lock()
+	t.st.Get(p) // want `call to DiskStore.Get may block \(os\.ReadFile\) while t.mu is held`
+	t.mu.Unlock()
+}

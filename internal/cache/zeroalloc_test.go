@@ -1,0 +1,69 @@
+package cache
+
+import (
+	"testing"
+
+	"mallocsim/internal/trace"
+)
+
+// The hotalloc analyzer bans closures, boxing and make/new on the hot
+// paths statically; these tests pin the dynamic half of the contract —
+// append growth into warm buffers and lazy page materialization are
+// amortized, so the warmed steady state performs zero heap allocations
+// per sweep.
+
+// zeroAllocBlock builds a block mixing plain rows and run rows, the
+// shape the fused sweep sees from the workload driver.
+func zeroAllocBlock() *trace.Block {
+	b := &trace.Block{}
+	addr := uint64(0x4000)
+	for i := 0; i < 512; i++ {
+		b.Append(trace.Ref{Addr: addr, Size: 8, Kind: trace.Read})
+		addr += 24
+		if i%7 == 0 {
+			b.AppendRun(addr, 16, trace.Write, 32)
+			addr += 16 * 32
+		}
+		if i%61 == 0 {
+			addr += 1 << 18 // jump pages so the line sets span several bitmap pages
+		}
+	}
+	return b
+}
+
+func TestGroupBlockSweepZeroAlloc(t *testing.T) {
+	g := NewGroup(
+		Config{Size: 8 << 10},
+		Config{Size: 16 << 10, Assoc: 2},
+		Config{Size: 64 << 10, Assoc: 4},
+	)
+	b := zeroAllocBlock()
+	g.Block(b) // materialize line-set pages and counters
+	if avg := testing.AllocsPerRun(20, func() { g.Block(b) }); avg != 0 {
+		t.Errorf("warmed fused Group.Block sweep allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestCacheBlockZeroAlloc(t *testing.T) {
+	c := New(Config{Size: 16 << 10, Assoc: 2})
+	b := zeroAllocBlock()
+	c.Block(b)
+	if avg := testing.AllocsPerRun(20, func() { c.Block(b) }); avg != 0 {
+		t.Errorf("warmed Cache.Block allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestLineSetAddRangeZeroAlloc(t *testing.T) {
+	var s lineSet
+	warm := func() {
+		s.add(3)
+		s.addRange(0, 4096)             // within one page
+		s.addRange(60_000, 75_000)      // crosses page boundaries
+		s.addRange(1<<30, 1<<30+10_000) // sparse territory
+		s.addRange(1<<30+20_000, 1<<30+120_000)
+	}
+	warm() // materialize dense and sparse pages
+	if avg := testing.AllocsPerRun(50, warm); avg != 0 {
+		t.Errorf("warmed lineSet.add/addRange allocates %.1f allocs/op, want 0", avg)
+	}
+}

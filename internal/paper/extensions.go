@@ -183,6 +183,11 @@ func (r *Runner) ExtApps(ctx context.Context) (*Table, error) {
 		row := []string{appName}
 		var want uint64
 		for i, allocName := range Allocators {
+			// Each iteration replays a whole kernel; poll per allocator so
+			// cancellation lands between kernels, not after the full row.
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ext-apps: %w", context.Cause(ctx))
+			}
 			meter := &cost.Meter{}
 			c16 := cache.New(cache.Config{Size: 16 << 10})
 			m := mem.New(c16, meter)

@@ -214,16 +214,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := spec.Hash()
 
+	// Content-addressed fast path, resolved before taking s.mu: the
+	// store tier reads from disk, and no lock may be held across I/O
+	// (locksafe). The window between this lookup and the lock admits a
+	// concurrent completion of the same hash; the dedup path below then
+	// coalesces or re-runs deterministically — a miss here costs work,
+	// never correctness.
+	report, cached := s.lookupReport(hash)
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
-	// Content-addressed fast path: a cached or durably stored result
-	// answers the job without running (and counts a cache or store hit
-	// on /metrics).
-	if report, ok := s.lookupReport(hash); ok {
+	// A cached or durably stored result answers the job without running
+	// (and counts a cache or store hit on /metrics).
+	if cached {
 		j := s.byHash[hash]
 		if j == nil {
 			j = s.newJobLocked(spec, hash)
@@ -282,15 +289,16 @@ func (s *Server) newJobLocked(spec *JobSpec, hash string) *Job {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id") // parse the request before taking the lock
 	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
+	j, ok := s.jobs[id]
 	var view map[string]any
 	if ok {
 		view = jobView(j)
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, view)

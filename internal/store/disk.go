@@ -56,10 +56,11 @@ type DiskStore struct {
 	clock Clock
 
 	mu      sync.Mutex
-	entries []Entry        // insertion order; List sorts a copy
-	byHash  map[string]int // hash → index into entries
-	bytes   int64          // sum of entry sizes
-	quarN   int            // quarantine filename disambiguator
+	entries []Entry           // insertion order; List sorts a copy
+	byHash  map[string]int    // hash → index into entries
+	bytes   int64             // sum of entry sizes
+	quarN   int               // quarantine filename disambiguator
+	pending map[string]string // puts in flight (object write outside s.mu): hash → content digest
 }
 
 // Open creates or reopens a store rooted at dir, loading the index. A
@@ -74,7 +75,7 @@ func Open(dir string, opts Options) (*DiskStore, error) {
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	s := &DiskStore{dir: dir, clock: clock, byHash: map[string]int{}}
+	s := &DiskStore{dir: dir, clock: clock, byHash: map[string]int{}, pending: map[string]string{}}
 
 	raw, err := os.ReadFile(filepath.Join(dir, indexFile))
 	if os.IsNotExist(err) {
@@ -115,6 +116,12 @@ func (s *DiskStore) objectPath(hash string) string {
 // Put implements Store. The object lands before the index entry, so a
 // crash between the two leaves an orphan object (invisible, re-put
 // heals it), never a dangling index entry.
+//
+// The object write runs outside s.mu — no lock is held across file
+// I/O (locksafe) — coordinated by the pending map: a concurrent put of
+// the same hash with different content conflicts immediately, while
+// identical concurrent puts all proceed (atomicWrite is idempotent for
+// identical bytes) and the first to return registers the entry.
 func (s *DiskStore) Put(hash string, data []byte, meta Meta) error {
 	if !validHash(hash) {
 		return fmt.Errorf("store: put %q: %w", hash, ErrBadHash)
@@ -123,20 +130,42 @@ func (s *DiskStore) Put(hash string, data []byte, meta Meta) error {
 	digest := hex.EncodeToString(sum[:])
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if i, ok := s.byHash[hash]; ok {
-		if s.entries[i].SHA256 == digest {
+		stored := s.entries[i].SHA256
+		s.mu.Unlock()
+		if stored == digest {
 			return nil // idempotent re-put of identical content
 		}
 		return fmt.Errorf("store: put %s: %w (stored sha256 %s, new %s)",
-			hash, ErrConflict, s.entries[i].SHA256, digest)
+			hash, ErrConflict, stored, digest)
 	}
+	if d, inflight := s.pending[hash]; inflight && d != digest {
+		s.mu.Unlock()
+		return fmt.Errorf("store: put %s: %w (in-flight sha256 %s, new %s)",
+			hash, ErrConflict, d, digest)
+	}
+	s.pending[hash] = digest
+	s.mu.Unlock()
+
 	path := s.objectPath(hash)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	err := os.MkdirAll(filepath.Dir(path), 0o755)
+	if err == nil {
+		err = atomicWrite(path, data)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, hash)
+	if err != nil {
 		return fmt.Errorf("store: put %s: %w", hash, err)
 	}
-	if err := atomicWrite(path, data); err != nil {
-		return fmt.Errorf("store: put %s: %w", hash, err)
+	if i, ok := s.byHash[hash]; ok {
+		// A concurrent identical put registered first.
+		if s.entries[i].SHA256 == digest {
+			return nil
+		}
+		return fmt.Errorf("store: put %s: %w (stored sha256 %s, new %s)",
+			hash, ErrConflict, s.entries[i].SHA256, digest)
 	}
 	e := Entry{
 		Hash:     hash,
@@ -148,6 +177,7 @@ func (s *DiskStore) Put(hash string, data []byte, meta Meta) error {
 	s.entries = append(s.entries, e)
 	s.byHash[hash] = len(s.entries) - 1
 	s.bytes += e.Size
+	//lint:allow locksafe the index rewrite must be atomic with the registration it persists; puts are not on the per-reference path
 	if err := s.writeIndexLocked(); err != nil {
 		// Roll the registration back: the orphan object stays on disk
 		// (harmless; a retry re-puts over it), but the store's view must
@@ -163,35 +193,68 @@ func (s *DiskStore) Put(hash string, data []byte, meta Meta) error {
 // Get implements Store. Verification is unconditional: size first,
 // then SHA-256. A mismatch quarantines the object, drops its index
 // entry (so a re-put can heal the store) and returns ErrCorrupt.
+//
+// The read and the digest check run outside s.mu — no lock is held
+// across file I/O (locksafe). The entry copy pins what this call
+// promised; the corruption helpers re-check the live index against the
+// copied digest before acting, so a concurrent heal (re-put after a
+// quarantine) is never torn down by a stale verdict.
 func (s *DiskStore) Get(hash string) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	i, ok := s.byHash[hash]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("store: get %s: %w", hash, ErrNotFound)
 	}
 	e := s.entries[i]
+	s.mu.Unlock()
+
 	data, err := os.ReadFile(s.objectPath(hash))
 	if os.IsNotExist(err) {
 		// The index promises an object the tree no longer has.
-		s.dropLocked(hash)
+		s.drop(hash, e.SHA256)
 		return nil, fmt.Errorf("store: get %s: object file missing: %w", hash, ErrCorrupt)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: get %s: %w", hash, err)
 	}
 	if int64(len(data)) != e.Size {
-		s.quarantineLocked(hash)
+		s.quarantine(hash, e.SHA256)
 		return nil, fmt.Errorf("store: get %s: %w: size %d, recorded %d",
 			hash, ErrCorrupt, len(data), e.Size)
 	}
 	sum := sha256.Sum256(data)
 	if digest := hex.EncodeToString(sum[:]); digest != e.SHA256 {
-		s.quarantineLocked(hash)
+		s.quarantine(hash, e.SHA256)
 		return nil, fmt.Errorf("store: get %s: %w: sha256 %s, recorded %s",
 			hash, ErrCorrupt, digest, e.SHA256)
 	}
 	return data, nil
+}
+
+// drop removes hash's index entry if the index still records the
+// digest this caller verified against; a concurrent re-put that
+// already replaced the entry is left alone.
+func (s *DiskStore) drop(hash, digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byHash[hash]; !ok || s.entries[i].SHA256 != digest {
+		return
+	}
+	//lint:allow locksafe the index rewrite must be atomic with the entry removal; corruption recovery is a cold path
+	s.dropLocked(hash)
+}
+
+// quarantine moves hash's object aside and drops its entry, guarded by
+// the same observed-digest check as drop.
+func (s *DiskStore) quarantine(hash, digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byHash[hash]; !ok || s.entries[i].SHA256 != digest {
+		return
+	}
+	//lint:allow locksafe the quarantine move and index rewrite must be atomic with the entry removal; corruption recovery is a cold path
+	s.quarantineLocked(hash)
 }
 
 // Stat implements Store.

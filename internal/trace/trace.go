@@ -152,6 +152,7 @@ func (b *Block) Append(r Ref) {
 // starting at addr. It materializes the Runs column on first use.
 func (b *Block) AppendRun(addr uint64, size uint32, k Kind, n uint32) {
 	if b.Runs == nil {
+		//lint:allow hotalloc one-time materialization of the Runs column, amortized across the block's reuse (Reset keeps the backing array)
 		b.Runs = make([]uint32, len(b.Addrs), cap(b.Addrs))
 		for i := range b.Runs {
 			b.Runs[i] = 1

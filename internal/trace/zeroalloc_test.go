@@ -1,0 +1,27 @@
+package trace
+
+import "testing"
+
+// Pins the justification on AppendRun's //lint:allow hotalloc: the
+// Runs-column make is a one-time materialization, amortized across the
+// block's reuse because Reset keeps every backing array.
+
+func TestBlockAppendZeroAllocAfterWarm(t *testing.T) {
+	b := &Block{}
+	fill := func() {
+		b.Reset()
+		addr := uint64(0x1000)
+		for i := 0; i < 256; i++ {
+			b.Append(Ref{Addr: addr, Size: 8, Kind: Read})
+			addr += 32
+			if i%9 == 0 {
+				b.AppendRun(addr, 16, Write, 64)
+				addr += 16 * 64
+			}
+		}
+	}
+	fill() // grow the columns (including the lazily materialized Runs) once
+	if avg := testing.AllocsPerRun(50, fill); avg != 0 {
+		t.Errorf("warmed Block append cycle allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -437,6 +437,10 @@ func newMTFList() *mtfList {
 	return &mtfList{pos: make(map[uint64]struct{})}
 }
 
+// errPageNotInList is pre-boxed at package init so the (unreachable)
+// panic in the hot access path carries no per-call interface boxing.
+var errPageNotInList any = "vm: page in map but not in list"
+
 func (l *mtfList) access(page uint64) int {
 	if _, ok := l.pos[page]; !ok {
 		l.pos[page] = struct{}{}
@@ -452,7 +456,7 @@ func (l *mtfList) access(page uint64) int {
 			return i
 		}
 	}
-	panic("vm: page in map but not in list")
+	panic(errPageNotInList)
 }
 
 func (l *mtfList) len() int { return len(l.order) }

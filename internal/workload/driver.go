@@ -272,6 +272,7 @@ func RunContext(ctx context.Context, m *mem.Memory, a alloc.Allocator, cfg Confi
 	instrPerStep := p.InstrPerAlloc()
 
 	d.stats.Program = p.Name
+	var frees uint64 // amortized cancellation poll across death drains
 	for step := uint64(0); step < nAllocs; step++ {
 		if step%cancelCheckEvery == 0 && ctx.Err() != nil {
 			return d.stats, fmt.Errorf("workload %s: aborted at step %d/%d: %w",
@@ -279,8 +280,16 @@ func RunContext(ctx context.Context, m *mem.Memory, a alloc.Allocator, cfg Confi
 		}
 		// Deaths scheduled at or before this step happen first, so the
 		// allocator sees the recycling opportunity the paper's
-		// segregated-storage designs exploit.
+		// segregated-storage designs exploit. The drain after a free
+		// burst is unbounded in step terms, so it polls on its own
+		// counter (ctx.Err() is nil until cancellation, so the poll
+		// leaves uncancelled runs byte-identical).
 		for len(d.deaths) > 0 && d.deaths[0].step <= step {
+			frees++
+			if frees%cancelCheckEvery == 0 && ctx.Err() != nil {
+				return d.stats, fmt.Errorf("workload %s: aborted at step %d/%d: %w",
+					p.Name, step, nAllocs, context.Cause(ctx))
+			}
 			ev := d.deaths.pop()
 			if err := d.freeObject(ev.obj); err != nil {
 				return d.stats, fmt.Errorf("workload %s step %d: %w", p.Name, step, err)
