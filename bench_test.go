@@ -85,6 +85,13 @@ func BenchmarkTable5ExecTime64K(b *testing.B)    { benchExperiment(b, "table5") 
 func BenchmarkTable6BoundaryTags(b *testing.B)   { benchExperiment(b, "table6") }
 func BenchmarkFigure9SizeMapping(b *testing.B)   { benchExperiment(b, "figure9") }
 
+// BenchmarkServerWorkload runs the concurrent server experiment — the
+// full 19-allocator sharing-attribution sweep — end to end. It is one
+// of the two benchmarks gated by the CI regression check (bench.sh,
+// BENCH_MAX_PCT): the server driver, tid plumbing and sharing
+// attributor all sit on its hot path.
+func BenchmarkServerWorkload(b *testing.B) { benchExperiment(b, "server") }
+
 // --- allocator micro-benchmarks ---
 
 // benchMallocFree measures a steady malloc/free churn through one

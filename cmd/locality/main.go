@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6, modern), comma-separated, or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (figure1..figure9, table1..table6, modern, server), comma-separated, or 'all'")
 		scale   = flag.Uint64("scale", paper.DefaultScale, "run 1/scale of each program's events (1 = full scale)")
 		seed    = flag.Uint64("seed", 1, "workload random seed")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")

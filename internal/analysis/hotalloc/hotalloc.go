@@ -55,13 +55,14 @@ var hotFuncs = map[string]map[string]map[string]bool{
 		"Cache":      set("Ref", "Block", "accessLine", "accessLineRun"),
 		"lineSet":    set("add", "addRange"),
 		"groupShard": set("process", "access"),
+		"Sharing":    set("Ref", "Refs", "Block", "access", "runRow", "accessLine"),
 	},
 	"vm": {
 		"StackSim": set("Ref", "Block", "foldRepeats", "accessPage", "record"),
 		"mtfList":  set("access"),
 	},
 	"trace": {
-		"Block": set("Append", "AppendRun", "AppendRefs", "Reset"),
+		"Block": set("Append", "AppendRun", "AppendRunTid", "AppendRefs", "Reset"),
 	},
 	"mem": {
 		"Memory": set("Touch", "TouchRun", "emit"),

@@ -86,6 +86,36 @@ func HelperNoCtx(m *mem.Memory, n int) {
 	}
 }
 
+// DrainInbox pops a cross-thread free queue until empty. The drain is
+// unbounded in step terms — a burst can park arbitrarily many objects —
+// so running it without a poll is flagged.
+func DrainInbox(ctx context.Context, m *mem.Memory, inbox []uint64) {
+	for len(inbox) > 0 { // want `loop scales with the workload \(it drives Memory\.Touch`
+		a := inbox[len(inbox)-1]
+		inbox = inbox[:len(inbox)-1]
+		m.Touch(a, 8)
+	}
+}
+
+// DrainQueuesAmortized is the server driver's idiom: every free-queue
+// drain — local death queues and cross-thread inboxes alike — shares
+// one amortized counter, so the poll covers all of them.
+func DrainQueuesAmortized(ctx context.Context, m *mem.Memory, inboxes [][]uint64) error {
+	var frees uint64
+	for t := range inboxes {
+		for len(inboxes[t]) > 0 {
+			frees++
+			if frees%1024 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			a := inboxes[t][len(inboxes[t])-1]
+			inboxes[t] = inboxes[t][:len(inboxes[t])-1]
+			m.Touch(a, 8)
+		}
+	}
+	return nil
+}
+
 // Bounded runs a fixed handful of context-taking calls; the justified
 // allow documents why no poll is worth it.
 func Bounded(ctx context.Context) {

@@ -80,5 +80,35 @@ func (s *lineSet) addRange(first, last uint64) {
 	}
 }
 
+// Sharing mirrors the sharing attributor's sweep path; Ref, Block,
+// access, runRow and accessLine are in the hot set.
+type Sharing struct {
+	written []uint64
+	counts  map[uint64]uint64
+}
+
+// accessLine may not materialize per-event state inline; the counter
+// map has to come from a cold-path helper.
+func (s *Sharing) accessLine(line uint64) {
+	if s.counts == nil {
+		s.counts = map[uint64]uint64{} // want `map literal in hot function Sharing.accessLine`
+	}
+	s.counts[line]++
+}
+
+// runRow folds a run with index arithmetic and append into a reused
+// buffer: clean.
+func (s *Sharing) runRow(addr uint64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.written = append(s.written, addr+i)
+	}
+}
+
+// event is not in the hot set — the attributor's cold event path may
+// materialize counters freely.
+func (s *Sharing) event() {
+	s.counts = make(map[uint64]uint64)
+}
+
 // Helper is neither a hot receiver nor a hot name: free to allocate.
 func Helper() []byte { return make([]byte, 32) }

@@ -1,0 +1,376 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mallocsim/internal/mem"
+	"mallocsim/internal/trace"
+)
+
+// Sharing attributes cross-thread cache-line transfers. It models an
+// invalidation-based coherence protocol at line granularity: each line
+// remembers its last writer (owner), the set of threads holding a valid
+// copy, and the word-granular footprint of the owner's writes. When a
+// thread accesses a line it does not hold a copy of, and the line has
+// been written before, the access suffers a coherence transfer — a
+// sharing event. The event is *true* sharing when the accessed words
+// intersect the words the remote owner wrote, and *false* sharing when
+// they are disjoint (distinct words that merely cohabit one line — the
+// placement artifact an allocator controls). Events are attributed per
+// region×thread, the axis the server experiment tables report.
+//
+// Sharing implements trace.Sink, trace.BatchSink and trace.BlockSink.
+// Classification depends only on the reference values and their order,
+// so deferred columnar delivery is sound, and results are independent
+// of the cache Group's shard count: Sharing is a separate sink that
+// consumes the full stream on the delivering goroutine. Like the other
+// simulators it is not safe for concurrent use.
+//
+// Thread identities come from trace.Ref.Tid / trace.Block.Tids. Holder
+// sets are 64-bit masks, so tids alias modulo 64; workloads stay well
+// under that (the server scenarios use at most a few dozen threads).
+// A workload that never stamps tids produces no events: every access
+// comes from thread 0, which always holds its own lines.
+type Sharing struct {
+	lineShift uint
+	lineSize  uint64
+	regionOf  func(uint64) int
+
+	// Per-line coherence state in lineSet-style lazily allocated pages:
+	// a directly-indexed slice below shareDenseLimit, a map above it,
+	// and a single-entry last-page cache for the strongly local common
+	// case.
+	dense   []*sharePage
+	sparse  map[uint64]*sharePage
+	lastIdx uint64
+	last    *sharePage
+
+	counts    map[uint64]*shareCount
+	pingLines lineSet
+	trueEv    uint64
+	falseEv   uint64
+}
+
+// SharingConfig configures a Sharing attributor.
+type SharingConfig struct {
+	// LineSize is the coherence granularity in bytes: a power of two of
+	// at most 64 machine words (so a line's word footprint fits one
+	// mask). Defaults to the machine line size (32 bytes).
+	LineSize uint64
+	// RegionOf classifies an address into a small non-negative region
+	// index for the attribution rows; nil attributes everything to
+	// region 0. It is consulted only when an event fires (events are
+	// rare next to accesses), so it may be moderately expensive.
+	RegionOf func(addr uint64) int
+}
+
+const (
+	sharePageShift = 12 // 4096 lines of coherence state per page
+	sharePageLines = 1 << sharePageShift
+)
+
+// sharePage holds the coherence state of 4096 consecutive lines in
+// parallel arrays. owner is the last writer's tid plus one (0 = never
+// written); holders is the mask of tids with a valid copy; written is
+// the word-granular footprint accumulated by the current owner while it
+// was the line's sole holder.
+type sharePage struct {
+	owner   [sharePageLines]uint8
+	holders [sharePageLines]uint64
+	written [sharePageLines]uint64
+}
+
+type shareCount struct {
+	trueEv  uint64
+	falseEv uint64
+}
+
+// NewSharing builds a sharing attributor. It panics on invalid geometry
+// (programmer error in experiment setup).
+func NewSharing(cfg SharingConfig) *Sharing {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = DefaultLineSize
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: sharing line size %d not a power of two", cfg.LineSize))
+	}
+	if mem.WordOf(cfg.LineSize) > 64 {
+		panic(fmt.Sprintf("cache: sharing line size %d exceeds 64 words", cfg.LineSize))
+	}
+	return &Sharing{
+		lineShift: uint(bits.TrailingZeros64(cfg.LineSize)),
+		lineSize:  cfg.LineSize,
+		regionOf:  cfg.RegionOf,
+		counts:    make(map[uint64]*shareCount),
+	}
+}
+
+// wordSpanMask returns the mask with word indices [w0, w1] set; both
+// must be below 64 (guaranteed by the NewSharing geometry check).
+func wordSpanMask(w0, w1 uint64) uint64 {
+	return (^uint64(0) << w0) & (^uint64(0) >> (63 - w1))
+}
+
+// Ref implements trace.Sink.
+func (s *Sharing) Ref(r trace.Ref) {
+	s.access(r.Addr, r.Size, r.Kind, r.Tid)
+}
+
+// Refs implements trace.BatchSink.
+func (s *Sharing) Refs(batch []trace.Ref) {
+	for _, r := range batch {
+		s.access(r.Addr, r.Size, r.Kind, r.Tid)
+	}
+}
+
+// Block implements trace.BlockSink. Aligned run rows are folded to one
+// protocol transition per line (equivalent to element-by-element
+// delivery: only a line's first element can suffer the event, and the
+// remaining elements only widen the sole-owner write footprint);
+// contract-violating rows are expanded element by element.
+func (s *Sharing) Block(b *trace.Block) {
+	runs, tids := b.Runs, b.Tids
+	for i, addr := range b.Addrs {
+		var tid uint8
+		if tids != nil {
+			tid = tids[i]
+		}
+		if runs != nil && runs[i] != 1 {
+			s.runRow(addr, b.Sizes[i], b.Kinds[i], runs[i], tid)
+			continue
+		}
+		s.access(addr, b.Sizes[i], b.Kinds[i], tid)
+	}
+}
+
+// access applies one reference: every line it touches sees one protocol
+// transition carrying the reference's word footprint within that line.
+func (s *Sharing) access(addr uint64, size uint32, k trace.Kind, tid uint8) {
+	first, last := span(addr, size, s.lineShift)
+	n := uint64(size)
+	if n == 0 {
+		n = 1
+	}
+	end := addr + n - 1
+	if end < addr {
+		end = ^uint64(0)
+	}
+	write := k == trace.Write
+	for line := first; ; line++ {
+		base := line << s.lineShift
+		lo, hi := addr, end
+		if lo < base {
+			lo = base
+		}
+		if lineEnd := base + s.lineSize - 1; hi > lineEnd {
+			hi = lineEnd
+		}
+		m := wordSpanMask(mem.WordOf(lo-base), mem.WordOf(hi-base))
+		s.accessLine(line, m, m, write, tid)
+		if line == last {
+			return
+		}
+	}
+}
+
+// runRow applies one run row. Aligned runs (power-of-two size dividing
+// the line) take the closed form; anything else replays element by
+// element through access.
+func (s *Sharing) runRow(addr uint64, size uint32, k trace.Kind, n uint32, tid uint8) {
+	if n == 0 {
+		return
+	}
+	sz := uint64(size)
+	if !runAligned(addr, sz, uint64(n), s.lineShift) {
+		for ; n > 0; n-- {
+			s.access(addr, size, k, tid)
+			addr += sz
+		}
+		return
+	}
+	write := k == trace.Write
+	end := addr + sz*uint64(n) - 1
+	first, last := addr>>s.lineShift, end>>s.lineShift
+	for line := first; ; line++ {
+		base := line << s.lineShift
+		lo, hi := addr, end
+		if lo < base {
+			lo = base
+		}
+		if lineEnd := base + s.lineSize - 1; hi > lineEnd {
+			hi = lineEnd
+		}
+		update := wordSpanMask(mem.WordOf(lo-base), mem.WordOf(hi-base))
+		// Only the line's first element can observe the event, so the
+		// classification mask covers that element's words alone; the
+		// update mask covers the whole run's footprint in the line.
+		c1 := lo + sz - 1
+		if c1 > hi {
+			c1 = hi
+		}
+		classify := wordSpanMask(mem.WordOf(lo-base), mem.WordOf(c1-base))
+		s.accessLine(line, classify, update, write, tid)
+		if line == last {
+			return
+		}
+	}
+}
+
+// accessLine runs one protocol transition: classify is the word mask an
+// event (if any) is classified against, update the word mask a write
+// deposits. For plain references the two coincide.
+func (s *Sharing) accessLine(line, classify, update uint64, write bool, tid uint8) {
+	idx := line >> sharePageShift
+	p := s.last
+	if p == nil || idx != s.lastIdx {
+		p = nil
+		if idx < uint64(len(s.dense)) {
+			p = s.dense[idx]
+		}
+		if p == nil {
+			p = s.page(idx)
+		}
+		s.lastIdx, s.last = idx, p
+	}
+	i := line & (sharePageLines - 1)
+	t := tid & 63
+	bit := uint64(1) << t
+	holders := p.holders[i]
+	if write {
+		if holders&bit == 0 && p.owner[i] != 0 {
+			s.event(line, t, classify&p.written[i] != 0)
+		}
+		if p.owner[i] == t+1 && holders == bit {
+			// Still the sole holder: the write footprint accumulates.
+			p.written[i] |= update
+		} else {
+			p.written[i] = update
+		}
+		p.owner[i] = t + 1
+		p.holders[i] = bit
+		return
+	}
+	if holders&bit == 0 {
+		if p.owner[i] != 0 {
+			s.event(line, t, classify&p.written[i] != 0)
+		}
+		p.holders[i] = holders | bit
+	}
+}
+
+// event records one coherence transfer — the cold path of accessLine
+// (events are rare next to accesses, and a warm run's region×thread
+// counters are already materialized).
+func (s *Sharing) event(line uint64, tid uint8, isTrue bool) {
+	if isTrue {
+		s.trueEv++
+	} else {
+		s.falseEv++
+	}
+	s.pingLines.add(line)
+	region := 0
+	if s.regionOf != nil {
+		if r := s.regionOf(line << s.lineShift); r > 0 {
+			region = r
+		}
+	}
+	key := uint64(region)<<8 | uint64(tid)
+	c := s.counts[key]
+	if c == nil {
+		c = &shareCount{}
+		s.counts[key] = c
+	}
+	if isTrue {
+		c.trueEv++
+	} else {
+		c.falseEv++
+	}
+}
+
+// page allocates (and registers) the coherence page covering idx — the
+// slow path of accessLine, kept out of line like lineSet.page.
+func (s *Sharing) page(idx uint64) *sharePage {
+	if idx < lineSetDenseLimit {
+		if idx >= uint64(len(s.dense)) {
+			size := idx + 1
+			if min := 2 * uint64(len(s.dense)); size < min {
+				size = min
+			}
+			if size > lineSetDenseLimit {
+				size = lineSetDenseLimit
+			}
+			grown := make([]*sharePage, size)
+			copy(grown, s.dense)
+			s.dense = grown
+		}
+		p := new(sharePage)
+		s.dense[idx] = p
+		return p
+	}
+	p := s.sparse[idx]
+	if p == nil {
+		p = new(sharePage)
+		if s.sparse == nil {
+			s.sparse = make(map[uint64]*sharePage)
+		}
+		s.sparse[idx] = p
+	}
+	return p
+}
+
+// SharingRow is one attribution row: sharing events suffered by thread
+// Tid on lines of region Region (the index SharingConfig.RegionOf
+// assigned).
+type SharingRow struct {
+	Region int
+	Tid    uint8
+	True   uint64
+	False  uint64
+}
+
+// SharingReport is the attributor's end-of-run summary.
+type SharingReport struct {
+	// Rows are the region×thread attribution rows, sorted by (Region,
+	// Tid).
+	Rows []SharingRow
+	// True and False are the stream-wide event totals.
+	True  uint64
+	False uint64
+	// PingLines is the number of distinct lines that suffered at least
+	// one transfer — the "ping-pong lines" the server tables report.
+	PingLines uint64
+}
+
+// Events returns the total number of sharing events recorded.
+func (s *Sharing) Events() uint64 { return s.trueEv + s.falseEv }
+
+// Report assembles the end-of-run summary. O(rows log rows); call it
+// after the stream is flushed.
+func (s *Sharing) Report() SharingReport {
+	keys := make([]uint64, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var rows []SharingRow
+	if len(keys) > 0 {
+		rows = make([]SharingRow, 0, len(keys))
+	}
+	for _, k := range keys {
+		c := s.counts[k]
+		rows = append(rows, SharingRow{
+			Region: int(k >> 8),
+			Tid:    uint8(k & 0xff),
+			True:   c.trueEv,
+			False:  c.falseEv,
+		})
+	}
+	return SharingReport{
+		Rows:      rows,
+		True:      s.trueEv,
+		False:     s.falseEv,
+		PingLines: s.pingLines.distinct(),
+	}
+}

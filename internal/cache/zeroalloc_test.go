@@ -53,6 +53,27 @@ func TestCacheBlockZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestSharingBlockZeroAlloc(t *testing.T) {
+	s := NewSharing(SharingConfig{RegionOf: testRegionOf})
+	// Tid-striped variant of the standard block so sharing events
+	// actually fire during the sweep (the event path must be warm too:
+	// its region×thread counters and ping-line pages are materialized
+	// on first use and reused after).
+	b := zeroAllocBlock()
+	tids := make([]uint8, b.Len())
+	for i := range tids {
+		tids[i] = uint8(i % 4)
+	}
+	b.Tids = tids
+	s.Block(b) // materialize coherence pages, counters and ping-line pages
+	if s.Events() == 0 {
+		t.Fatal("warm-up sweep produced no sharing events; the fixture is too weak")
+	}
+	if avg := testing.AllocsPerRun(20, func() { s.Block(b) }); avg != 0 {
+		t.Errorf("warmed Sharing.Block sweep allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
 func TestLineSetAddRangeZeroAlloc(t *testing.T) {
 	var s lineSet
 	warm := func() {

@@ -96,6 +96,16 @@ type Memory struct {
 	flushBlk   trace.Block
 	refScratch []trace.Ref
 
+	// Thread-identity stamping (see SetTid). tids is the optional
+	// columnar tid ring, allocated lazily on the first SetTid call so
+	// that single-threaded runs carry no column and flush blocks with a
+	// nil Tids column — byte-identical to the pre-Tid pipeline. curTid
+	// is stamped into every emitted reference; it stays 0 until SetTid
+	// is called, and Ref.Tid == 0 is the zero value either way.
+	tids   []uint8
+	curTid uint8
+	tidOn  bool
+
 	// InstrPerAccess is the instruction charge per word access.
 	// Default 1 (a load or store instruction).
 	InstrPerAccess uint64
@@ -150,7 +160,7 @@ func (m *Memory) SetSink(s trace.Sink) {
 func (m *Memory) SetBatching(size int) {
 	m.Flush()
 	if size < 0 {
-		m.addrs, m.sizes, m.kinds, m.runs = nil, nil, nil, nil
+		m.addrs, m.sizes, m.kinds, m.runs, m.tids = nil, nil, nil, nil, nil
 		m.blockSinks, m.batchers, m.direct = nil, nil, nil
 		return
 	}
@@ -165,14 +175,43 @@ func (m *Memory) rebatch(size int) {
 	m.blockSinks, m.batchers, m.direct = trace.SplitBlocks(m.sink)
 	if len(m.blockSinks) == 0 && len(m.batchers) == 0 {
 		// Nothing batches: fall back to the plain path.
-		m.addrs, m.sizes, m.kinds, m.runs, m.direct = nil, nil, nil, nil, nil
+		m.addrs, m.sizes, m.kinds, m.runs, m.tids = nil, nil, nil, nil, nil
+		m.direct = nil
 		return
 	}
 	m.addrs = make([]uint64, size)
 	m.sizes = make([]uint32, size)
 	m.kinds = make([]trace.Kind, size)
 	m.runs = make([]uint32, size)
+	if m.tidOn {
+		m.tids = make([]uint8, size)
+	} else {
+		m.tids = nil
+	}
 	m.bufN = 0
+}
+
+// SetTid sets the logical thread id stamped on every subsequently
+// emitted reference. The default tid is 0; the first call activates the
+// Tids column on flushed blocks (rows buffered before activation keep
+// tid 0), so workloads that never call SetTid produce blocks with a nil
+// Tids column and a byte-identical reference stream to the pre-Tid
+// pipeline. Concurrent workload drivers call SetTid when switching the
+// logical thread whose references they are replaying; like the rest of
+// Memory it is not safe for concurrent use.
+func (m *Memory) SetTid(tid uint8) {
+	if tid == m.curTid && m.tidOn {
+		return
+	}
+	if !m.tidOn {
+		m.tidOn = true
+		if m.addrs != nil {
+			// Rows already buffered were emitted under tid 0; a zeroed
+			// column of the full ring capacity records exactly that.
+			m.tids = make([]uint8, len(m.addrs))
+		}
+	}
+	m.curTid = tid
 }
 
 // Flush delivers buffered references to the block and batch sinks. It
@@ -184,6 +223,9 @@ func (m *Memory) Flush() {
 	n := m.bufN
 	m.bufN = 0
 	m.flushBlk = trace.Block{Addrs: m.addrs[:n], Sizes: m.sizes[:n], Kinds: m.kinds[:n], Runs: m.runs[:n]}
+	if m.tids != nil {
+		m.flushBlk.Tids = m.tids[:n]
+	}
 	for _, b := range m.blockSinks {
 		b.Block(&m.flushBlk)
 	}
@@ -198,6 +240,10 @@ func (m *Memory) Flush() {
 // emit routes one reference to the sinks, via the ring buffer when
 // batching is enabled.
 func (m *Memory) emit(r trace.Ref) {
+	// One unconditional byte move keeps the single-threaded fast path
+	// branch-free: curTid is 0 until SetTid is first called, matching
+	// the Ref zero value.
+	r.Tid = m.curTid
 	if m.addrs == nil {
 		m.sink.Ref(r)
 		return
@@ -210,6 +256,9 @@ func (m *Memory) emit(r trace.Ref) {
 	m.sizes[n] = r.Size
 	m.kinds[n] = r.Kind
 	m.runs[n] = 1
+	if m.tids != nil {
+		m.tids[n] = r.Tid
+	}
 	m.bufN = n + 1
 	if m.bufN == len(m.addrs) {
 		m.Flush()
@@ -451,7 +500,7 @@ func (m *Memory) TouchRun(addr uint64, n uint64, k trace.Kind) {
 		// space (run rows must not — wrap-around is only expressible
 		// reference by reference): the per-reference path.
 		for ; n > 0; n-- {
-			r := trace.Ref{Addr: addr, Size: WordSize, Kind: k}
+			r := trace.Ref{Addr: addr, Size: WordSize, Kind: k, Tid: m.curTid}
 			if m.addrs == nil {
 				m.sink.Ref(r)
 			} else {
@@ -471,6 +520,9 @@ func (m *Memory) TouchRun(addr uint64, n uint64, k trace.Kind) {
 		m.sizes[row] = WordSize
 		m.kinds[row] = k
 		m.runs[row] = uint32(run)
+		if m.tids != nil {
+			m.tids[row] = m.curTid
+		}
 		m.bufN = row + 1
 		addr += run * WordSize
 		n -= run

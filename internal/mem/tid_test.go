@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"testing"
+
+	"mallocsim/internal/trace"
+)
+
+// blockTap captures flushed blocks (deep-copying the columns, which are
+// only valid during the call) so tests can inspect the Tids column.
+type blockTap struct {
+	blocks []trace.Block
+}
+
+func (s *blockTap) Ref(trace.Ref) {}
+func (s *blockTap) Block(b *trace.Block) {
+	cp := trace.Block{
+		Addrs: append([]uint64(nil), b.Addrs...),
+		Sizes: append([]uint32(nil), b.Sizes...),
+		Kinds: append([]trace.Kind(nil), b.Kinds...),
+	}
+	if b.Runs != nil {
+		cp.Runs = append([]uint32(nil), b.Runs...)
+	}
+	if b.Tids != nil {
+		cp.Tids = append([]uint8(nil), b.Tids...)
+	}
+	s.blocks = append(s.blocks, cp)
+}
+
+func TestTidColumnAbsentWithoutSetTid(t *testing.T) {
+	tap := &blockTap{}
+	m := New(tap, nil)
+	m.SetBatching(0)
+	m.Touch(0x100, 4, trace.Read)
+	m.TouchRun(0x200, 16, trace.Write)
+	m.Flush()
+	if len(tap.blocks) == 0 {
+		t.Fatal("no blocks flushed")
+	}
+	for i, b := range tap.blocks {
+		if b.Tids != nil {
+			t.Errorf("block %d has a Tids column %v without SetTid", i, b.Tids)
+		}
+	}
+}
+
+func TestTidStampingBatched(t *testing.T) {
+	tap := &blockTap{}
+	m := New(tap, nil)
+	m.SetBatching(0)
+	m.Touch(0x100, 4, trace.Read) // buffered before activation: tid 0
+	m.SetTid(2)
+	m.Touch(0x104, 4, trace.Write)
+	m.TouchRun(0x200, 8, trace.Read) // one run row, tid 2
+	m.SetTid(0)
+	m.Touch(0x300, 4, trace.Read)
+	m.Flush()
+	if len(tap.blocks) != 1 {
+		t.Fatalf("flushed %d blocks, want 1", len(tap.blocks))
+	}
+	b := tap.blocks[0]
+	want := []uint8{0, 2, 2, 0}
+	if len(b.Tids) != len(want) {
+		t.Fatalf("Tids = %v, want %v", b.Tids, want)
+	}
+	for i, w := range want {
+		if b.Tids[i] != w {
+			t.Errorf("Tids[%d] = %d, want %d", i, b.Tids[i], w)
+		}
+	}
+}
+
+func TestTidStampingUnbatched(t *testing.T) {
+	rec := &trace.Recorder{}
+	m := New(rec, nil)
+	m.SetTid(3)
+	m.Touch(0x100, 4, trace.Read)
+	m.TouchRun(0x200, 2, trace.Write)
+	m.SetTid(1)
+	m.Touch(0x300, 4, trace.Read)
+	want := []uint8{3, 3, 3, 1}
+	if len(rec.Refs) != len(want) {
+		t.Fatalf("recorded %d refs, want %d", len(rec.Refs), len(want))
+	}
+	for i, w := range want {
+		if rec.Refs[i].Tid != w {
+			t.Errorf("ref %d tid %d, want %d", i, rec.Refs[i].Tid, w)
+		}
+	}
+}
+
+// TestTidBatchedMatchesUnbatched pins the delivery-tier equivalence for
+// tid-stamped streams: expanding the batched blocks yields exactly the
+// unbatched per-reference stream, tids included.
+func TestTidBatchedMatchesUnbatched(t *testing.T) {
+	emitAll := func(m *Memory) {
+		for i := 0; i < 300; i++ {
+			m.SetTid(uint8(i % 5))
+			m.Touch(uint64(0x1000+i*8), 4, trace.Kind(i%2))
+			if i%11 == 0 {
+				m.TouchRun(uint64(0x9000+i*64), 12, trace.Read)
+			}
+		}
+	}
+
+	rec := &trace.Recorder{}
+	m1 := New(rec, nil)
+	emitAll(m1)
+
+	tap := &blockTap{}
+	m2 := New(tap, nil)
+	m2.SetBatching(64)
+	emitAll(m2)
+	m2.Flush()
+	var batched []trace.Ref
+	for i := range tap.blocks {
+		batched = tap.blocks[i].AppendRefs(batched)
+	}
+
+	if len(batched) != len(rec.Refs) {
+		t.Fatalf("batched %d refs, unbatched %d", len(batched), len(rec.Refs))
+	}
+	for i := range batched {
+		if batched[i] != rec.Refs[i] {
+			t.Fatalf("ref %d: batched %+v, unbatched %+v", i, batched[i], rec.Refs[i])
+		}
+	}
+}

@@ -25,6 +25,32 @@ type WorkloadSummary struct {
 	FinalLive uint64 `json:"final_live"`
 	LiveBytes uint64 `json:"live_bytes"`
 	ReqBytes  uint64 `json:"req_bytes"`
+	// Handoffs counts producer/consumer cross-thread frees; absent for
+	// single-threaded programs so their report bytes are unchanged.
+	Handoffs uint64 `json:"handoffs,omitempty"`
+}
+
+// SharingRow is one region × thread attribution row of the sharing
+// summary.
+type SharingRow struct {
+	Region      string `json:"region"`
+	Tid         uint32 `json:"tid"`
+	TrueEvents  uint64 `json:"true_events"`
+	FalseEvents uint64 `json:"false_events"`
+}
+
+// SharingSummary is the report's view of the cache sharing attributor
+// (cache.Sharing): cross-thread coherence transfers split into true
+// sharing (the consumer read words the remote owner wrote) and false
+// sharing (distinct words merely cohabiting one line — the placement
+// artifact the allocator controls). Present only for concurrent
+// (server) runs.
+type SharingSummary struct {
+	Threads     int          `json:"threads"`
+	TrueEvents  uint64       `json:"true_events"`
+	FalseEvents uint64       `json:"false_events"`
+	PingLines   uint64       `json:"ping_lines"`
+	Rows        []SharingRow `json:"rows,omitempty"`
 }
 
 // RefSummary is the report's view of trace.Counter.
@@ -93,6 +119,10 @@ type Report struct {
 
 	Caches []CacheSummary `json:"caches,omitempty"`
 	VM     *VMSummary     `json:"vm,omitempty"`
+
+	// Sharing is the true/false-sharing attribution of concurrent runs
+	// (absent for single-threaded programs).
+	Sharing *SharingSummary `json:"sharing,omitempty"`
 
 	// Shadow is the heap auditor's verdict (present when the run was
 	// executed with heap checking): operation totals and any allocator

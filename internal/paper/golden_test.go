@@ -20,7 +20,7 @@ import (
 // is a changed published number.
 var update = flag.Bool("update", false, "rewrite testdata/golden from current output")
 
-// goldenScale keeps the full 16-experiment battery around five seconds
+// goldenScale keeps the full 17-experiment battery around five seconds
 // while exercising every experiment's real code path.
 const goldenScale = 256
 

@@ -48,8 +48,8 @@ func TestRunnerMemoizes(t *testing.T) {
 func TestExperimentIndex(t *testing.T) {
 	r := testRunner()
 	exps := r.Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("%d experiments, want 16 (9 figures + 6 tables + modern)", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("%d experiments, want 17 (9 figures + 6 tables + modern + server)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -279,10 +279,10 @@ func TestFormatHelpers(t *testing.T) {
 func TestExtensionsIndex(t *testing.T) {
 	r := testRunner()
 	all := r.AllExperiments()
-	if len(all) != 28 {
-		t.Fatalf("%d experiments, want 16 paper + 12 extensions", len(all))
+	if len(all) != 29 {
+		t.Fatalf("%d experiments, want 17 paper + 12 extensions", len(all))
 	}
-	if len(r.Names()) != 28 {
+	if len(r.Names()) != 29 {
 		t.Error("Names must include extensions")
 	}
 	if _, ok := r.ByID("ext-penalty"); !ok {

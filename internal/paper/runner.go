@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"mallocsim/internal/alloc"
 	"mallocsim/internal/alloc/all"
 	"mallocsim/internal/alloc/shadow"
 	"mallocsim/internal/cache"
@@ -154,27 +155,34 @@ func (r *Runner) Result(ctx context.Context, progName, allocName string) (*sim.R
 	return f.res, f.err
 }
 
-// runPair executes one fully-instrumented simulation.
+// runPair executes one fully-instrumented simulation. progName may name
+// either a sequential program (workload.ByName) or a concurrent server
+// scenario (workload.ServerByName); the two catalogs share a namespace.
 func (r *Runner) runPair(ctx context.Context, progName, allocName string) (*sim.Result, error) {
-	prog, ok := workload.ByName(progName)
-	if !ok {
-		return nil, fmt.Errorf("paper: unknown program %q", progName)
-	}
 	cfgs := make([]cache.Config, len(CacheSizes))
 	for i, s := range CacheSizes {
 		cfgs[i] = cache.Config{Size: s}
 	}
-	return sim.RunContext(ctx, sim.Config{
-		Program:         prog,
+	cfg := sim.Config{
 		Allocator:       allocName,
 		Scale:           r.Scale,
 		Seed:            r.Seed,
 		Caches:          cfgs,
 		CacheShards:     r.CacheShards,
-		PageSim:         pageSimPrograms[progName],
 		PageSampleShift: r.PageSampleShift,
 		CheckHeap:       r.CheckHeap,
-	})
+	}
+	if srv, ok := workload.ServerByName(progName); ok {
+		cfg.Server = &srv
+	} else {
+		prog, ok := workload.ByName(progName)
+		if !ok {
+			return nil, fmt.Errorf("paper: unknown program %q", progName)
+		}
+		cfg.Program = prog
+		cfg.PageSim = pageSimPrograms[progName]
+	}
+	return sim.RunContext(ctx, cfg)
 }
 
 // ShadowSnapshots returns the heap-auditor verdicts of every memoized
@@ -285,6 +293,7 @@ func (r *Runner) Experiments() []Experiment {
 		{"table6", r.Table6, "effect of boundary tags on GNU LOCAL, 64K cache"},
 		{"figure9", r.Figure9, "size-mapping array architecture ablation"},
 		{"modern", r.Modern, "modern allocators vs paper baselines"},
+		{"server", r.Server, "concurrent server workload: true/false sharing by allocator"},
 	}
 }
 
@@ -344,6 +353,16 @@ func (r *Runner) PairsFor(ids ...string) []Pair {
 		case "modern":
 			for _, p := range modernPrograms {
 				add(one(p), ModernAllocators...)
+			}
+		case "server":
+			// The server scenario is not in the Program catalog; pair it
+			// with every registered allocator directly.
+			for _, a := range alloc.Names() {
+				pair := Pair{serverScenario, a}
+				if !seen[pair] {
+					seen[pair] = true
+					out = append(out, pair)
+				}
 			}
 		}
 	}

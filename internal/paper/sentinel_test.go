@@ -128,8 +128,8 @@ func TestSentinelCleanReplay(t *testing.T) {
 	if !rep.Clean() {
 		t.Fatalf("clean tree regressed:\n%s", rep.String())
 	}
-	if rep.Checked != 16 || len(rep.Experiments) != 16 {
-		t.Fatalf("checked %d experiments, want 16", rep.Checked)
+	if rep.Checked != 17 || len(rep.Experiments) != 17 {
+		t.Fatalf("checked %d experiments, want 17", rep.Checked)
 	}
 	for _, e := range rep.Experiments {
 		if e.Status != "ok" || !e.Identical {

@@ -1,0 +1,56 @@
+package paper
+
+import (
+	"context"
+	"fmt"
+
+	"mallocsim/internal/alloc"
+)
+
+// serverScenario names the concurrent workload behind the server
+// experiment (see workload.ServerByName).
+const serverScenario = "server"
+
+// Server extends the evaluation to a concurrent, server-shaped workload
+// the paper could not measure in 1993: eight logical threads with
+// per-thread allocation streams, bursty arrivals and producer/consumer
+// frees. Every registered allocator — the paper's five, the extended
+// family, and the modern designs including locarena's hint-segregated
+// arenas — serves the identical request sequence, and the table reports
+// how its placement decisions translate into cross-thread cache-line
+// transfers: true- and false-sharing events per 1000 data references
+// and distinct ping-pong lines (the false-sharing column is the one an
+// allocator controls — co-locating different threads' objects on one
+// line manufactures transfers no program change can avoid), next to the
+// familiar 16K miss rate and heap footprint.
+func (r *Runner) Server(ctx context.Context) (*Table, error) {
+	t := &Table{
+		ID:     "server",
+		Title:  "Server workload: cross-thread sharing by allocator (events per 1k data refs)",
+		Note:   r.note(),
+		Header: []string{"Allocator", "True/1k", "False/1k", "Ping lines", "16K miss%", "Heap KB"},
+	}
+	for _, a := range alloc.Names() {
+		res, err := r.Result(ctx, serverScenario, a)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Sharing
+		if s == nil {
+			return nil, fmt.Errorf("paper: server run for %q carried no sharing summary", a)
+		}
+		refs := float64(res.Refs.Total())
+		if refs == 0 {
+			refs = 1
+		}
+		c16, _ := res.CacheResult(16 << 10)
+		t.AddRow(a,
+			fmt.Sprintf("%.3f", float64(s.TrueEvents)*1000/refs),
+			fmt.Sprintf("%.3f", float64(s.FalseEvents)*1000/refs),
+			fmt.Sprintf("%d", s.PingLines),
+			fmt.Sprintf("%.2f", c16.MissRate()*100),
+			kb(res.Footprint),
+		)
+	}
+	return t, nil
+}

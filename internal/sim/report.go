@@ -21,6 +21,7 @@ func (r *Result) Report() *obs.Report {
 		FinalLive: r.Workload.FinalLive,
 		LiveBytes: r.Workload.LiveBytes,
 		ReqBytes:  r.Workload.ReqBytes,
+		Handoffs:  r.Workload.Handoffs,
 	}
 	rep.Instr = r.Instr
 	rep.Refs = obs.RefSummary{
@@ -70,5 +71,6 @@ func (r *Result) Report() *obs.Report {
 		}
 		rep.VM = v
 	}
+	rep.Sharing = r.Sharing
 	return rep
 }

@@ -17,6 +17,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"mallocsim/internal/alloc"
 	_ "mallocsim/internal/alloc/all" // register all allocator implementations
@@ -44,6 +45,13 @@ const ClockHz = 16.16e6
 type Config struct {
 	Program   workload.Program
 	Allocator string
+	// Server, when non-nil, runs the concurrent server scenario instead
+	// of Program (which is then ignored): the workload drives N logical
+	// threads with per-thread reference streams (see workload.RunServer)
+	// and the run attaches a cache.Sharing sink that attributes
+	// cross-thread line transfers as true vs. false sharing
+	// (Result.Sharing).
+	Server *workload.ServerConfig
 	// Scale divides the program's event counts (see workload.Config).
 	Scale uint64
 	// Seed defaults to 1.
@@ -127,6 +135,10 @@ type Result struct {
 	// Shadow is the heap auditor's verdict (Config.CheckHeap): operation
 	// counts, live-set totals, and any contract violations detected.
 	Shadow *shadow.Snapshot
+
+	// Sharing is the true/false-sharing attribution of a server run
+	// (nil for single-threaded program runs).
+	Sharing *obs.SharingSummary
 }
 
 // Run executes the configured experiment.
@@ -142,8 +154,12 @@ func Run(cfg Config) (*Result, error) {
 // context.DeadlineExceeded via context.Cause. A run that completes is
 // byte-identical to one executed without a cancellable context.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	progName := cfg.Program.Name
+	if cfg.Server != nil {
+		progName = cfg.Server.Name
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, context.Cause(ctx))
+		return nil, fmt.Errorf("sim %s/%s: %w", progName, cfg.Allocator, context.Cause(ctx))
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -178,6 +194,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	m := mem.New(trace.NewTee(sinks...), meter)
+
+	// Concurrent runs attach the sharing attributor: a separate sink,
+	// so its classification is independent of the cache group's shard
+	// count. Events are attributed to the index of the containing
+	// region, resolved to the region name at report assembly (regions
+	// only ever grow, so indices are stable).
+	var sharing *cache.Sharing
+	if cfg.Server != nil {
+		sharing = cache.NewSharing(cache.SharingConfig{
+			RegionOf: func(addr uint64) int {
+				for i, r := range m.Regions() {
+					if r.Contains(addr) {
+						return i
+					}
+				}
+				return 0
+			},
+		})
+		sinks = append(sinks, sharing)
+		m.SetSink(trace.NewTee(sinks...))
+	}
 
 	// Observability layer: strictly opt-in, so the nil-Recorder path is
 	// byte-for-byte the seed configuration. The extra sinks are
@@ -234,13 +271,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		a = shw
 	}
 
-	stats, err := workload.RunContext(ctx, m, a, workload.Config{
-		Program: cfg.Program,
-		Scale:   cfg.Scale,
-		Seed:    cfg.Seed,
-	})
+	var stats workload.Stats
+	if cfg.Server != nil {
+		stats, err = workload.RunServerContext(ctx, m, a, workload.ServerRunConfig{
+			Scenario: *cfg.Server,
+			Scale:    cfg.Scale,
+			Seed:     cfg.Seed,
+		})
+	} else {
+		stats, err = workload.RunContext(ctx, m, a, workload.Config{
+			Program: cfg.Program,
+			Scale:   cfg.Scale,
+			Seed:    cfg.Seed,
+		})
+	}
 	if err != nil {
-		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, err)
+		return nil, fmt.Errorf("sim %s/%s: %w", progName, cfg.Allocator, err)
 	}
 	m.Flush() // deliver the tail of the batched reference stream
 
@@ -248,11 +294,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// VM-curve assembly sweeps so a deadline that fired during the last
 	// partial batch is still honoured.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sim %s/%s: %w", cfg.Program.Name, cfg.Allocator, context.Cause(ctx))
+		return nil, fmt.Errorf("sim %s/%s: %w", progName, cfg.Allocator, context.Cause(ctx))
 	}
 
 	res := &Result{
-		Program:        cfg.Program.Name,
+		Program:        progName,
 		Allocator:      cfg.Allocator,
 		Scale:          cfg.Scale,
 		Seed:           cfg.Seed,
@@ -262,11 +308,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		TotalFootprint: m.Footprint(),
 	}
 	for _, r := range m.Regions() {
-		switch r.Name() {
-		case cfg.Program.Name + "-stack", cfg.Program.Name + "-globals":
-		default:
-			res.Footprint += r.Size()
+		// The workload's own segments — "<prog>-stack" (plus the server
+		// driver's per-thread "<prog>-stackN") and "<prog>-globals" —
+		// belong to the application, not the allocator.
+		name := r.Name()
+		if name == progName+"-globals" || strings.HasPrefix(name, progName+"-stack") {
+			continue
 		}
+		res.Footprint += r.Size()
 	}
 	if group != nil {
 		res.Caches = group.Results()
@@ -287,7 +336,34 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		shw.Audit()
 		res.Shadow = shw.Snapshot()
 	}
+	if sharing != nil {
+		res.Sharing = sharingSummary(sharing.Report(), m.Regions(), cfg.Server.Threads)
+	}
 	return res, nil
+}
+
+// sharingSummary resolves the attributor's region indices to region
+// names for the report.
+func sharingSummary(rep cache.SharingReport, regions []*mem.Region, threads int) *obs.SharingSummary {
+	s := &obs.SharingSummary{
+		Threads:     threads,
+		TrueEvents:  rep.True,
+		FalseEvents: rep.False,
+		PingLines:   rep.PingLines,
+	}
+	for _, row := range rep.Rows {
+		name := "?"
+		if row.Region >= 0 && row.Region < len(regions) {
+			name = regions[row.Region].Name()
+		}
+		s.Rows = append(s.Rows, obs.SharingRow{
+			Region:      name,
+			Tid:         uint32(row.Tid),
+			TrueEvents:  row.True,
+			FalseEvents: row.False,
+		})
+	}
+	return s
 }
 
 // AllocFraction returns the fraction of instructions spent in malloc

@@ -55,10 +55,18 @@ func (k Kind) String() string {
 // Ref is a single data reference: Size bytes at Addr, either a Read or a
 // Write. Addresses are virtual addresses in the simulated address space
 // managed by package mem.
+//
+// Tid is the logical thread that issued the reference. Single-threaded
+// workloads leave it zero (the zero value fills the struct's existing
+// padding, so the field is free); concurrent workloads stamp it via
+// mem.Memory.SetTid so sharing-aware sinks (cache.Sharing) can attribute
+// cross-thread line transfers. Sinks that do not care about thread
+// identity ignore the field and behave exactly as before.
 type Ref struct {
 	Addr uint64
 	Size uint32
 	Kind Kind
+	Tid  uint8
 }
 
 // Sink consumes a stream of references. Implementations include cache
@@ -113,6 +121,14 @@ type Block struct {
 	// consume runs with closed-form line/page arithmetic instead of
 	// per-reference decomposition.
 	Runs []uint32
+	// Tids is the optional thread-identity column. When non-nil (same
+	// length as the other columns), Tids[i] is the logical thread that
+	// issued row i — every reference of a run row shares the row's tid.
+	// A nil Tids column means every row was issued by thread 0, so
+	// single-threaded producers pay nothing for the column's existence.
+	// Like the other columns it is only valid for the duration of a
+	// BlockSink.Block call.
+	Tids []uint8
 }
 
 // Len returns the number of rows in the block. With a Runs column this
@@ -135,22 +151,40 @@ func (b *Block) Refs() int {
 // At returns the first reference of row i. Rows with Runs[i] > 1 stand
 // for further references beyond it; use AppendRefs to expand them.
 func (b *Block) At(i int) Ref {
-	return Ref{Addr: b.Addrs[i], Size: b.Sizes[i], Kind: b.Kinds[i]}
+	r := Ref{Addr: b.Addrs[i], Size: b.Sizes[i], Kind: b.Kinds[i]}
+	if b.Tids != nil {
+		r.Tid = b.Tids[i]
+	}
+	return r
 }
 
-// Append adds one single-reference row to the block.
+// Append adds one single-reference row to the block. A nonzero r.Tid
+// materializes the Tids column on first use.
 func (b *Block) Append(r Ref) {
+	if b.Tids == nil && r.Tid != 0 {
+		b.ensureTids()
+	}
 	b.Addrs = append(b.Addrs, r.Addr)
 	b.Sizes = append(b.Sizes, r.Size)
 	b.Kinds = append(b.Kinds, r.Kind)
 	if b.Runs != nil {
 		b.Runs = append(b.Runs, 1)
 	}
+	if b.Tids != nil {
+		b.Tids = append(b.Tids, r.Tid)
+	}
 }
 
 // AppendRun adds a run row: n consecutive references of size bytes each
-// starting at addr. It materializes the Runs column on first use.
+// starting at addr, all issued by thread 0. It materializes the Runs
+// column on first use.
 func (b *Block) AppendRun(addr uint64, size uint32, k Kind, n uint32) {
+	b.AppendRunTid(addr, size, k, n, 0)
+}
+
+// AppendRunTid is AppendRun with an explicit thread id; a nonzero tid
+// materializes the Tids column on first use.
+func (b *Block) AppendRunTid(addr uint64, size uint32, k Kind, n uint32, tid uint8) {
 	if b.Runs == nil {
 		//lint:allow hotalloc one-time materialization of the Runs column, amortized across the block's reuse (Reset keeps the backing array)
 		b.Runs = make([]uint32, len(b.Addrs), cap(b.Addrs))
@@ -158,10 +192,26 @@ func (b *Block) AppendRun(addr uint64, size uint32, k Kind, n uint32) {
 			b.Runs[i] = 1
 		}
 	}
+	if b.Tids == nil && tid != 0 {
+		b.ensureTids()
+	}
 	b.Addrs = append(b.Addrs, addr)
 	b.Sizes = append(b.Sizes, size)
 	b.Kinds = append(b.Kinds, k)
 	b.Runs = append(b.Runs, n)
+	if b.Tids != nil {
+		b.Tids = append(b.Tids, tid)
+	}
+}
+
+// ensureTids backfills the Tids column with zeros (thread 0) for the
+// rows appended before the first nonzero tid. Kept out of line so the
+// one-time materialization is not inlined into the hot append paths
+// (Reset keeps the backing array, so it never runs twice per block).
+//
+//go:noinline
+func (b *Block) ensureTids() {
+	b.Tids = make([]uint8, len(b.Addrs), cap(b.Addrs))
 }
 
 // Reset empties the block, keeping the columns' capacity.
@@ -172,6 +222,9 @@ func (b *Block) Reset() {
 	if b.Runs != nil {
 		b.Runs = b.Runs[:0]
 	}
+	if b.Tids != nil {
+		b.Tids = b.Tids[:0]
+	}
 }
 
 // AppendRefs converts the block's references into dst (appending),
@@ -180,12 +233,16 @@ func (b *Block) Reset() {
 func (b *Block) AppendRefs(dst []Ref) []Ref {
 	for i, a := range b.Addrs {
 		sz, k := b.Sizes[i], b.Kinds[i]
+		var tid uint8
+		if b.Tids != nil {
+			tid = b.Tids[i]
+		}
 		n := uint32(1)
 		if b.Runs != nil {
 			n = b.Runs[i]
 		}
 		for ; n > 0; n-- {
-			dst = append(dst, Ref{Addr: a, Size: sz, Kind: k})
+			dst = append(dst, Ref{Addr: a, Size: sz, Kind: k, Tid: tid})
 			a += uint64(sz)
 		}
 	}

@@ -124,7 +124,7 @@ func TestFilterAndRange(t *testing.T) {
 
 func TestRecorder(t *testing.T) {
 	var r Recorder
-	refs := []Ref{{1, 4, Read}, {2, 8, Write}}
+	refs := []Ref{{1, 4, Read, 0}, {2, 8, Write, 0}}
 	for _, ref := range refs {
 		r.Ref(ref)
 	}

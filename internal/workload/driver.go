@@ -66,6 +66,11 @@ type Stats struct {
 	LiveBytes uint64
 	// ReqBytes is the total payload bytes requested over the run.
 	ReqBytes uint64
+	// Handoffs counts producer/consumer cross-thread frees: objects
+	// allocated by one logical thread and freed by another. Always zero
+	// for the (single-threaded) program driver; the server driver fills
+	// it in.
+	Handoffs uint64
 	// Samples is the fragmentation time series (Config.SampleEvery).
 	Samples []Sample
 }

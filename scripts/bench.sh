@@ -20,8 +20,9 @@
 # After the run, the new snapshot is compared benchstat-style against
 # the most recent snapshot already in the baseline store (old ns/op,
 # new ns/op, delta per benchmark). With BENCH_CHECK=1 the script exits
-# 3 when BenchmarkRunAllParallel regressed by more than BENCH_MAX_PCT
-# percent (default 10) — the CI bench job's regression gate.
+# 3 when BenchmarkRunAllParallel or BenchmarkServerWorkload regressed
+# by more than BENCH_MAX_PCT percent (default 10) — the CI bench job's
+# regression gate.
 #
 # Environment:
 #   MALLOCSIM_BENCH_SCALE  experiment scale divisor (default 128; the
@@ -33,7 +34,8 @@
 #   BENCH_BASELINE_STORE   store to compare against and ingest into
 #                          (default bench/store)
 #   BENCH_CHECK            1 = fail (exit 3) on a >BENCH_MAX_PCT
-#                          regression of BenchmarkRunAllParallel
+#                          regression of BenchmarkRunAllParallel or
+#                          BenchmarkServerWorkload
 #   BENCH_MAX_PCT          regression threshold percent (default 10)
 #
 # Usage: scripts/bench.sh            # from the repository root
@@ -65,15 +67,16 @@ if [ -d "$baseline" ]; then
 fi
 
 micro='BenchmarkCacheDirectMapped$|BenchmarkCacheGroupSweep$|BenchmarkCacheGroupBlockSweep$|BenchmarkStackSimTreap$|BenchmarkStackSimSweepExact$|BenchmarkStackSimSweepSampled$'
-matrix='BenchmarkRunAllParallel$'
+matrix='BenchmarkRunAllParallel$|BenchmarkServerWorkload$'
 
 {
   # Micro-benchmarks: cache simulator hot paths (per-ref and columnar
   # block delivery) and the LRU stack engines (exact and sampled).
   # Several iterations each so benchstat has samples.
   go test -run '^$' -bench "$micro" -benchtime "$benchtime" .
-  # Full experiment matrix through the parallel runner: one iteration
-  # (it regenerates every paper table per op).
+  # Full experiment matrix through the parallel runner, plus the
+  # concurrent server sweep: one iteration each (they regenerate whole
+  # experiment tables per op).
   go test -run '^$' -bench "$matrix" -benchtime 1x .
 } | tee "$txt"
 
@@ -155,10 +158,10 @@ if [ -n "$prev" ]; then
       }
       delta = (new[name] - old[name]) / old[name] * 100
       printf "%-34s %14.2f %14.2f %+8.1f%%\n", name, old[name], new[name], delta
-      if (name == "BenchmarkRunAllParallel" && delta > maxpct) fail = 1
+      if ((name == "BenchmarkRunAllParallel" || name == "BenchmarkServerWorkload") && delta > maxpct) fail = 1
     }
     if (check == 1 && fail) {
-      printf "FAIL: BenchmarkRunAllParallel regressed more than %s%%\n", maxpct
+      printf "FAIL: a gated benchmark regressed more than %s%%\n", maxpct
       exit 3
     }
   }' "$prev" "$json" || rc=$?
